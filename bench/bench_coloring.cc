@@ -1,0 +1,108 @@
+// Experiment E6-E8 support — the coloring layer's costs: the structural
+// soundness criteria (linear sweeps), the exhaustive coloring enumeration
+// used by the theory tests, witness-method application, and the empirical
+// use-set validator (which re-applies the method once per restriction,
+// resp. once per removable item).
+
+#include <benchmark/benchmark.h>
+
+#include "algebraic/method_library.h"
+#include "coloring/inference.h"
+#include "coloring/soundness.h"
+#include "coloring/witness.h"
+#include "core/instance_generator.h"
+
+namespace setrec {
+namespace {
+
+void BM_SoundnessSweep(benchmark::State& state) {
+  // All 512 colorings of the one-class/two-property schema, both criteria.
+  PairSchema ps = std::move(MakePairSchema()).value();
+  for (auto _ : state) {
+    int sound = 0;
+    for (ColorSet c_class : ColorSet::All()) {
+      for (ColorSet c_a : ColorSet::All()) {
+        for (ColorSet c_b : ColorSet::All()) {
+          Coloring k(&ps.schema);
+          k.Set(SchemaItem::Class(ps.c), c_class);
+          k.Set(SchemaItem::Property(ps.a), c_a);
+          k.Set(SchemaItem::Property(ps.b), c_b);
+          sound += IsSoundColoring(k, UseAxiomatization::kInflationary);
+          sound += IsSoundColoring(k, UseAxiomatization::kDeflationary);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sound);
+  }
+}
+BENCHMARK(BM_SoundnessSweep)->Unit(benchmark::kMicrosecond);
+
+void BM_WitnessApply(benchmark::State& state) {
+  PairSchema ps = std::move(MakePairSchema()).value();
+  Coloring k(&ps.schema);
+  k.Set(SchemaItem::Class(ps.c), kUD);
+  k.Set(SchemaItem::Property(ps.a), kUD);
+  k.Set(SchemaItem::Property(ps.b), kUC);
+  auto witness = std::move(MakeWitnessMethod(
+                               &ps.schema, k,
+                               UseAxiomatization::kInflationary))
+                     .value();
+  InstanceGenerator gen(&ps.schema, 3);
+  InstanceGenerator::Options options;
+  options.min_objects_per_class =
+      static_cast<std::uint32_t>(state.range(0));
+  options.max_objects_per_class =
+      static_cast<std::uint32_t>(state.range(0));
+  options.edge_probability = 0.2;
+  Instance instance = gen.RandomInstance(options);
+  auto receivers = gen.RandomReceiverSet(instance, witness->signature(), 1);
+  if (receivers.empty()) {
+    state.SkipWithError("no receivers");
+    return;
+  }
+  for (auto _ : state) {
+    Result<Instance> out = witness->Apply(instance, receivers[0]);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WitnessApply)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ValidateUseSet_Inflationary(benchmark::State& state) {
+  DrinkersSchema ds = std::move(MakeDrinkersSchema()).value();
+  auto method = std::move(MakeLikesServesBar(ds)).value();
+  Coloring k = SyntacticColoring(*method);
+  ColoringValidationOptions options;
+  options.trials = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Result<bool> ok = ValidateUseSet(*method, ds.schema, k.UseSet(),
+                                     UseAxiomatization::kInflationary,
+                                     options);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ValidateUseSet_Inflationary)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ObserveCreateDelete(benchmark::State& state) {
+  DrinkersSchema ds = std::move(MakeDrinkersSchema()).value();
+  auto method = std::move(MakeFavoriteBar(ds)).value();
+  ColoringValidationOptions options;
+  options.trials = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Result<Coloring> observed =
+        ObserveCreateDelete(*method, ds.schema, options);
+    benchmark::DoNotOptimize(observed);
+  }
+}
+BENCHMARK(BM_ObserveCreateDelete)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,118 @@
+#include "algebraic/gadgets.h"
+
+#include "relational/builder.h"
+
+namespace setrec {
+
+Result<BinaryRelationRepresentation> MakeBinaryRelationSchema() {
+  BinaryRelationRepresentation rep;
+  rep.schema = std::make_unique<Schema>();
+  SETREC_ASSIGN_OR_RETURN(rep.tuple_class, rep.schema->AddClass("T"));
+  SETREC_ASSIGN_OR_RETURN(rep.domain_class, rep.schema->AddClass("Dom"));
+  SETREC_ASSIGN_OR_RETURN(
+      rep.first, rep.schema->AddProperty("A", rep.tuple_class,
+                                         rep.domain_class));
+  SETREC_ASSIGN_OR_RETURN(
+      rep.second, rep.schema->AddProperty("B", rep.tuple_class,
+                                          rep.domain_class));
+  return rep;
+}
+
+Result<Instance> RepresentBinaryRelation(
+    const BinaryRelationRepresentation& rep,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs) {
+  Instance instance(rep.schema.get());
+  std::uint32_t row = 0;
+  for (const auto& [a, b] : pairs) {
+    const ObjectId t(rep.tuple_class, row++);
+    SETREC_RETURN_IF_ERROR(instance.AddObject(t));
+    SETREC_RETURN_IF_ERROR(
+        instance.AddObject(ObjectId(rep.domain_class, a)));
+    SETREC_RETURN_IF_ERROR(
+        instance.AddObject(ObjectId(rep.domain_class, b)));
+    SETREC_RETURN_IF_ERROR(
+        instance.AddEdge(t, rep.first, ObjectId(rep.domain_class, a)));
+    SETREC_RETURN_IF_ERROR(
+        instance.AddEdge(t, rep.second, ObjectId(rep.domain_class, b)));
+  }
+  return instance;
+}
+
+ExprPtr RecoverBinaryRelation(const BinaryRelationRepresentation& rep) {
+  (void)rep;  // relation names are fixed by MakeBinaryRelationSchema
+  // π_{A,B}(TA ⋈_{T=T2} ρ_{T→T2}(TB)).
+  return ra::Project(
+      ra::JoinEq(ra::Rel("TA"), ra::Rename(ra::Rel("TB"), "T", "T2"), "T",
+                 "T2"),
+      {"A", "B"});
+}
+
+Result<EquivalenceGadget> MakeEquivalenceGadget(const Schema& base,
+                                                ExprPtr e1, ExprPtr e2) {
+  EquivalenceGadget gadget;
+  gadget.schema = std::make_unique<Schema>(base);
+  SETREC_ASSIGN_OR_RETURN(gadget.gadget_class, gadget.schema->AddClass("G"));
+  SETREC_ASSIGN_OR_RETURN(
+      gadget.ga,
+      gadget.schema->AddProperty("ga", gadget.gadget_class,
+                                 gadget.gadget_class));
+  SETREC_ASSIGN_OR_RETURN(
+      gadget.gb,
+      gadget.schema->AddProperty("gb", gadget.gadget_class,
+                                 gadget.gadget_class));
+
+  // ga := ∅ (an unsatisfiable selection keeps the expression constant-free).
+  ExprPtr clear = ra::Project(ra::SelectNeq(ra::Rel("Gga"), "ga", "ga"),
+                              {"ga"});
+
+  // The "all ga-edges present" condition: Gga = G × ρ_{G→ga}(G).
+  ExprPtr all_pairs =
+      ra::Product(ra::Rel("G"), ra::Rename(ra::Rel("G"), "G", "ga"));
+  ExprPtr missing = ra::Diff(std::move(all_pairs), ra::Rel("Gga"));
+  ExprPtr have_missing = ra::Guard(missing);
+  ExprPtr complete = ra::Diff(ra::Guard(ra::Rel("self")), have_missing);
+
+  // gb := self·[complete]·[e1 ≠ ∅] ∪ self·[¬complete]·[e2 ≠ ∅].
+  ExprPtr branch1 = ra::Product(ra::Product(ra::Rel("self"), complete),
+                                ra::Guard(std::move(e1)));
+  ExprPtr branch2 = ra::Product(ra::Product(ra::Rel("self"), have_missing),
+                                ra::Guard(std::move(e2)));
+  ExprPtr assign_b = ra::Union(std::move(branch1), std::move(branch2));
+
+  SETREC_ASSIGN_OR_RETURN(
+      gadget.method,
+      AlgebraicUpdateMethod::Make(
+          gadget.schema.get(), MethodSignature({gadget.gadget_class}),
+          "equivalence_gadget",
+          {UpdateStatement{gadget.ga, std::move(clear)},
+           UpdateStatement{gadget.gb, std::move(assign_b)}}));
+  return gadget;
+}
+
+Result<GadgetDemonstration> MakeGadgetDemonstration(
+    const EquivalenceGadget& gadget, const Instance& base_instance) {
+  if (&base_instance.schema() != gadget.schema.get()) {
+    return Status::InvalidArgument(
+        "the base instance must be built over the gadget's schema "
+        "(gadget classes empty)");
+  }
+  if (!base_instance.objects(gadget.gadget_class).empty()) {
+    return Status::InvalidArgument(
+        "the base instance must not populate the gadget class");
+  }
+  Instance instance = base_instance;
+  const ObjectId o(gadget.gadget_class, 0);
+  const ObjectId o2(gadget.gadget_class, 1);
+  SETREC_RETURN_IF_ERROR(instance.AddObject(o));
+  SETREC_RETURN_IF_ERROR(instance.AddObject(o2));
+  for (ObjectId src : {o, o2}) {
+    for (ObjectId dst : {o, o2}) {
+      SETREC_RETURN_IF_ERROR(instance.AddEdge(src, gadget.ga, dst));
+      SETREC_RETURN_IF_ERROR(instance.AddEdge(src, gadget.gb, dst));
+    }
+  }
+  return GadgetDemonstration{std::move(instance), Receiver::Unchecked({o}),
+                             Receiver::Unchecked({o2})};
+}
+
+}  // namespace setrec

@@ -1,0 +1,83 @@
+#ifndef SETREC_ALGEBRAIC_GADGETS_H_
+#define SETREC_ALGEBRAIC_GADGETS_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "algebraic/algebraic_method.h"
+
+namespace setrec {
+
+/// The reduction constructions of Section 5's negative results.
+
+/// Lemma 5.3: an arbitrary binary relation r = {(a1,b1), ..., (an,bn)} can
+/// be represented by an object base over a schema with a tuple class T and
+/// a domain class D, with edges (T, A, D) and (T, B, D): each pair becomes
+/// an abstract T-node t_i with A- and B-edges to its components. The
+/// expression π_{A,B}(TA ⋈ TB) recovers r, which transports relational
+/// (un)satisfiability questions into the object-base world.
+struct BinaryRelationRepresentation {
+  std::unique_ptr<Schema> schema;
+  ClassId tuple_class = 0;
+  ClassId domain_class = 0;
+  PropertyId first = 0;   // label "A"
+  PropertyId second = 0;  // label "B"
+};
+
+Result<BinaryRelationRepresentation> MakeBinaryRelationSchema();
+
+/// Builds the representing instance for `pairs` (values are D-indices).
+Result<Instance> RepresentBinaryRelation(
+    const BinaryRelationRepresentation& rep,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs);
+
+/// The recovery expression π_{A,B}(TA ⋈_{T=T'} ρ(TB)), result scheme (A, B)
+/// over domain D.
+ExprPtr RecoverBinaryRelation(const BinaryRelationRepresentation& rep);
+
+/// Theorem 5.6, first half: expression equivalence reduces to order
+/// independence. Given two expressions e1, e2 over the object relations of
+/// `base`, augments the schema with a fresh class G carrying properties
+/// ga, gb : G → G, and builds the method M of type [G]
+///
+///   ga := ∅;
+///   gb := if Gga = G × G then (if e1 ≠ ∅ then self else ∅)
+///                        else (if e2 ≠ ∅ then self else ∅)
+///
+/// which is order independent iff e1 and e2 are equivalent over object-base
+/// instances of `base`: on the two-object gadget instance with all ga-edges
+/// present, the first application takes the e1 branch and destroys the
+/// all-edges condition, so the second takes the e2 branch — the orders
+/// disagree exactly on instances where e1 and e2 disagree about emptiness.
+/// (The conditionals use nullary guards and difference, so the method is
+/// NOT positive — which is the content of Corollary 5.7.)
+struct EquivalenceGadget {
+  std::unique_ptr<Schema> schema;  // base plus the gadget class
+  ClassId gadget_class = 0;
+  PropertyId ga = 0;
+  PropertyId gb = 0;
+  std::unique_ptr<AlgebraicUpdateMethod> method;
+};
+
+/// `base` is copied; e1/e2 may have any result scheme (they are wrapped in
+/// π_∅ guards). Fails if `base` already uses the names "G", "ga", "gb".
+Result<EquivalenceGadget> MakeEquivalenceGadget(const Schema& base,
+                                                ExprPtr e1, ExprPtr e2);
+
+/// The demonstration package from the proof: extends `instance` (over the
+/// gadget schema, with no G-objects) by two G-objects carrying all four
+/// ga- and gb-edges, and returns the two single-object receivers whose two
+/// application orders disagree iff e1, e2 disagree about emptiness on
+/// `instance`.
+struct GadgetDemonstration {
+  Instance instance;
+  Receiver first;
+  Receiver second;
+};
+Result<GadgetDemonstration> MakeGadgetDemonstration(
+    const EquivalenceGadget& gadget, const Instance& base_instance);
+
+}  // namespace setrec
+
+#endif  // SETREC_ALGEBRAIC_GADGETS_H_

@@ -1,0 +1,193 @@
+#include "algebraic/parallel.h"
+
+#include <map>
+#include <set>
+
+#include "core/sequential.h"
+#include "relational/builder.h"
+#include "relational/evaluator.h"
+
+namespace setrec {
+
+Result<RelationScheme> RecScheme(const MethodSignature& signature) {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{kSelfRelation, signature.receiving_class()});
+  for (std::size_t i = 0; i < signature.num_args(); ++i) {
+    attrs.push_back(Attribute{ArgRelationName(i), signature.arg_class(i)});
+  }
+  return RelationScheme::Make(std::move(attrs));
+}
+
+Result<Catalog> ParCatalog(const MethodContext& context) {
+  // Rebuild from the object schema (dropping self/arg singletons), then add
+  // rec.
+  SETREC_ASSIGN_OR_RETURN(Catalog catalog, EncodeCatalog(*context.schema));
+  SETREC_ASSIGN_OR_RETURN(RelationScheme rec, RecScheme(context.signature));
+  SETREC_RETURN_IF_ERROR(catalog.AddRelation(kRecRelation, std::move(rec)));
+  return catalog;
+}
+
+namespace {
+
+/// Natural join of two par-transformed expressions on the shared `self`
+/// attribute: σ_{self=self§}(l × ρ_{self→self§}(r)) projected back onto
+/// attrs(l) ++ (attrs(r) − self). The throwaway attribute name cannot clash
+/// because it is projected away immediately.
+constexpr const char kJoinTemp[] = "self§";
+
+Result<ExprPtr> NatJoinOnSelf(const ExprPtr& l, const ExprPtr& r,
+                              const Catalog& catalog) {
+  SETREC_ASSIGN_OR_RETURN(RelationScheme ls, InferScheme(*l, catalog));
+  SETREC_ASSIGN_OR_RETURN(RelationScheme rs, InferScheme(*r, catalog));
+  ExprPtr joined = ra::SelectEq(
+      ra::Product(l, ra::Rename(r, kSelfRelation, kJoinTemp)), kSelfRelation,
+      kJoinTemp);
+  std::vector<std::string> keep;
+  for (const Attribute& a : ls.attributes()) keep.push_back(a.name);
+  for (const Attribute& a : rs.attributes()) {
+    if (a.name != kSelfRelation) keep.push_back(a.name);
+  }
+  return ra::Project(std::move(joined), std::move(keep));
+}
+
+Result<ExprPtr> Transform(const ExprPtr& expr, const MethodContext& context,
+                          const Catalog& par_catalog) {
+  const MethodSignature& sig = context.signature;
+  switch (expr->op()) {
+    case Expr::Op::kRelation: {
+      const std::string& name = expr->relation_name();
+      if (name == kSelfRelation) {
+        return ra::Project(ra::Rel(kRecRelation), {kSelfRelation});
+      }
+      for (std::size_t i = 0; i < sig.num_args(); ++i) {
+        if (name == ArgRelationName(i)) {
+          return ra::Project(ra::Rel(kRecRelation),
+                             {kSelfRelation, ArgRelationName(i)});
+        }
+      }
+      return ra::Product(ra::Project(ra::Rel(kRecRelation), {kSelfRelation}),
+                         ra::Rel(name));
+    }
+    case Expr::Op::kUnion:
+    case Expr::Op::kDifference: {
+      SETREC_ASSIGN_OR_RETURN(ExprPtr l,
+                              Transform(expr->left(), context, par_catalog));
+      SETREC_ASSIGN_OR_RETURN(ExprPtr r,
+                              Transform(expr->right(), context, par_catalog));
+      return expr->op() == Expr::Op::kUnion
+                 ? ra::Union(std::move(l), std::move(r))
+                 : ra::Diff(std::move(l), std::move(r));
+    }
+    case Expr::Op::kProduct: {
+      SETREC_ASSIGN_OR_RETURN(ExprPtr l,
+                              Transform(expr->left(), context, par_catalog));
+      SETREC_ASSIGN_OR_RETURN(ExprPtr r,
+                              Transform(expr->right(), context, par_catalog));
+      return NatJoinOnSelf(l, r, par_catalog);
+    }
+    case Expr::Op::kSelectEq:
+    case Expr::Op::kSelectNeq: {
+      SETREC_ASSIGN_OR_RETURN(ExprPtr c,
+                              Transform(expr->child(), context, par_catalog));
+      return expr->op() == Expr::Op::kSelectEq
+                 ? ra::SelectEq(std::move(c), expr->attr_a(), expr->attr_b())
+                 : ra::SelectNeq(std::move(c), expr->attr_a(), expr->attr_b());
+    }
+    case Expr::Op::kProject: {
+      SETREC_ASSIGN_OR_RETURN(ExprPtr c,
+                              Transform(expr->child(), context, par_catalog));
+      std::vector<std::string> attrs;
+      attrs.push_back(kSelfRelation);
+      for (const std::string& a : expr->projection()) attrs.push_back(a);
+      return ra::Project(std::move(c), std::move(attrs));
+    }
+    case Expr::Op::kRename: {
+      if (expr->rename_from() == kSelfRelation ||
+          expr->rename_to() == kSelfRelation) {
+        return Status::InvalidArgument(
+            "par(E) cannot rename the reserved attribute self");
+      }
+      SETREC_ASSIGN_OR_RETURN(ExprPtr c,
+                              Transform(expr->child(), context, par_catalog));
+      return ra::Rename(std::move(c), expr->rename_from(), expr->rename_to());
+    }
+  }
+  return Status::Internal("unknown expression operator");
+}
+
+}  // namespace
+
+Result<ExprPtr> ParTransform(const ExprPtr& expr,
+                             const MethodContext& context) {
+  SETREC_ASSIGN_OR_RETURN(Catalog par_catalog, ParCatalog(context));
+  return Transform(expr, context, par_catalog);
+}
+
+Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
+                               const Instance& instance,
+                               std::span<const Receiver> receivers) {
+  const MethodContext& ctx = method.context();
+  std::vector<Receiver> set = CanonicalReceiverSet(receivers);
+  for (const Receiver& t : set) {
+    if (!t.IsValidOver(ctx.signature, instance)) {
+      return Status::FailedPrecondition(
+          "receiver not valid over the instance");
+    }
+  }
+
+  SETREC_ASSIGN_OR_RETURN(Database db, EncodeInstance(instance));
+  SETREC_ASSIGN_OR_RETURN(RelationScheme rec_scheme, RecScheme(ctx.signature));
+  Relation rec(rec_scheme);
+  for (const Receiver& t : set) {
+    std::vector<ObjectId> values;
+    values.reserve(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      values.push_back(t.object_at(i));
+    }
+    SETREC_RETURN_IF_ERROR(rec.Insert(Tuple(std::move(values))));
+  }
+  db.Put(kRecRelation, std::move(rec));
+
+  // Evaluate one par(E) per statement, all against the input snapshot.
+  Evaluator evaluator(&db);
+  struct StatementResult {
+    PropertyId property;
+    std::map<ObjectId, std::vector<ObjectId>> targets_by_receiver;
+  };
+  std::vector<StatementResult> results;
+  for (const UpdateStatement& s : method.statements()) {
+    SETREC_ASSIGN_OR_RETURN(ExprPtr par_expr, ParTransform(s.expression, ctx));
+    SETREC_ASSIGN_OR_RETURN(Relation r, evaluator.Eval(par_expr));
+    SETREC_ASSIGN_OR_RETURN(std::size_t self_idx,
+                            r.scheme().IndexOf(kSelfRelation));
+    if (r.scheme().arity() != 2) {
+      return Status::Internal("par(E) must produce a binary relation");
+    }
+    const std::size_t value_idx = 1 - self_idx;
+    StatementResult sr;
+    sr.property = s.property;
+    for (const Tuple& t : r) {
+      sr.targets_by_receiver[t.at(self_idx)].push_back(t.at(value_idx));
+    }
+    results.push_back(std::move(sr));
+  }
+
+  Instance out = instance;
+  for (const StatementResult& sr : results) {
+    for (const Receiver& t : set) {
+      const ObjectId o0 = t.receiving_object();
+      SETREC_RETURN_IF_ERROR(out.ClearEdgesFrom(o0, sr.property));
+    }
+    for (const Receiver& t : set) {
+      const ObjectId o0 = t.receiving_object();
+      auto it = sr.targets_by_receiver.find(o0);
+      if (it == sr.targets_by_receiver.end()) continue;
+      for (ObjectId target : it->second) {
+        SETREC_RETURN_IF_ERROR(out.AddEdge(o0, sr.property, target));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace setrec

@@ -1,0 +1,46 @@
+#ifndef SETREC_ALGEBRAIC_PARALLEL_H_
+#define SETREC_ALGEBRAIC_PARALLEL_H_
+
+#include <span>
+
+#include "algebraic/algebraic_method.h"
+
+namespace setrec {
+
+/// Name of the receiver-set relation of Section 6, with scheme
+/// self arg1 ... argk.
+inline constexpr const char kRecRelation[] = "rec";
+
+/// The scheme of `rec` for a signature: attributes self, arg1, ..., argk
+/// with the signature's class domains.
+Result<RelationScheme> RecScheme(const MethodSignature& signature);
+
+/// The catalog against which par(E) expressions type-check: the method
+/// catalog minus the singleton receiver relations, plus `rec`.
+Result<Catalog> ParCatalog(const MethodContext& context);
+
+/// The par(E) rewriting (Definition 6.1): produces a relational algebra
+/// expression over the object relations plus `rec` such that
+/// par(E)(I, T) = ∪_{t∈T} {t(self)} × E(I, t) whenever T is a key set
+/// (Lemma 6.7). The rewriting keeps a copy of the receiving object threaded
+/// through the whole evaluation:
+///   * every object relation R becomes π_self(rec) × R;
+///   * self becomes π_self(rec), arg_i becomes π_{self,arg_i}(rec);
+///   * every projection also retains self;
+///   * every Cartesian product becomes a natural join on self.
+/// The result scheme is E's scheme with self prepended. Renaming self is
+/// not supported (and never needed — the attribute is reserved).
+Result<ExprPtr> ParTransform(const ExprPtr& expr, const MethodContext& context);
+
+/// Parallel application M_par(I, T) (Definition 6.2): instantiates rec with
+/// the whole receiver set at once, evaluates one par(E) expression per
+/// statement, and replaces, for every receiving object occurring in T, its
+/// a-edges by the objects par(E) links to it. Every receiver must be valid
+/// over `instance`. Duplicate receivers are deduplicated (T is a set).
+Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
+                               const Instance& instance,
+                               std::span<const Receiver> receivers);
+
+}  // namespace setrec
+
+#endif  // SETREC_ALGEBRAIC_PARALLEL_H_

@@ -1,0 +1,101 @@
+#include "algebraic/update_expression.h"
+
+namespace setrec {
+
+std::string ArgRelationName(std::size_t i) {
+  return "arg" + std::to_string(i + 1);
+}
+
+std::string PrimedName(const std::string& name) { return name + "'"; }
+
+namespace {
+
+/// Adds self/argi (optionally primed) relation schemes and their
+/// dependencies.
+Status AddReceiverRelations(const Schema& schema,
+                            const MethodSignature& signature, bool primed,
+                            Catalog& catalog, DependencySet& deps) {
+  for (std::size_t i = 0; i < signature.size(); ++i) {
+    std::string base = i == 0 ? kSelfRelation : ArgRelationName(i - 1);
+    if (primed) base = PrimedName(base);
+    const ClassId domain = signature.class_at(i);
+    SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
+                            RelationScheme::Make({Attribute{base, domain}}));
+    SETREC_RETURN_IF_ERROR(catalog.AddRelation(base, std::move(scheme)));
+    // At most one tuple: ∅ → attr (proof of Theorem 5.6, requirement (i)).
+    deps.fds.push_back(FunctionalDependency{base, {}, base});
+    // The receiver is an object present in the instance (Definition 2.5).
+    deps.inds.push_back(
+        InclusionDependency{base, {base}, schema.class_name(domain)});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MethodContext> BuildMethodContext(const Schema* schema,
+                                         const MethodSignature& signature) {
+  MethodContext context;
+  context.schema = schema;
+  context.signature = signature;
+  SETREC_ASSIGN_OR_RETURN(context.catalog, EncodeCatalog(*schema));
+  context.deps = InducedDependencies(*schema);
+  SETREC_RETURN_IF_ERROR(AddReceiverRelations(
+      *schema, signature, /*primed=*/false, context.catalog, context.deps));
+  context.reduction_catalog = context.catalog;
+  context.reduction_deps = context.deps;
+  SETREC_RETURN_IF_ERROR(AddReceiverRelations(*schema, signature,
+                                              /*primed=*/true,
+                                              context.reduction_catalog,
+                                              context.reduction_deps));
+  return context;
+}
+
+Status InstallReceiverRelations(Database& db, const MethodContext& context,
+                                const Receiver& receiver, bool primed) {
+  const MethodSignature& signature = context.signature;
+  if (receiver.size() != signature.size()) {
+    return Status::InvalidArgument("receiver arity does not match signature");
+  }
+  for (std::size_t i = 0; i < signature.size(); ++i) {
+    std::string base = i == 0 ? kSelfRelation : ArgRelationName(i - 1);
+    if (primed) base = PrimedName(base);
+    const Catalog& catalog =
+        primed ? context.reduction_catalog : context.catalog;
+    SETREC_ASSIGN_OR_RETURN(const RelationScheme* scheme, catalog.Find(base));
+    Relation rel(*scheme);
+    SETREC_RETURN_IF_ERROR(rel.Insert(Tuple{receiver.object_at(i)}));
+    db.Put(base, std::move(rel));
+  }
+  return Status::OK();
+}
+
+Status ValidateUpdateExpression(const MethodContext& context,
+                                PropertyId property, const ExprPtr& expr) {
+  const Schema& schema = *context.schema;
+  if (!schema.HasProperty(property)) {
+    return Status::InvalidArgument("unknown property in update statement");
+  }
+  const Schema::PropertyDef& def = schema.property(property);
+  if (def.source != context.signature.receiving_class()) {
+    return Status::InvalidArgument(
+        "algebraic methods may only update properties of the receiving "
+        "class (Section 5.2); property " +
+        def.name + " belongs to " + schema.class_name(def.source));
+  }
+  SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
+                          InferScheme(*expr, context.catalog));
+  if (scheme.arity() != 1) {
+    return Status::InvalidArgument(
+        "update expressions must be unary (Definition 5.4(1)); got arity " +
+        std::to_string(scheme.arity()));
+  }
+  if (scheme.attribute(0).domain != def.target) {
+    return Status::InvalidArgument(
+        "update expression domain must be the property's target class " +
+        schema.class_name(def.target));
+  }
+  return Status::OK();
+}
+
+}  // namespace setrec

@@ -1,0 +1,68 @@
+#ifndef SETREC_ALGEBRAIC_UPDATE_EXPRESSION_H_
+#define SETREC_ALGEBRAIC_UPDATE_EXPRESSION_H_
+
+#include <string>
+
+#include "core/receiver.h"
+#include "core/schema.h"
+#include "objrel/encoding.h"
+#include "relational/dependencies.h"
+#include "relational/expression.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace setrec {
+
+/// Names of the special unary relation schemes of Definition 5.4: `self`
+/// holds the receiving object, `arg1`, ..., `argk` hold the arguments. The
+/// Theorem 5.6 reduction additionally uses primed copies (`self'`, `arg1'`,
+/// ...) for the second receiver.
+inline constexpr const char kSelfRelation[] = "self";
+
+/// "arg1", "arg2", ... (1-based, as in the paper).
+std::string ArgRelationName(std::size_t i);
+
+/// "self'" / "arg1'" etc.
+std::string PrimedName(const std::string& name);
+
+/// Everything an update expression of type σ is interpreted against:
+/// the object-relational catalog extended with the receiver relations, and
+/// the dependencies Σ that legal interpretations satisfy:
+///   * the induced inclusion/disjointness dependencies of the encoding;
+///   * self[self] ⊆ C0 and argi[argi] ⊆ Ci — receivers are objects *in* the
+///     instance (Definition 2.5);
+///   * the functional dependencies ∅ → self and ∅ → argi forcing the
+///     receiver relations to hold at most one tuple (proof of Theorem 5.6);
+/// `reduction_catalog`/`reduction_deps` add the primed copies used when two
+/// receivers are composed.
+struct MethodContext {
+  const Schema* schema = nullptr;
+  MethodSignature signature{std::vector<ClassId>{0}};
+  Catalog catalog;
+  DependencySet deps;
+  Catalog reduction_catalog;
+  DependencySet reduction_deps;
+};
+
+/// Builds the context for update expressions of type `signature` over
+/// `schema`.
+Result<MethodContext> BuildMethodContext(const Schema* schema,
+                                         const MethodSignature& signature);
+
+/// Installs the singleton receiver relations into `db`: self = {o0},
+/// argi = {oi} (primed names when `primed`). Definition 5.4(2).
+Status InstallReceiverRelations(Database& db, const MethodContext& context,
+                                const Receiver& receiver, bool primed);
+
+/// Validates an update expression for a statement `a := E` (Definition
+/// 5.4(3)): E must be a unary expression over the context catalog whose
+/// domain is the target class of property `a`, which must be a property of
+/// the receiving class. In this typed model E(I, t) ⊆ B(I) then holds
+/// automatically (every class-B value occurring in an encoded relation is an
+/// object of B(I)), so well-definedness needs no runtime clamp.
+Status ValidateUpdateExpression(const MethodContext& context,
+                                PropertyId property, const ExprPtr& expr);
+
+}  // namespace setrec
+
+#endif  // SETREC_ALGEBRAIC_UPDATE_EXPRESSION_H_

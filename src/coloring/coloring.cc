@@ -1,0 +1,128 @@
+#include "coloring/coloring.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace setrec {
+
+std::string ColorSet::ToString() const {
+  if (empty()) return "∅";
+  std::string out;
+  if (Has(Color::kUse)) out += 'u';
+  if (Has(Color::kCreate)) out += 'c';
+  if (Has(Color::kDelete)) out += 'd';
+  return out;
+}
+
+std::vector<ColorSet> ColorSet::All() {
+  return {kNoColors, kU, kC, kD, kUC, kUD, kCD, kUCD};
+}
+
+Coloring::Coloring(const Schema* schema)
+    : schema_(schema),
+      assignment_(schema->num_classes() + schema->num_properties()) {
+  assert(schema != nullptr);
+}
+
+std::size_t Coloring::IndexOf(SchemaItem item) const {
+  if (item.is_class()) {
+    assert(item.id() < schema_->num_classes());
+    return item.id();
+  }
+  assert(item.id() < schema_->num_properties());
+  return schema_->num_classes() + item.id();
+}
+
+ColorSet Coloring::Get(SchemaItem item) const {
+  return assignment_[IndexOf(item)];
+}
+
+void Coloring::Set(SchemaItem item, ColorSet colors) {
+  assignment_[IndexOf(item)] = colors;
+}
+
+void Coloring::Add(SchemaItem item, Color color) {
+  assignment_[IndexOf(item)] = assignment_[IndexOf(item)].With(color);
+}
+
+bool Coloring::IsSimple() const {
+  for (ColorSet c : assignment_) {
+    if (c.size() > 1) return false;
+  }
+  return true;
+}
+
+SchemaItemSet Coloring::UseSet() const {
+  SchemaItemSet out;
+  for (SchemaItem item : schema_->AllItems()) {
+    if (Get(item).Has(Color::kUse)) out.Insert(item);
+  }
+  return out;
+}
+
+SchemaItemSet Coloring::CreateSet() const {
+  SchemaItemSet out;
+  for (SchemaItem item : schema_->AllItems()) {
+    if (Get(item).Has(Color::kCreate)) out.Insert(item);
+  }
+  return out;
+}
+
+SchemaItemSet Coloring::DeleteSet() const {
+  SchemaItemSet out;
+  for (SchemaItem item : schema_->AllItems()) {
+    if (Get(item).Has(Color::kDelete)) out.Insert(item);
+  }
+  return out;
+}
+
+Coloring Coloring::Meet(const Coloring& other) const {
+  assert(schema_ == other.schema_);
+  Coloring out(schema_);
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    out.assignment_[i] = assignment_[i].Meet(other.assignment_[i]);
+  }
+  return out;
+}
+
+Coloring Coloring::Join(const Coloring& other) const {
+  assert(schema_ == other.schema_);
+  Coloring out(schema_);
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    out.assignment_[i] = assignment_[i].Join(other.assignment_[i]);
+  }
+  return out;
+}
+
+bool Coloring::IsSubsetOf(const Coloring& other) const {
+  assert(schema_ == other.schema_);
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    if (!assignment_[i].IsSubsetOf(other.assignment_[i])) return false;
+  }
+  return true;
+}
+
+Coloring Coloring::Full(const Schema* schema) {
+  Coloring out(schema);
+  for (ColorSet& c : out.assignment_) c = kUCD;
+  return out;
+}
+
+std::string Coloring::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (ClassId c = 0; c < schema_->num_classes(); ++c) {
+    if (!first) out << " ";
+    first = false;
+    out << schema_->class_name(c) << ":{" << GetClass(c).ToString() << "}";
+  }
+  for (PropertyId p = 0; p < schema_->num_properties(); ++p) {
+    if (!first) out << " ";
+    first = false;
+    out << schema_->property(p).name << ":{" << GetProperty(p).ToString()
+        << "}";
+  }
+  return out.str();
+}
+
+}  // namespace setrec

@@ -1,0 +1,135 @@
+#ifndef SETREC_COLORING_COLORING_H_
+#define SETREC_COLORING_COLORING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/item_set.h"
+#include "core/schema.h"
+
+namespace setrec {
+
+/// The three update-behaviour annotations of Section 4: an update may use,
+/// create, or delete information of a schema item's type.
+enum class Color : std::uint8_t {
+  kUse = 1 << 0,
+  kCreate = 1 << 1,
+  kDelete = 1 << 2,
+};
+
+/// A subset of {u, c, d}.
+class ColorSet {
+ public:
+  constexpr ColorSet() : bits_(0) {}
+  constexpr ColorSet(std::initializer_list<Color> colors) : bits_(0) {
+    for (Color c : colors) bits_ |= static_cast<std::uint8_t>(c);
+  }
+
+  constexpr bool Has(Color c) const {
+    return (bits_ & static_cast<std::uint8_t>(c)) != 0;
+  }
+  constexpr ColorSet With(Color c) const {
+    ColorSet out = *this;
+    out.bits_ |= static_cast<std::uint8_t>(c);
+    return out;
+  }
+  constexpr ColorSet Without(Color c) const {
+    ColorSet out = *this;
+    out.bits_ &= static_cast<std::uint8_t>(~static_cast<std::uint8_t>(c));
+    return out;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int size() const {
+    return (bits_ & 1) + ((bits_ >> 1) & 1) + ((bits_ >> 2) & 1);
+  }
+  constexpr bool IsSubsetOf(ColorSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  constexpr ColorSet Meet(ColorSet other) const {
+    ColorSet out;
+    out.bits_ = bits_ & other.bits_;
+    return out;
+  }
+  constexpr ColorSet Join(ColorSet other) const {
+    ColorSet out;
+    out.bits_ = bits_ | other.bits_;
+    return out;
+  }
+
+  /// "ucd" subset rendering, "∅" when empty.
+  std::string ToString() const;
+
+  friend constexpr bool operator==(ColorSet, ColorSet) = default;
+
+  /// All 8 subsets, for exhaustive sweeps.
+  static std::vector<ColorSet> All();
+
+ private:
+  std::uint8_t bits_;
+};
+
+inline constexpr ColorSet kNoColors{};
+inline constexpr ColorSet kU{Color::kUse};
+inline constexpr ColorSet kC{Color::kCreate};
+inline constexpr ColorSet kD{Color::kDelete};
+inline constexpr ColorSet kUC{Color::kUse, Color::kCreate};
+inline constexpr ColorSet kUD{Color::kUse, Color::kDelete};
+inline constexpr ColorSet kCD{Color::kCreate, Color::kDelete};
+inline constexpr ColorSet kUCD{Color::kUse, Color::kCreate, Color::kDelete};
+
+/// A coloring of a schema (Definition 4.6): a function assigning each schema
+/// item a subset of {u, c, d}. Colorings over the same schema form a lattice
+/// under item-wise inclusion (used in the proof of Theorem 4.8).
+class Coloring {
+ public:
+  /// The empty coloring of `schema` (all items uncolored). The schema must
+  /// outlive the coloring.
+  explicit Coloring(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  ColorSet Get(SchemaItem item) const;
+  ColorSet GetClass(ClassId c) const { return Get(SchemaItem::Class(c)); }
+  ColorSet GetProperty(PropertyId p) const {
+    return Get(SchemaItem::Property(p));
+  }
+
+  void Set(SchemaItem item, ColorSet colors);
+  void Add(SchemaItem item, Color color);
+
+  /// Simple (Definition 4.9): every item has at most one color.
+  bool IsSimple() const;
+
+  /// The set U of items colored u.
+  SchemaItemSet UseSet() const;
+  /// Items colored c / d.
+  SchemaItemSet CreateSet() const;
+  SchemaItemSet DeleteSet() const;
+
+  /// Item-wise lattice operations and comparison (κ ⊑ κ').
+  Coloring Meet(const Coloring& other) const;
+  Coloring Join(const Coloring& other) const;
+  bool IsSubsetOf(const Coloring& other) const;
+
+  /// The full coloring assigning {u,c,d} everywhere (top of the lattice).
+  static Coloring Full(const Schema* schema);
+
+  /// "D:{u} Ba:{u} f:{c} ..." rendering with schema names.
+  std::string ToString() const;
+
+  friend bool operator==(const Coloring& a, const Coloring& b) {
+    return a.schema_ == b.schema_ && a.assignment_ == b.assignment_;
+  }
+
+ private:
+  const Schema* schema_;
+  std::vector<ColorSet> assignment_;  // classes then properties, by AllItems
+  std::size_t IndexOf(SchemaItem item) const;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_COLORING_COLORING_H_

@@ -1,0 +1,197 @@
+#include "coloring/counterexamples.h"
+
+#include <algorithm>
+
+namespace setrec {
+
+namespace {
+
+/// Fresh (absent) objects of class `cls`, chosen deterministically *above*
+/// every present index so the method stays a function of the instance and
+/// never resurrects a previously deleted object.
+std::vector<ObjectId> FreshObjects(const Instance& instance, ClassId cls,
+                                   std::size_t count) {
+  std::uint32_t candidate = 0;
+  for (ObjectId o : instance.objects(cls)) {
+    candidate = std::max(candidate, o.index() + 1);
+  }
+  std::vector<ObjectId> out;
+  while (out.size() < count) out.push_back(ObjectId(cls, candidate++));
+  return out;
+}
+
+Result<Instance> TwoObjectInstance(const Schema* schema, ClassId r) {
+  Instance instance(schema);
+  SETREC_RETURN_IF_ERROR(instance.AddObject(ObjectId(r, 0)));
+  SETREC_RETURN_IF_ERROR(instance.AddObject(ObjectId(r, 1)));
+  return instance;
+}
+
+}  // namespace
+
+Result<Counterexample> MakeCounterexample(const Schema* schema,
+                                          CounterexampleCase which,
+                                          SchemaItem item) {
+  const bool node_case = which == CounterexampleCase::kNodeUD ||
+                         which == CounterexampleCase::kNodeUCD ||
+                         which == CounterexampleCase::kNodeUC;
+  if (node_case != item.is_class()) {
+    return Status::InvalidArgument(
+        "node cases need a class item, edge cases a property item");
+  }
+
+  Counterexample out{nullptr, Instance(schema), {}};
+
+  if (node_case) {
+    const ClassId r = item.id();
+    if (!schema->HasClass(r)) {
+      return Status::InvalidArgument("unknown class");
+    }
+    MethodSignature signature({r, r});
+    switch (which) {
+      case CounterexampleCase::kNodeUD:
+        out.method = MakeMethod(
+            signature, "ce_node_ud",
+            [r](const Instance& in, const Receiver& t) -> Result<Instance> {
+              Instance next = in;
+              if (in.objects(r).size() == 2) {
+                SETREC_RETURN_IF_ERROR(
+                    next.RemoveObject(t.receiving_object()));
+              }
+              return next;
+            });
+        break;
+      case CounterexampleCase::kNodeUCD:
+        out.method = MakeMethod(
+            signature, "ce_node_ucd",
+            [r](const Instance& in, const Receiver& t) -> Result<Instance> {
+              Instance next = in;
+              if (in.objects(r).size() == 2) {
+                SETREC_RETURN_IF_ERROR(
+                    next.RemoveObject(t.receiving_object()));
+              } else {
+                for (ObjectId o : FreshObjects(in, r, 2)) {
+                  SETREC_RETURN_IF_ERROR(next.AddObject(o));
+                }
+              }
+              return next;
+            });
+        break;
+      case CounterexampleCase::kNodeUC:
+        out.method = MakeMethod(
+            signature, "ce_node_uc",
+            [r](const Instance& in, const Receiver& t) -> Result<Instance> {
+              Instance next = in;
+              if (in.objects(r).size() != 2) return next;
+              const std::size_t count =
+                  t.receiving_object() == ObjectId(r, 0) ? 2 : 1;
+              for (ObjectId o : FreshObjects(in, r, count)) {
+                SETREC_RETURN_IF_ERROR(next.AddObject(o));
+              }
+              return next;
+            });
+        break;
+      default:
+        return Status::Internal("unreachable");
+    }
+    SETREC_ASSIGN_OR_RETURN(out.instance, TwoObjectInstance(schema, r));
+    // The diagonal pairs {[n,n], [m,m]} of the proof's receiver square:
+    // with the full product every enumeration eventually hits a receiver
+    // mentioning a deleted object, making all orders undefined (which
+    // footnote 2 counts as agreement); the diagonal pair keeps both orders
+    // defined and disagreeing.
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      out.receivers.push_back(
+          Receiver::Unchecked({ObjectId(r, i), ObjectId(r, i)}));
+    }
+    return out;
+  }
+
+  // Edge cases over (R, a, A).
+  const PropertyId a = item.id();
+  if (!schema->HasProperty(a)) {
+    return Status::InvalidArgument("unknown property");
+  }
+  const Schema::PropertyDef& def = schema->property(a);
+  const ClassId r = def.source;
+  const ClassId cls_a = def.target;
+  MethodSignature signature({r, cls_a});
+
+  auto delete_other_a_edges = [a](Instance& next, ObjectId self,
+                                  ObjectId arg) {
+    std::vector<std::pair<ObjectId, ObjectId>> to_delete;
+    for (const auto& [src, dst] : next.edges(a)) {
+      if (!(src == self && dst == arg)) to_delete.emplace_back(src, dst);
+    }
+    for (const auto& [src, dst] : to_delete) {
+      Status s = next.RemoveEdge(src, a, dst);
+      (void)s;
+    }
+  };
+
+  switch (which) {
+    case CounterexampleCase::kEdgeUD:
+      out.method = MakeMethod(
+          signature, "ce_edge_ud",
+          [a, delete_other_a_edges](const Instance& in,
+                                    const Receiver& t) -> Result<Instance> {
+            Instance next = in;
+            if (in.HasEdge(t.receiving_object(), a, t.arg(0))) {
+              delete_other_a_edges(next, t.receiving_object(), t.arg(0));
+            }
+            return next;
+          });
+      break;
+    case CounterexampleCase::kEdgeUCD:
+      out.method = MakeMethod(
+          signature, "ce_edge_ucd",
+          [a, delete_other_a_edges](const Instance& in,
+                                    const Receiver& t) -> Result<Instance> {
+            Instance next = in;
+            if (!in.HasEdge(t.receiving_object(), a, t.arg(0))) {
+              SETREC_RETURN_IF_ERROR(
+                  next.AddEdge(t.receiving_object(), a, t.arg(0)));
+            }
+            delete_other_a_edges(next, t.receiving_object(), t.arg(0));
+            return next;
+          });
+      break;
+    case CounterexampleCase::kEdgeUC:
+      out.method = MakeMethod(
+          signature, "ce_edge_uc",
+          [a](const Instance& in, const Receiver& t) -> Result<Instance> {
+            Instance next = in;
+            if (in.edges(a).empty()) {
+              SETREC_RETURN_IF_ERROR(
+                  next.AddEdge(t.receiving_object(), a, t.arg(0)));
+            }
+            return next;
+          });
+      break;
+    default:
+      return Status::Internal("unreachable");
+  }
+
+  // Demonstration instance: two R-objects and one A-object; for the
+  // deletion-flavoured cases both R-objects point at the A-object.
+  Instance instance(schema);
+  const ObjectId n(r, 0);
+  const ObjectId n2(r, 1);
+  const ObjectId m(cls_a, cls_a == r ? 2 : 0);
+  SETREC_RETURN_IF_ERROR(instance.AddObject(n));
+  SETREC_RETURN_IF_ERROR(instance.AddObject(n2));
+  SETREC_RETURN_IF_ERROR(instance.AddObject(m));
+  if (which != CounterexampleCase::kEdgeUC) {
+    SETREC_RETURN_IF_ERROR(instance.AddEdge(n, a, m));
+    SETREC_RETURN_IF_ERROR(instance.AddEdge(n2, a, m));
+    out.receivers.push_back(Receiver::Unchecked({n, m}));
+    out.receivers.push_back(Receiver::Unchecked({n2, m}));
+  } else {
+    out.receivers.push_back(Receiver::Unchecked({n, m}));
+    out.receivers.push_back(Receiver::Unchecked({n2, m}));
+  }
+  out.instance = std::move(instance);
+  return out;
+}
+
+}  // namespace setrec

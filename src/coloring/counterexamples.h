@@ -1,0 +1,49 @@
+#ifndef SETREC_COLORING_COUNTEREXAMPLES_H_
+#define SETREC_COLORING_COUNTEREXAMPLES_H_
+
+#include <memory>
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "core/receiver.h"
+#include "core/update_method.h"
+
+namespace setrec {
+
+/// The six order-*dependent* method families from the only-if direction of
+/// Theorem 4.14 (reused verbatim by Theorem 4.23). Each family corresponds
+/// to one way a sound coloring can fail to be simple: a node colored {u,d},
+/// {u,c,d} or {u,c}, or an edge colored {u,d}, {u,c,d} or {u,c}.
+enum class CounterexampleCase {
+  kNodeUD,   // (1) if |class R| = 2, delete the receiving object
+  kNodeUCD,  // (2) as (1), but add two fresh R-objects when the test fails
+  kNodeUC,   // (3) if |class R| = 2: add two fresh objects when the receiver
+             //     is the designated object, else one
+  kEdgeUD,   // (4) if (self, a, arg) present, delete all other a-edges
+  kEdgeUCD,  // (5) as (4), but when absent, add it and delete all others
+  kEdgeUC,   // (6) if there are no a-edges at all, add (self, a, arg)
+};
+
+/// A counterexample package: the method plus the paper's demonstration
+/// instance and receiver set on which the two orders of application provably
+/// disagree.
+struct Counterexample {
+  std::unique_ptr<UpdateMethod> method;
+  Instance instance;
+  std::vector<Receiver> receivers;
+};
+
+/// Builds the counterexample for a node case over class `r` (signature
+/// [R, R]) or an edge case over property `a` (signature [R, A] where the
+/// edge is (R, a, A)). The demonstration instance follows the proof:
+/// node cases use the two-object instance {n, m} with receivers
+/// {n,m} × {n,m}; kEdgeUD/kEdgeUCD use R → A ← R with receivers
+/// {[n,m] : (n,a,m) ∈ I}; kEdgeUC uses two R-objects, one A-object and all
+/// receivers.
+Result<Counterexample> MakeCounterexample(const Schema* schema,
+                                          CounterexampleCase which,
+                                          SchemaItem item);
+
+}  // namespace setrec
+
+#endif  // SETREC_COLORING_COUNTEREXAMPLES_H_

@@ -1,0 +1,231 @@
+#include "coloring/inference.h"
+
+#include <optional>
+
+#include "core/partial_instance.h"
+#include "objrel/encoding.h"
+
+namespace setrec {
+
+namespace {
+
+/// Applies the method, mapping Diverges (and receiver invalidity) to
+/// "undefined". Other errors propagate.
+Result<std::optional<Instance>> TryApply(const UpdateMethod& method,
+                                         const Instance& instance,
+                                         const Receiver& receiver) {
+  Result<Instance> r = method.Apply(instance, receiver);
+  if (r.ok()) return std::optional<Instance>(std::move(r).value());
+  if (r.status().code() == StatusCode::kDiverges ||
+      r.status().code() == StatusCode::kFailedPrecondition) {
+    return std::optional<Instance>();
+  }
+  return r.status();
+}
+
+/// Item-wise difference a − b, recorded as colors on `target`.
+void RecordDifference(const Instance& a, const Instance& b, Color color,
+                      Coloring& target) {
+  const Schema& schema = a.schema();
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    for (ObjectId o : a.objects(c)) {
+      if (!b.HasObject(o)) target.Add(SchemaItem::Class(c), color);
+    }
+  }
+  for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+    for (const auto& [src, dst] : a.edges(p)) {
+      if (!b.HasEdge(src, p, dst)) target.Add(SchemaItem::Property(p), color);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Coloring> ObserveCreateDelete(
+    const UpdateMethod& method, const Schema& schema,
+    const ColoringValidationOptions& options) {
+  Coloring observed(&schema);
+  InstanceGenerator gen(&schema, options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    Instance instance = gen.RandomInstance(options.generator);
+    std::vector<Receiver> receivers = gen.RandomReceiverSet(
+        instance, method.signature(), options.max_receivers_per_instance);
+    for (const Receiver& t : receivers) {
+      SETREC_ASSIGN_OR_RETURN(std::optional<Instance> result,
+                              TryApply(method, instance, t));
+      if (!result.has_value()) continue;
+      RecordDifference(*result, instance, Color::kCreate, observed);
+      RecordDifference(instance, *result, Color::kDelete, observed);
+    }
+  }
+  return observed;
+}
+
+Result<bool> ValidateUseSet(const UpdateMethod& method, const Schema& schema,
+                            const SchemaItemSet& use_set,
+                            UseAxiomatization axiomatization,
+                            const ColoringValidationOptions& options) {
+  if (!use_set.IsEdgeClosed(schema)) {
+    return Status::InvalidArgument(
+        "use set must contain the incident classes of its properties");
+  }
+  for (std::size_t i = 0; i < method.signature().size(); ++i) {
+    if (!use_set.ContainsClass(method.signature().class_at(i))) {
+      return Status::InvalidArgument(
+          "use set must contain every signature class");
+    }
+  }
+
+  InstanceGenerator gen(&schema, options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    Instance instance = gen.RandomInstance(options.generator);
+    std::vector<Receiver> receivers = gen.RandomReceiverSet(
+        instance, method.signature(), options.max_receivers_per_instance);
+    for (const Receiver& t : receivers) {
+      SETREC_ASSIGN_OR_RETURN(std::optional<Instance> full,
+                              TryApply(method, instance, t));
+      if (axiomatization == UseAxiomatization::kInflationary) {
+        // M(I,t) =? G(M(I|X, t) ∪ (I − I|X)).
+        PartialInstance restricted =
+            PartialInstance::Restrict(instance, use_set);
+        Instance restricted_instance = restricted.G();
+        SETREC_ASSIGN_OR_RETURN(
+            std::optional<Instance> partial,
+            TryApply(method, restricted_instance, t));
+        if (full.has_value() != partial.has_value()) return false;
+        if (!full.has_value()) continue;
+        PartialInstance rest =
+            PartialInstance::FromInstance(instance).Difference(restricted);
+        Instance rhs =
+            PartialInstance::FromInstance(*partial).Union(rest).G();
+        if (!(*full == rhs)) return false;
+      } else {
+        // For every item x with label outside X:
+        // M(G(I−{x}), t) =? G(M(I,t) − {x}).
+        std::vector<PartialInstance> removals;
+        for (ClassId c = 0; c < schema.num_classes(); ++c) {
+          if (use_set.ContainsClass(c)) continue;
+          for (ObjectId o : instance.objects(c)) {
+            PartialInstance x(&schema);
+            SETREC_RETURN_IF_ERROR(x.AddObject(o));
+            removals.push_back(std::move(x));
+          }
+        }
+        for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+          if (use_set.ContainsProperty(p)) continue;
+          for (const auto& [src, dst] : instance.edges(p)) {
+            PartialInstance x(&schema);
+            SETREC_RETURN_IF_ERROR(x.AddEdge(src, p, dst));
+            removals.push_back(std::move(x));
+          }
+        }
+        for (const PartialInstance& x : removals) {
+          Instance without =
+              PartialInstance::FromInstance(instance).Difference(x).G();
+          SETREC_ASSIGN_OR_RETURN(std::optional<Instance> left,
+                                  TryApply(method, without, t));
+          std::optional<Instance> right;
+          if (full.has_value()) {
+            right = PartialInstance::FromInstance(*full).Difference(x).G();
+          }
+          if (left.has_value() != right.has_value()) return false;
+          if (left.has_value() && !(*left == *right)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Result<ColoringValidation> ValidateColoringClaim(
+    const UpdateMethod& method, const Schema& schema, const Coloring& coloring,
+    UseAxiomatization axiomatization,
+    const ColoringValidationOptions& options) {
+  ColoringValidation v;
+  // Conditions 1-2 of Theorem 4.8: observed creations/deletions covered.
+  SETREC_ASSIGN_OR_RETURN(Coloring observed,
+                          ObserveCreateDelete(method, schema, options));
+  for (SchemaItem item : schema.AllItems()) {
+    const std::string name = item.is_class()
+                                 ? schema.class_name(item.id())
+                                 : schema.property(item.id()).name;
+    if (observed.Get(item).Has(Color::kCreate) &&
+        !coloring.Get(item).Has(Color::kCreate)) {
+      v.issues.push_back("method creates " + name + " but it lacks color c");
+    }
+    if (observed.Get(item).Has(Color::kDelete) &&
+        !coloring.Get(item).Has(Color::kDelete)) {
+      v.issues.push_back("method deletes " + name + " but it lacks color d");
+    }
+  }
+  // Condition 4: signature classes colored u.
+  for (std::size_t i = 0; i < method.signature().size(); ++i) {
+    const ClassId c = method.signature().class_at(i);
+    if (!coloring.GetClass(c).Has(Color::kUse)) {
+      v.issues.push_back("signature class " + schema.class_name(c) +
+                         " is not colored u");
+    }
+  }
+  // Condition 5: u-edges have u-endpoints.
+  for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+    if (!coloring.GetProperty(p).Has(Color::kUse)) continue;
+    const Schema::PropertyDef& def = schema.property(p);
+    if (!coloring.GetClass(def.source).Has(Color::kUse) ||
+        !coloring.GetClass(def.target).Has(Color::kUse)) {
+      v.issues.push_back("u-edge " + def.name + " has a non-u endpoint");
+    }
+  }
+  // Condition 3: the use-set axiom, tested on samples.
+  if (v.issues.empty()) {
+    SETREC_ASSIGN_OR_RETURN(
+        bool use_ok, ValidateUseSet(method, schema, coloring.UseSet(),
+                                    axiomatization, options));
+    if (!use_ok) {
+      v.issues.push_back(
+          "the use-set axiom fails on a sampled instance (condition 3)");
+    }
+  }
+  v.consistent = v.issues.empty();
+  return v;
+}
+
+Coloring SyntacticColoring(const AlgebraicUpdateMethod& method) {
+  const Schema& schema = *method.context().schema;
+  Coloring coloring(&schema);
+  // Signature classes are used.
+  for (std::size_t i = 0; i < method.signature().size(); ++i) {
+    coloring.Add(SchemaItem::Class(method.signature().class_at(i)),
+                 Color::kUse);
+  }
+  for (const UpdateStatement& s : method.statements()) {
+    // Replacement may both create and delete a-edges.
+    coloring.Add(SchemaItem::Property(s.property), Color::kCreate);
+    coloring.Add(SchemaItem::Property(s.property), Color::kDelete);
+    for (const std::string& rel : ReferencedRelations(*s.expression)) {
+      // Map relation names back to schema items; self/argi name signature
+      // classes, which are already u.
+      for (ClassId c = 0; c < schema.num_classes(); ++c) {
+        if (schema.class_name(c) == rel) {
+          coloring.Add(SchemaItem::Class(c), Color::kUse);
+        }
+      }
+      for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+        if (PropertyRelationName(schema, p) == rel) {
+          coloring.Add(SchemaItem::Property(p), Color::kUse);
+        }
+      }
+    }
+  }
+  // Close u under edge incidence (condition 5) and color d-edges' sources u
+  // (Lemma 4.11: the receiving class is already u).
+  for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+    if (coloring.GetProperty(p).Has(Color::kUse)) {
+      const Schema::PropertyDef& def = schema.property(p);
+      coloring.Add(SchemaItem::Class(def.source), Color::kUse);
+      coloring.Add(SchemaItem::Class(def.target), Color::kUse);
+    }
+  }
+  return coloring;
+}
+
+}  // namespace setrec

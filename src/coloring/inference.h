@@ -1,0 +1,73 @@
+#ifndef SETREC_COLORING_INFERENCE_H_
+#define SETREC_COLORING_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebraic/algebraic_method.h"
+#include "coloring/coloring.h"
+#include "coloring/soundness.h"
+#include "core/instance_generator.h"
+#include "core/update_method.h"
+
+namespace setrec {
+
+/// Empirical analysis of update behaviour. The minimal coloring of a method
+/// is a semantic property and undecidable in general (Section 4), so these
+/// functions are refutation-based: a reported violation is a proof, a clean
+/// pass is only evidence.
+struct ColoringValidationOptions {
+  std::uint64_t seed = 1;
+  int trials = 24;
+  InstanceGenerator::Options generator;
+  /// Also try instances seeded with the witness objects' id range (the
+  /// interesting fixed objects live at small indices, which the generator
+  /// covers by default).
+  std::size_t max_receivers_per_instance = 4;
+};
+
+/// Runs the method on random (I, t) samples and records which item types
+/// were observed being created or deleted (Definition 4.2). The u colors of
+/// the result are always empty — use is not observable from input/output
+/// pairs alone.
+Result<Coloring> ObserveCreateDelete(const UpdateMethod& method,
+                                     const Schema& schema,
+                                     const ColoringValidationOptions& options);
+
+/// Tests the chosen "uses only information of type X" axiom on random
+/// samples:
+///   inflationary (Def 4.7):  M(I,t) = G(M(I|X, t) ∪ (I − I|X));
+///   deflationary (Def 4.16): M(G(I−{x}), t) = G(M(I,t) − {x}) for every
+///                            item x of I whose label is not in X.
+/// Requires X to be edge-closed and to contain the signature classes.
+/// Divergence is treated as undefinedness: both sides must diverge together.
+Result<bool> ValidateUseSet(const UpdateMethod& method, const Schema& schema,
+                            const SchemaItemSet& use_set,
+                            UseAxiomatization axiomatization,
+                            const ColoringValidationOptions& options);
+
+/// Checks every testable condition of Theorem 4.8 / 4.18 for the claim
+/// "`coloring` is a coloring of `method`" (not necessarily minimal):
+/// observed creations/deletions are covered by c/d colors, signature classes
+/// are colored u, u-edges have u-endpoints, and the use-set axiom holds on
+/// samples.
+struct ColoringValidation {
+  bool consistent = false;
+  std::vector<std::string> issues;
+};
+Result<ColoringValidation> ValidateColoringClaim(
+    const UpdateMethod& method, const Schema& schema, const Coloring& coloring,
+    UseAxiomatization axiomatization,
+    const ColoringValidationOptions& options);
+
+/// A syntactic (conservative) coloring for an algebraic method: every
+/// updated property is colored {c,d} (replacement may create and delete
+/// edges), every relation an update expression reads is colored u, the
+/// signature classes are colored u, and u is closed under edge incidence.
+/// This over-approximates the minimal coloring; it is the static-analysis
+/// counterpart the Section 7 SQL discussion applies to cursor updates.
+Coloring SyntacticColoring(const AlgebraicUpdateMethod& method);
+
+}  // namespace setrec
+
+#endif  // SETREC_COLORING_INFERENCE_H_

@@ -1,0 +1,168 @@
+#include "coloring/soundness.h"
+
+#include <sstream>
+
+namespace setrec {
+
+namespace {
+
+void CheckInflationary(const Coloring& k, SoundnessReport& report) {
+  const Schema& schema = k.schema();
+  // (1) node d ⇒ node u.
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    ColorSet cs = k.GetClass(c);
+    if (cs.Has(Color::kDelete) && !cs.Has(Color::kUse)) {
+      report.violations.push_back("node " + schema.class_name(c) +
+                                  " colored d but not u (Lemma 4.11)");
+    }
+  }
+  for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+    const Schema::PropertyDef& def = schema.property(p);
+    ColorSet cs = k.GetProperty(p);
+    // (1) edge d ⇒ edge u or an incident node d.
+    if (cs.Has(Color::kDelete) && !cs.Has(Color::kUse) &&
+        !k.GetClass(def.source).Has(Color::kDelete) &&
+        !k.GetClass(def.target).Has(Color::kDelete)) {
+      report.violations.push_back(
+          "edge " + def.name +
+          " colored d but neither u nor incident to a d node (Lemma 4.11)");
+    }
+    // (2) edge c ⇒ incident nodes u or c.
+    if (cs.Has(Color::kCreate)) {
+      for (ClassId endpoint : {def.source, def.target}) {
+        ColorSet ec = k.GetClass(endpoint);
+        if (!ec.Has(Color::kUse) && !ec.Has(Color::kCreate)) {
+          report.violations.push_back(
+              "edge " + def.name + " colored c but endpoint " +
+              schema.class_name(endpoint) +
+              " is neither u nor c (Prop 4.13(2))");
+        }
+      }
+    }
+    // (5) edge u ⇒ incident nodes u.
+    if (cs.Has(Color::kUse)) {
+      for (ClassId endpoint : {def.source, def.target}) {
+        if (!k.GetClass(endpoint).Has(Color::kUse)) {
+          report.violations.push_back("edge " + def.name +
+                                      " colored u but endpoint " +
+                                      schema.class_name(endpoint) +
+                                      " is not u (Prop 4.13(5))");
+        }
+      }
+    }
+  }
+  // (3) node B d ⇒ incident edges neither d nor u force other endpoint u.
+  for (ClassId b = 0; b < schema.num_classes(); ++b) {
+    if (!k.GetClass(b).Has(Color::kDelete)) continue;
+    for (PropertyId p : schema.IncidentProperties(b)) {
+      ColorSet pc = k.GetProperty(p);
+      if (pc.Has(Color::kDelete) || pc.Has(Color::kUse)) continue;
+      const Schema::PropertyDef& def = schema.property(p);
+      const ClassId other = def.source == b ? def.target : def.source;
+      if (!k.GetClass(other).Has(Color::kUse)) {
+        report.violations.push_back(
+            "node " + schema.class_name(b) + " colored d; incident edge " +
+            def.name + " is neither d nor u, yet " + schema.class_name(other) +
+            " is not u (Prop 4.13(3))");
+      }
+    }
+  }
+  // (4) at least one node u.
+  bool any_u = false;
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    if (k.GetClass(c).Has(Color::kUse)) any_u = true;
+  }
+  if (!any_u) {
+    report.violations.push_back(
+        "no node colored u (Prop 4.13(4): a method signature exists)");
+  }
+}
+
+void CheckDeflationary(const Coloring& k, SoundnessReport& report) {
+  const Schema& schema = k.schema();
+  // (1) node c ⇒ node u.
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    ColorSet cs = k.GetClass(c);
+    if (cs.Has(Color::kCreate) && !cs.Has(Color::kUse)) {
+      report.violations.push_back("node " + schema.class_name(c) +
+                                  " colored c but not u (Lemma 4.20)");
+    }
+  }
+  for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+    const Schema::PropertyDef& def = schema.property(p);
+    ColorSet cs = k.GetProperty(p);
+    // (1) edge c ⇒ edge u or an incident node c.
+    if (cs.Has(Color::kCreate) && !cs.Has(Color::kUse) &&
+        !k.GetClass(def.source).Has(Color::kCreate) &&
+        !k.GetClass(def.target).Has(Color::kCreate)) {
+      report.violations.push_back(
+          "edge " + def.name +
+          " colored c but neither u nor incident to a c node (Lemma 4.20)");
+    }
+    // (4) edge u ⇒ incident nodes u.
+    if (cs.Has(Color::kUse)) {
+      for (ClassId endpoint : {def.source, def.target}) {
+        if (!k.GetClass(endpoint).Has(Color::kUse)) {
+          report.violations.push_back("edge " + def.name +
+                                      " colored u but endpoint " +
+                                      schema.class_name(endpoint) +
+                                      " is not u (Prop 4.22(4))");
+        }
+      }
+    }
+  }
+  // (2) node d ⇒ incident edges u or c, or other endpoint u.
+  for (ClassId b = 0; b < schema.num_classes(); ++b) {
+    if (!k.GetClass(b).Has(Color::kDelete)) continue;
+    for (PropertyId p : schema.IncidentProperties(b)) {
+      ColorSet pc = k.GetProperty(p);
+      if (pc.Has(Color::kUse) || pc.Has(Color::kCreate)) continue;
+      const Schema::PropertyDef& def = schema.property(p);
+      const ClassId other = def.source == b ? def.target : def.source;
+      if (!k.GetClass(other).Has(Color::kUse)) {
+        report.violations.push_back(
+            "node " + schema.class_name(b) + " colored d; incident edge " +
+            def.name + " is neither u nor c, yet " + schema.class_name(other) +
+            " is not u (Prop 4.22(2))");
+      }
+    }
+  }
+  // (3) at least one node u.
+  bool any_u = false;
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    if (k.GetClass(c).Has(Color::kUse)) any_u = true;
+  }
+  if (!any_u) {
+    report.violations.push_back("no node colored u (Prop 4.22(3))");
+  }
+}
+
+}  // namespace
+
+SoundnessReport CheckSoundness(const Coloring& coloring,
+                               UseAxiomatization axiomatization) {
+  SoundnessReport report;
+  if (axiomatization == UseAxiomatization::kInflationary) {
+    CheckInflationary(coloring, report);
+  } else {
+    CheckDeflationary(coloring, report);
+  }
+  report.sound = report.violations.empty();
+  return report;
+}
+
+bool IsSoundColoring(const Coloring& coloring,
+                     UseAxiomatization axiomatization) {
+  return CheckSoundness(coloring, axiomatization).sound;
+}
+
+bool SoundColoringGuaranteesOrderIndependence(const Coloring& coloring) {
+  return coloring.IsSimple();
+}
+
+const char* UniformBehaviourOfSimpleColorings(UseAxiomatization ax) {
+  return ax == UseAxiomatization::kInflationary ? "inflationary"
+                                                : "deflationary";
+}
+
+}  // namespace setrec

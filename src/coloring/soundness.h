@@ -1,0 +1,67 @@
+#ifndef SETREC_COLORING_SOUNDNESS_H_
+#define SETREC_COLORING_SOUNDNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "coloring/coloring.h"
+
+namespace setrec {
+
+/// The two axiomatizations of "using information of a type" studied in
+/// Section 4. They are each other's dual: under the inflationary one
+/// (Definition 4.7) deleting implies using (Lemma 4.11); under the
+/// deflationary one (Definition 4.16) creating implies using (Lemma 4.20).
+enum class UseAxiomatization {
+  kInflationary,  // Definition 4.7:  M(I,t) = G(M(I|U, t) ∪ (I − I|U))
+  kDeflationary,  // Definition 4.16: M(G(I−{x}), t) = G(M(I,t) − {x})
+};
+
+/// A soundness check outcome with human-readable violation descriptions.
+struct SoundnessReport {
+  bool sound = false;
+  std::vector<std::string> violations;
+};
+
+/// Checks whether a coloring is sound — i.e. the minimal coloring of *some*
+/// update method (Definition 4.12) — under the chosen axiomatization, by the
+/// exact structural criteria the paper proves:
+///
+/// Proposition 4.13 (inflationary):
+///   (1) node d ⇒ node u; edge d ⇒ edge u or an incident node d;
+///   (2) edge c ⇒ both incident nodes u or c;
+///   (3) node B d ⇒ every incident edge colored neither d nor u has its
+///       other endpoint colored u;
+///   (4) at least one node u;
+///   (5) edge u ⇒ both incident nodes u.
+///
+/// Proposition 4.22 (deflationary):
+///   (1) node c ⇒ node u; edge c ⇒ edge u or an incident node c;
+///   (2) node B d ⇒ every incident edge is colored u or c, or its other
+///       endpoint is colored u;
+///   (3) at least one node u;
+///   (4) edge u ⇒ both incident nodes u.
+SoundnessReport CheckSoundness(const Coloring& coloring,
+                               UseAxiomatization axiomatization);
+
+/// Convenience wrapper around CheckSoundness.
+bool IsSoundColoring(const Coloring& coloring,
+                     UseAxiomatization axiomatization);
+
+/// The Theorem 4.14 / Theorem 4.23 verdict for a *sound* coloring κ: all
+/// update methods having κ as minimal coloring are order independent iff κ
+/// is simple. (For unsound colorings the question is vacuous — no method has
+/// them as minimal coloring.)
+bool SoundColoringGuaranteesOrderIndependence(const Coloring& coloring);
+
+/// Lemma 4.11 / 4.20 corollaries: a method whose minimal coloring is simple
+/// is inflationary (I ⊆ M(I,t), Proposition 4.10) under the inflationary
+/// axiomatization, and deflationary (M(I,t) ⊆ I, Proposition 4.19) under the
+/// deflationary one. This predicate states which containment a simple sound
+/// coloring implies; returns the strings "inflationary"/"deflationary" for
+/// reporting.
+const char* UniformBehaviourOfSimpleColorings(UseAxiomatization ax);
+
+}  // namespace setrec
+
+#endif  // SETREC_COLORING_SOUNDNESS_H_

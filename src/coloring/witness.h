@@ -1,0 +1,51 @@
+#ifndef SETREC_COLORING_WITNESS_H_
+#define SETREC_COLORING_WITNESS_H_
+
+#include <memory>
+
+#include "coloring/coloring.h"
+#include "coloring/soundness.h"
+#include "core/update_method.h"
+
+namespace setrec {
+
+/// The fixed objects the witness constructions of Propositions 4.13/4.22
+/// manipulate: for each class X three distinct objects o_c^X, o_d^X, o_u^X,
+/// and for each schema edge e = (A, e, B) four further objects o_1^e, o_3^e
+/// of type A and o_2^e, o_4^e of type B — all pairwise distinct within their
+/// classes.
+class WitnessObjects {
+ public:
+  explicit WitnessObjects(const Schema& schema);
+
+  ObjectId NodeC(ClassId x) const { return ObjectId(x, 0); }
+  ObjectId NodeD(ClassId x) const { return ObjectId(x, 1); }
+  ObjectId NodeU(ClassId x) const { return ObjectId(x, 2); }
+  ObjectId Edge1(PropertyId e) const { return edge1_[e]; }  // type A
+  ObjectId Edge2(PropertyId e) const { return edge2_[e]; }  // type B
+  ObjectId Edge3(PropertyId e) const { return edge3_[e]; }  // type A
+  ObjectId Edge4(PropertyId e) const { return edge4_[e]; }  // type B
+
+ private:
+  std::vector<ObjectId> edge1_, edge2_, edge3_, edge4_;
+};
+
+/// Builds the update method the constructive proof of Proposition 4.13
+/// (inflationary axiomatization) or its dual (Proposition 4.22, deflationary)
+/// associates with a sound coloring κ: a method whose minimal coloring is κ.
+/// Its behaviour is receiver-independent; the signature is [X] for the first
+/// node colored u. Items colored exactly {u} that no other action tests get
+/// a divergence guard: the method returns a `Diverges` status (modelling the
+/// proof's infinite loop) when the designated u-item is absent.
+///
+/// Fails with InvalidArgument when κ is not sound under `axiomatization`.
+/// The deflationary construction leaves one corner Unimplemented (a d-node
+/// with an incident edge colored exactly {c} whose other endpoint is not u);
+/// the paper only sketches this case via Example 4.21.
+Result<std::unique_ptr<UpdateMethod>> MakeWitnessMethod(
+    const Schema* schema, const Coloring& coloring,
+    UseAxiomatization axiomatization);
+
+}  // namespace setrec
+
+#endif  // SETREC_COLORING_WITNESS_H_

@@ -1,0 +1,146 @@
+#include "conjunctive/chase.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace setrec {
+
+namespace {
+
+/// Ordering for the fd rule: distinguished variables precede undistinguished
+/// ones (Appendix A fixes a total order < on V_d ∪ V_u with V_d first), ties
+/// by id. Returns true when a < b.
+bool VarLess(const ConjunctiveQuery& q, VarId a, VarId b) {
+  const bool da = q.IsDistinguished(a);
+  const bool db = q.IsDistinguished(b);
+  if (da != db) return da;
+  return a < b;
+}
+
+/// Resolves the positional indices of the fd's attributes in the relation
+/// scheme.
+struct FdIndices {
+  std::vector<std::size_t> lhs;
+  std::size_t rhs;
+};
+
+Result<FdIndices> ResolveFd(const FunctionalDependency& fd,
+                            const Catalog& catalog) {
+  SETREC_ASSIGN_OR_RETURN(const RelationScheme* scheme,
+                          catalog.Find(fd.relation));
+  FdIndices out;
+  for (const std::string& a : fd.lhs) {
+    SETREC_ASSIGN_OR_RETURN(std::size_t i, scheme->IndexOf(a));
+    out.lhs.push_back(i);
+  }
+  SETREC_ASSIGN_OR_RETURN(out.rhs, scheme->IndexOf(fd.rhs));
+  return out;
+}
+
+Result<std::vector<std::size_t>> ResolveInd(const InclusionDependency& ind,
+                                            const Catalog& catalog) {
+  SETREC_ASSIGN_OR_RETURN(const RelationScheme* from,
+                          catalog.Find(ind.from_relation));
+  SETREC_ASSIGN_OR_RETURN(const RelationScheme* to,
+                          catalog.Find(ind.to_relation));
+  if (ind.from_attrs.size() != to->arity()) {
+    return Status::InvalidArgument(
+        "full inclusion dependency must cover the whole target scheme: " +
+        ind.from_relation + " ⊆ " + ind.to_relation);
+  }
+  std::vector<std::size_t> idx;
+  for (const std::string& a : ind.from_attrs) {
+    SETREC_ASSIGN_OR_RETURN(std::size_t i, from->IndexOf(a));
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
+                                    const DependencySet& deps,
+                                    const Catalog& catalog) {
+  if (query.trivially_false()) return query;
+
+  // Pre-resolve attribute positions once.
+  std::vector<FdIndices> fd_idx;
+  fd_idx.reserve(deps.fds.size());
+  for (const auto& fd : deps.fds) {
+    SETREC_ASSIGN_OR_RETURN(FdIndices idx, ResolveFd(fd, catalog));
+    fd_idx.push_back(std::move(idx));
+  }
+  std::vector<std::vector<std::size_t>> ind_idx;
+  ind_idx.reserve(deps.inds.size());
+  for (const auto& ind : deps.inds) {
+    SETREC_ASSIGN_OR_RETURN(std::vector<std::size_t> idx,
+                            ResolveInd(ind, catalog));
+    ind_idx.push_back(std::move(idx));
+  }
+
+  bool changed = true;
+  while (changed && !query.trivially_false()) {
+    changed = false;
+
+    // fd rule.
+    for (std::size_t d = 0; d < deps.fds.size() && !changed; ++d) {
+      const auto& fd = deps.fds[d];
+      const auto& idx = fd_idx[d];
+      std::vector<const Conjunct*> rel_conjuncts;
+      for (const Conjunct& c : query.conjuncts()) {
+        if (c.relation == fd.relation) rel_conjuncts.push_back(&c);
+      }
+      for (std::size_t i = 0; i < rel_conjuncts.size() && !changed; ++i) {
+        for (std::size_t j = i + 1; j < rel_conjuncts.size() && !changed;
+             ++j) {
+          const Conjunct& u = *rel_conjuncts[i];
+          const Conjunct& v = *rel_conjuncts[j];
+          bool lhs_equal = true;
+          for (std::size_t k : idx.lhs) {
+            if (u.vars[k] != v.vars[k]) {
+              lhs_equal = false;
+              break;
+            }
+          }
+          if (!lhs_equal) continue;
+          const VarId a = u.vars[idx.rhs];
+          const VarId b = v.vars[idx.rhs];
+          if (a == b) continue;
+          const VarId keep = VarLess(query, a, b) ? a : b;
+          const VarId drop = keep == a ? b : a;
+          // SubstituteVar marks the query ⊥ when a non-equality collapses,
+          // which is the chase's contradiction case.
+          query.SubstituteVar(drop, keep);
+          changed = true;
+        }
+      }
+    }
+    if (changed || query.trivially_false()) continue;
+
+    // ind rule.
+    for (std::size_t d = 0; d < deps.inds.size() && !changed; ++d) {
+      const auto& ind = deps.inds[d];
+      const auto& idx = ind_idx[d];
+      std::vector<Conjunct> to_add;
+      for (const Conjunct& c : query.conjuncts()) {
+        if (c.relation != ind.from_relation) continue;
+        std::vector<VarId> vars;
+        vars.reserve(idx.size());
+        for (std::size_t k : idx) vars.push_back(c.vars[k]);
+        Conjunct candidate{ind.to_relation, std::move(vars)};
+        if (!query.conjuncts().contains(candidate)) {
+          to_add.push_back(std::move(candidate));
+        }
+      }
+      for (Conjunct& c : to_add) {
+        query.AddConjunct(c.relation, std::move(c.vars));
+        changed = true;
+      }
+    }
+  }
+
+  query.Compact();
+  return query;
+}
+
+}  // namespace setrec

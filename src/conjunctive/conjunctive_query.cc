@@ -1,0 +1,139 @@
+#include "conjunctive/conjunctive_query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace setrec {
+
+VarId ConjunctiveQuery::NewVar(ClassId domain) {
+  var_domains_.push_back(domain);
+  return static_cast<VarId>(var_domains_.size() - 1);
+}
+
+void ConjunctiveQuery::AddConjunct(std::string relation,
+                                   std::vector<VarId> vars) {
+  for (VarId v : vars) {
+    assert(v < var_domains_.size());
+    (void)v;
+  }
+  conjuncts_.insert(Conjunct{std::move(relation), std::move(vars)});
+}
+
+void ConjunctiveQuery::AddNonEquality(VarId a, VarId b) {
+  assert(a < var_domains_.size() && b < var_domains_.size());
+  if (a == b) {
+    trivially_false_ = true;
+    return;
+  }
+  if (var_domains_[a] != var_domains_[b]) return;  // vacuously true
+  if (a > b) std::swap(a, b);
+  non_equalities_.emplace(a, b);
+}
+
+bool ConjunctiveQuery::IsDistinguished(VarId v) const {
+  return std::find(summary_.begin(), summary_.end(), v) != summary_.end();
+}
+
+void ConjunctiveQuery::SubstituteVar(VarId from, VarId to) {
+  if (from == to) return;
+  for (VarId& v : summary_) {
+    if (v == from) v = to;
+  }
+  std::set<Conjunct> new_conjuncts;
+  for (Conjunct c : conjuncts_) {
+    for (VarId& v : c.vars) {
+      if (v == from) v = to;
+    }
+    new_conjuncts.insert(std::move(c));
+  }
+  conjuncts_ = std::move(new_conjuncts);
+  std::set<std::pair<VarId, VarId>> new_neq;
+  for (auto [a, b] : non_equalities_) {
+    if (a == from) a = to;
+    if (b == from) b = to;
+    if (a == b) {
+      trivially_false_ = true;
+      return;
+    }
+    if (a > b) std::swap(a, b);
+    new_neq.emplace(a, b);
+  }
+  non_equalities_ = std::move(new_neq);
+}
+
+void ConjunctiveQuery::Compact() {
+  std::map<VarId, VarId> remap;
+  std::vector<ClassId> new_domains;
+  auto touch = [&](VarId v) {
+    auto [it, inserted] = remap.emplace(
+        v, static_cast<VarId>(new_domains.size()));
+    if (inserted) new_domains.push_back(var_domains_[v]);
+    return it->second;
+  };
+  for (VarId& v : summary_) v = touch(v);
+  std::set<Conjunct> new_conjuncts;
+  for (Conjunct c : conjuncts_) {
+    for (VarId& v : c.vars) v = touch(v);
+    new_conjuncts.insert(std::move(c));
+  }
+  std::set<std::pair<VarId, VarId>> new_neq;
+  for (auto [a, b] : non_equalities_) {
+    // Drop non-equalities over variables that vanished from conjuncts and
+    // summary? They cannot vanish: substitution rewrites them. Touch both.
+    VarId na = touch(a);
+    VarId nb = touch(b);
+    if (na > nb) std::swap(na, nb);
+    new_neq.emplace(na, nb);
+  }
+  conjuncts_ = std::move(new_conjuncts);
+  non_equalities_ = std::move(new_neq);
+  var_domains_ = std::move(new_domains);
+}
+
+VarId ConjunctiveQuery::Absorb(const ConjunctiveQuery& other) {
+  const VarId offset = static_cast<VarId>(var_domains_.size());
+  var_domains_.insert(var_domains_.end(), other.var_domains_.begin(),
+                      other.var_domains_.end());
+  for (Conjunct c : other.conjuncts_) {
+    for (VarId& v : c.vars) v = v + offset;
+    conjuncts_.insert(std::move(c));
+  }
+  for (auto [a, b] : other.non_equalities_) {
+    non_equalities_.emplace(a + offset, b + offset);
+  }
+  for (VarId v : other.summary_) summary_.push_back(v + offset);
+  if (other.trivially_false_) trivially_false_ = true;
+  return offset;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream out;
+  if (trivially_false_) return "⊥";
+  out << "ans(";
+  for (std::size_t i = 0; i < summary_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "x" << summary_[i];
+  }
+  out << ") :- ";
+  bool first = true;
+  for (const Conjunct& c : conjuncts_) {
+    if (!first) out << ", ";
+    first = false;
+    out << c.relation << "(";
+    for (std::size_t i = 0; i < c.vars.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "x" << c.vars[i];
+    }
+    out << ")";
+  }
+  for (const auto& [a, b] : non_equalities_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "x" << a << "≠x" << b;
+  }
+  return out.str();
+}
+
+}  // namespace setrec

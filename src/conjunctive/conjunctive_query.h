@@ -1,0 +1,108 @@
+#ifndef SETREC_CONJUNCTIVE_CONJUNCTIVE_QUERY_H_
+#define SETREC_CONJUNCTIVE_CONJUNCTIVE_QUERY_H_
+
+#include <compare>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "relational/schema.h"
+
+namespace setrec {
+
+/// Index of a variable within one ConjunctiveQuery.
+using VarId = std::uint32_t;
+
+/// One literal R(z1, ..., zh) of a conjunctive query (Appendix A).
+struct Conjunct {
+  std::string relation;
+  std::vector<VarId> vars;
+
+  friend auto operator<=>(const Conjunct&, const Conjunct&) = default;
+};
+
+/// A typed conjunctive query with non-equalities (Appendix A): a summary of
+/// distinguished variables, a set of conjuncts, and a set of non-equalities
+/// z_i ≠ z_j between variables of the same domain. Variables carry a class
+/// domain; variables of different domains are never compared or unified,
+/// which is how the disjointness dependencies of Section 5.1 are enforced.
+///
+/// A query may become *trivially false* (the paper's ⊥): adding z ≠ z, or
+/// having an fd chase step demand the merge of ≠-constrained variables,
+/// marks the query unsatisfiable.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  /// Creates a fresh variable of the given domain.
+  VarId NewVar(ClassId domain);
+
+  std::size_t num_vars() const { return var_domains_.size(); }
+  ClassId var_domain(VarId v) const { return var_domains_[v]; }
+
+  /// Appends a conjunct. Variable ids must be valid; arity/domain agreement
+  /// with a catalog is checked by callers that have one (see translate.h).
+  void AddConjunct(std::string relation, std::vector<VarId> vars);
+
+  /// Adds the non-equality a ≠ b. If a == b, the query becomes trivially
+  /// false. Cross-domain non-equalities are vacuous (they always hold) and
+  /// are dropped.
+  void AddNonEquality(VarId a, VarId b);
+
+  void set_summary(std::vector<VarId> summary) {
+    summary_ = std::move(summary);
+  }
+  const std::vector<VarId>& summary() const { return summary_; }
+
+  const std::set<Conjunct>& conjuncts() const { return conjuncts_; }
+  const std::set<std::pair<VarId, VarId>>& non_equalities() const {
+    return non_equalities_;
+  }
+
+  bool trivially_false() const { return trivially_false_; }
+  void MarkTriviallyFalse() { trivially_false_ = true; }
+
+  /// True when `v` occurs in the summary (a distinguished variable).
+  bool IsDistinguished(VarId v) const;
+
+  /// Applies the substitution that maps `from` to `to` everywhere (conjuncts,
+  /// non-equalities, summary). Used by selection-equality translation and by
+  /// the fd chase rule. May mark the query trivially false when a
+  /// non-equality collapses.
+  void SubstituteVar(VarId from, VarId to);
+
+  /// Renumbers variables so that ids are contiguous and only used variables
+  /// remain; returns the old→new mapping size. Purely cosmetic compaction
+  /// after chases; callers holding VarIds must re-derive them.
+  void Compact();
+
+  /// Merges `other` into this query with disjoint variables; returns the
+  /// offset added to `other`'s variable ids. Summaries are concatenated.
+  VarId Absorb(const ConjunctiveQuery& other);
+
+  /// Human-readable rendering for diagnostics, e.g.
+  /// "ans(x0,x1) :- Df(x0,x2), self(x0), x1≠x2".
+  std::string ToString() const;
+
+ private:
+  std::vector<ClassId> var_domains_;
+  std::vector<VarId> summary_;
+  std::set<Conjunct> conjuncts_;
+  std::set<std::pair<VarId, VarId>> non_equalities_;
+  bool trivially_false_ = false;
+};
+
+/// A positive query (Appendix A): a finite union of conjunctive queries over
+/// the same result scheme. An empty disjunct list denotes the empty query.
+struct PositiveQuery {
+  RelationScheme scheme;
+  std::vector<ConjunctiveQuery> disjuncts;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CONJUNCTIVE_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,109 @@
+#include "conjunctive/containment.h"
+
+#include "conjunctive/chase.h"
+#include "conjunctive/homomorphism.h"
+
+namespace setrec {
+
+PositiveQuery SimplifyPositiveQuery(PositiveQuery query) {
+  std::vector<ConjunctiveQuery> live;
+  for (ConjunctiveQuery& q : query.disjuncts) {
+    if (!q.trivially_false()) live.push_back(std::move(q));
+  }
+  std::vector<bool> alive(live.size(), true);
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    for (std::size_t i = 0; i < live.size() && alive[j]; ++i) {
+      if (i == j || !alive[i]) continue;
+      Result<bool> hom = HasHomomorphism(live[i], live[j],
+                                         /*strict_neq=*/true);
+      if (hom.ok() && *hom) alive[j] = false;
+    }
+  }
+  PositiveQuery out{std::move(query.scheme), {}};
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (alive[i]) out.disjuncts.push_back(std::move(live[i]));
+  }
+  return out;
+}
+
+Result<ContainmentResult> CheckContainment(const PositiveQuery& q1_in,
+                                           const PositiveQuery& q2_in,
+                                           const DependencySet& deps,
+                                           const Catalog& catalog,
+                                           bool simplify) {
+  if (!(q1_in.scheme == q2_in.scheme)) {
+    return Status::InvalidArgument(
+        "containment requires identical result schemes");
+  }
+  const PositiveQuery q1 =
+      simplify ? SimplifyPositiveQuery(q1_in) : q1_in;
+  const PositiveQuery q2 =
+      simplify ? SimplifyPositiveQuery(q2_in) : q2_in;
+  ContainmentResult result;
+  for (const ConjunctiveQuery& disjunct : q1.disjuncts) {
+    SETREC_ASSIGN_OR_RETURN(ConjunctiveQuery chased,
+                            ChaseQuery(disjunct, deps, catalog));
+    if (chased.trivially_false()) continue;  // unsatisfiable under Σ
+
+    Status inner_status = Status::OK();
+    bool found_counterexample = false;
+    ForEachRepresentativeValuation(
+        chased, [&](const std::vector<VarId>& block_of) {
+          Result<CanonicalInstance> canon =
+              BuildCanonicalInstance(chased, block_of, catalog);
+          if (!canon.ok()) {
+            inner_status = canon.status();
+            return false;
+          }
+          // Skip canonical instances violating the FDs: they denote no legal
+          // database (see header comment). INDs and disjointness hold by
+          // construction.
+          for (const FunctionalDependency& fd : deps.fds) {
+            Result<bool> sat = Satisfies(canon->database, fd);
+            if (!sat.ok()) {
+              inner_status = sat.status();
+              return false;
+            }
+            if (!*sat) return true;  // continue with next valuation
+          }
+          Result<bool> member =
+              TupleInPositiveQuery(q2, canon->summary, canon->database);
+          if (!member.ok()) {
+            inner_status = member.status();
+            return false;
+          }
+          if (!*member) {
+            found_counterexample = true;
+            result.counterexample = std::move(canon->database);
+            result.counterexample_tuple = std::move(canon->summary);
+            return false;
+          }
+          return true;
+        });
+    SETREC_RETURN_IF_ERROR(inner_status);
+    if (found_counterexample) {
+      result.contained = false;
+      return result;
+    }
+  }
+  result.contained = true;
+  return result;
+}
+
+Result<bool> ContainedUnder(const PositiveQuery& q1, const PositiveQuery& q2,
+                            const DependencySet& deps,
+                            const Catalog& catalog) {
+  SETREC_ASSIGN_OR_RETURN(ContainmentResult r,
+                          CheckContainment(q1, q2, deps, catalog));
+  return r.contained;
+}
+
+Result<bool> EquivalentUnder(const PositiveQuery& q1, const PositiveQuery& q2,
+                             const DependencySet& deps,
+                             const Catalog& catalog) {
+  SETREC_ASSIGN_OR_RETURN(bool a, ContainedUnder(q1, q2, deps, catalog));
+  if (!a) return false;
+  return ContainedUnder(q2, q1, deps, catalog);
+}
+
+}  // namespace setrec

@@ -1,0 +1,230 @@
+#include "conjunctive/homomorphism.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace setrec {
+
+namespace {
+
+/// Backtracking search for valuations of `query` into `database` extending
+/// `binding` (nullopt = unbound). Invokes `on_solution` for every satisfying
+/// valuation; stops early when it returns false. Returns an error only on
+/// structural problems (missing relation, arity mismatch, unsafe variable).
+Status SearchValuations(
+    const ConjunctiveQuery& query, const Database& database,
+    std::vector<std::optional<ObjectId>> binding,
+    const std::function<bool(const std::vector<std::optional<ObjectId>>&)>&
+        on_solution) {
+  if (query.trivially_false()) return Status::OK();
+
+  std::vector<const Conjunct*> conjuncts;
+  std::vector<const Relation*> relations;
+  std::vector<bool> covered(query.num_vars(), false);
+  for (const Conjunct& c : query.conjuncts()) {
+    SETREC_ASSIGN_OR_RETURN(const Relation* rel, database.Find(c.relation));
+    if (rel->scheme().arity() != c.vars.size()) {
+      return Status::InvalidArgument("conjunct arity mismatch for relation " +
+                                     c.relation);
+    }
+    conjuncts.push_back(&c);
+    relations.push_back(rel);
+    for (VarId v : c.vars) covered[v] = true;
+  }
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    if (!covered[v] && !binding[v].has_value()) {
+      return Status::InvalidArgument(
+          "unsafe conjunctive query: variable occurs in no conjunct");
+    }
+  }
+
+  const auto& neqs = query.non_equalities();
+  auto neq_ok = [&](const std::vector<std::optional<ObjectId>>& b) {
+    for (const auto& [x, y] : neqs) {
+      if (b[x].has_value() && b[y].has_value() && *b[x] == *b[y]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  bool keep_going = true;
+  std::function<void(std::size_t)> recurse = [&](std::size_t i) {
+    if (!keep_going) return;
+    if (i == conjuncts.size()) {
+      keep_going = on_solution(binding);
+      return;
+    }
+    const Conjunct& c = *conjuncts[i];
+    for (const Tuple& t : *relations[i]) {
+      // Try to unify c.vars with t.
+      std::vector<std::pair<VarId, ObjectId>> newly_bound;
+      bool ok = true;
+      for (std::size_t k = 0; k < c.vars.size(); ++k) {
+        const VarId v = c.vars[k];
+        const ObjectId val = t.at(k);
+        if (val.class_id() != query.var_domain(v)) {
+          ok = false;
+          break;
+        }
+        if (binding[v].has_value()) {
+          if (!(*binding[v] == val)) {
+            ok = false;
+            break;
+          }
+        } else {
+          binding[v] = val;
+          newly_bound.emplace_back(v, val);
+        }
+      }
+      if (ok && neq_ok(binding)) recurse(i + 1);
+      for (const auto& [v, val] : newly_bound) binding[v] = std::nullopt;
+      if (!keep_going) return;
+    }
+  };
+  recurse(0);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> EvaluateConjunctiveQuery(const ConjunctiveQuery& query,
+                                          const RelationScheme& scheme,
+                                          const Database& database) {
+  Relation out(scheme);
+  if (query.trivially_false()) return out;
+  if (scheme.arity() != query.summary().size()) {
+    return Status::InvalidArgument("scheme arity does not match summary");
+  }
+  Status collect_status = Status::OK();
+  Status s = SearchValuations(
+      query, database,
+      std::vector<std::optional<ObjectId>>(query.num_vars()),
+      [&](const std::vector<std::optional<ObjectId>>& b) {
+        std::vector<ObjectId> values;
+        values.reserve(query.summary().size());
+        for (VarId v : query.summary()) values.push_back(*b[v]);
+        Status insert = out.Insert(Tuple(std::move(values)));
+        if (!insert.ok()) {
+          collect_status = insert;
+          return false;
+        }
+        return true;
+      });
+  SETREC_RETURN_IF_ERROR(s);
+  SETREC_RETURN_IF_ERROR(collect_status);
+  return out;
+}
+
+Result<bool> TupleInConjunctiveQuery(const ConjunctiveQuery& query,
+                                     const Tuple& s,
+                                     const Database& database) {
+  if (query.trivially_false()) return false;
+  if (s.arity() != query.summary().size()) {
+    return Status::InvalidArgument("tuple arity does not match summary");
+  }
+  std::vector<std::optional<ObjectId>> binding(query.num_vars());
+  for (std::size_t i = 0; i < s.arity(); ++i) {
+    const VarId v = query.summary()[i];
+    if (s.at(i).class_id() != query.var_domain(v)) return false;
+    if (binding[v].has_value() && !(*binding[v] == s.at(i))) return false;
+    binding[v] = s.at(i);
+  }
+  bool found = false;
+  SETREC_RETURN_IF_ERROR(SearchValuations(
+      query, database, std::move(binding),
+      [&](const std::vector<std::optional<ObjectId>>&) {
+        found = true;
+        return false;  // stop at first witness
+      }));
+  return found;
+}
+
+Result<bool> TupleInPositiveQuery(const PositiveQuery& query, const Tuple& s,
+                                  const Database& database) {
+  for (const ConjunctiveQuery& q : query.disjuncts) {
+    SETREC_ASSIGN_OR_RETURN(bool in, TupleInConjunctiveQuery(q, s, database));
+    if (in) return true;
+  }
+  return false;
+}
+
+Result<Relation> EvaluatePositiveQuery(const PositiveQuery& query,
+                                       const Database& database) {
+  Relation out(query.scheme);
+  for (const ConjunctiveQuery& q : query.disjuncts) {
+    SETREC_ASSIGN_OR_RETURN(Relation r,
+                            EvaluateConjunctiveQuery(q, query.scheme,
+                                                     database));
+    for (const Tuple& t : r) SETREC_RETURN_IF_ERROR(out.Insert(t));
+  }
+  return out;
+}
+
+Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
+                             const ConjunctiveQuery& to, bool strict_neq) {
+  if (from.trivially_false()) return true;  // ⊥ maps anywhere vacuously
+  if (to.trivially_false()) return false;
+  if (from.summary().size() != to.summary().size()) {
+    return Status::InvalidArgument("summary arities differ");
+  }
+  // ψ maps from-vars to to-vars; pin the summary.
+  constexpr VarId kUnbound = static_cast<VarId>(-1);
+  std::vector<VarId> psi(from.num_vars(), kUnbound);
+  for (std::size_t i = 0; i < from.summary().size(); ++i) {
+    const VarId f = from.summary()[i];
+    const VarId t = to.summary()[i];
+    if (from.var_domain(f) != to.var_domain(t)) return false;
+    if (psi[f] != kUnbound && psi[f] != t) return false;
+    psi[f] = t;
+  }
+  std::vector<const Conjunct*> fc;
+  for (const Conjunct& c : from.conjuncts()) fc.push_back(&c);
+
+  auto neq_ok = [&]() {
+    for (const auto& [a, b] : from.non_equalities()) {
+      if (psi[a] == kUnbound || psi[b] == kUnbound) continue;
+      if (psi[a] == psi[b]) return false;
+      if (strict_neq) {
+        auto lo = std::min(psi[a], psi[b]);
+        auto hi = std::max(psi[a], psi[b]);
+        if (!to.non_equalities().contains({lo, hi})) return false;
+      }
+    }
+    return true;
+  };
+
+  std::function<bool(std::size_t)> recurse = [&](std::size_t i) -> bool {
+    if (i == fc.size()) return neq_ok();
+    const Conjunct& c = *fc[i];
+    for (const Conjunct& target : to.conjuncts()) {
+      if (target.relation != c.relation ||
+          target.vars.size() != c.vars.size()) {
+        continue;
+      }
+      std::vector<VarId> touched;
+      bool ok = true;
+      for (std::size_t k = 0; k < c.vars.size(); ++k) {
+        const VarId f = c.vars[k];
+        const VarId t = target.vars[k];
+        if (psi[f] == kUnbound) {
+          if (from.var_domain(f) != to.var_domain(t)) {
+            ok = false;
+            break;
+          }
+          psi[f] = t;
+          touched.push_back(f);
+        } else if (psi[f] != t) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && neq_ok() && recurse(i + 1)) return true;
+      for (VarId f : touched) psi[f] = kUnbound;
+    }
+    return false;
+  };
+  return recurse(0);
+}
+
+}  // namespace setrec

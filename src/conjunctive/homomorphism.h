@@ -1,0 +1,54 @@
+#ifndef SETREC_CONJUNCTIVE_HOMOMORPHISM_H_
+#define SETREC_CONJUNCTIVE_HOMOMORPHISM_H_
+
+#include <optional>
+#include <vector>
+
+#include "conjunctive/conjunctive_query.h"
+#include "relational/relation.h"
+
+namespace setrec {
+
+/// Evaluates a conjunctive query over a database by backtracking search for
+/// satisfying valuations ("typed valuations" in Appendix A): every conjunct
+/// must map to a database tuple and every non-equality must hold. The query
+/// must be *safe* — every variable occurs in some conjunct — which all
+/// queries produced by TranslateToPositiveQuery are. Returns the set of
+/// summary tuples. `scheme` gives the output relation scheme.
+Result<Relation> EvaluateConjunctiveQuery(const ConjunctiveQuery& query,
+                                          const RelationScheme& scheme,
+                                          const Database& database);
+
+/// Membership test s ∈ q(I) without materializing q(I): binds the summary
+/// variables to `s` first, then searches for an extension. This is the inner
+/// loop of the Klug containment test (Theorem A.1).
+Result<bool> TupleInConjunctiveQuery(const ConjunctiveQuery& query,
+                                     const Tuple& s, const Database& database);
+
+/// Membership in a positive query: s ∈ Q(I) iff s ∈ q'(I) for some disjunct
+/// q' (Sagiv–Yannakakis).
+Result<bool> TupleInPositiveQuery(const PositiveQuery& query, const Tuple& s,
+                                  const Database& database);
+
+/// Evaluates a positive query (union of its disjuncts' results).
+Result<Relation> EvaluatePositiveQuery(const PositiveQuery& query,
+                                       const Database& database);
+
+/// Classical homomorphism test (Chandra–Merlin): is there a mapping ψ from
+/// `from`'s variables to `to`'s variables with ψ(conjuncts(from)) ⊆
+/// conjuncts(to) and ψ(summary(from)) = summary(to)? For equality
+/// conjunctive queries this holds iff `to` ⊆ `from` (the Homomorphism
+/// Theorem); with non-equalities it is sufficient for containment only, which
+/// is why the general test goes through representative instances instead.
+/// Non-equalities of `from` must be respected: ψ may not merge ≠-constrained
+/// variables, and every image pair must be ≠-entailed... — this predicate
+/// checks the purely structural condition on conjuncts and summaries and
+/// additionally requires ψ to map `from`'s non-equality pairs to pairs that
+/// are either distinct-and-≠-constrained in `to` or syntactically distinct
+/// when `strict_neq` is false.
+Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
+                             const ConjunctiveQuery& to, bool strict_neq);
+
+}  // namespace setrec
+
+#endif  // SETREC_CONJUNCTIVE_HOMOMORPHISM_H_

@@ -1,0 +1,89 @@
+#include "conjunctive/representative.h"
+
+#include <vector>
+
+namespace setrec {
+
+void ForEachRepresentativeValuation(
+    const ConjunctiveQuery& query,
+    const std::function<bool(const std::vector<VarId>& block_of)>& fn) {
+  const std::size_t n = query.num_vars();
+  std::vector<VarId> block_of(n, 0);
+  // blocks[i] = (domain, members) of block i, for blocks created so far.
+  std::vector<ClassId> block_domain;
+  std::vector<std::vector<VarId>> block_members;
+
+  const auto& neqs = query.non_equalities();
+  auto conflicts = [&](VarId v, std::size_t block) {
+    for (VarId member : block_members[block]) {
+      const auto lo = std::min(member, v);
+      const auto hi = std::max(member, v);
+      if (neqs.contains({lo, hi})) return true;
+    }
+    return false;
+  };
+
+  bool keep_going = true;
+  std::function<void(VarId)> recurse = [&](VarId v) {
+    if (!keep_going) return;
+    if (v == n) {
+      keep_going = fn(block_of);
+      return;
+    }
+    const ClassId domain = query.var_domain(v);
+    // Join an existing compatible block...
+    for (std::size_t b = 0; b < block_domain.size(); ++b) {
+      if (block_domain[b] != domain || conflicts(v, b)) continue;
+      block_of[v] = static_cast<VarId>(b);
+      block_members[b].push_back(v);
+      recurse(v + 1);
+      block_members[b].pop_back();
+      if (!keep_going) return;
+    }
+    // ...or open a fresh block.
+    block_of[v] = static_cast<VarId>(block_domain.size());
+    block_domain.push_back(domain);
+    block_members.push_back({v});
+    recurse(v + 1);
+    block_domain.pop_back();
+    block_members.pop_back();
+  };
+  recurse(0);
+}
+
+std::size_t CountRepresentativeValuations(const ConjunctiveQuery& query) {
+  std::size_t count = 0;
+  ForEachRepresentativeValuation(query, [&](const std::vector<VarId>&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+Result<CanonicalInstance> BuildCanonicalInstance(
+    const ConjunctiveQuery& query, const std::vector<VarId>& block_of,
+    const Catalog& catalog) {
+  Database db;
+  for (const std::string& name : catalog.Names()) {
+    SETREC_ASSIGN_OR_RETURN(const RelationScheme* scheme, catalog.Find(name));
+    db.Put(name, Relation(*scheme));
+  }
+  auto value_of = [&](VarId v) {
+    return ObjectId(query.var_domain(v), block_of[v]);
+  };
+  for (const Conjunct& c : query.conjuncts()) {
+    SETREC_ASSIGN_OR_RETURN(const Relation* existing, db.Find(c.relation));
+    Relation rel = *existing;
+    std::vector<ObjectId> values;
+    values.reserve(c.vars.size());
+    for (VarId v : c.vars) values.push_back(value_of(v));
+    SETREC_RETURN_IF_ERROR(rel.Insert(Tuple(std::move(values))));
+    db.Put(c.relation, std::move(rel));
+  }
+  std::vector<ObjectId> summary_values;
+  summary_values.reserve(query.summary().size());
+  for (VarId v : query.summary()) summary_values.push_back(value_of(v));
+  return CanonicalInstance{std::move(db), Tuple(std::move(summary_values))};
+}
+
+}  // namespace setrec

@@ -1,0 +1,114 @@
+#include "conjunctive/translate.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace setrec {
+
+namespace {
+
+/// Recursive worker: returns the disjunct list; result schemes are computed
+/// by InferScheme at the top level (the recursion re-derives summaries
+/// positionally, which is enough).
+Result<std::vector<ConjunctiveQuery>> Translate(const ExprPtr& expr,
+                                                const Catalog& catalog) {
+  switch (expr->op()) {
+    case Expr::Op::kRelation: {
+      SETREC_ASSIGN_OR_RETURN(const RelationScheme* scheme,
+                              catalog.Find(expr->relation_name()));
+      ConjunctiveQuery q;
+      std::vector<VarId> vars;
+      vars.reserve(scheme->arity());
+      for (const Attribute& a : scheme->attributes()) {
+        vars.push_back(q.NewVar(a.domain));
+      }
+      q.AddConjunct(expr->relation_name(), vars);
+      q.set_summary(std::move(vars));
+      return std::vector<ConjunctiveQuery>{std::move(q)};
+    }
+    case Expr::Op::kDifference:
+      return Status::InvalidArgument(
+          "difference is not part of the positive algebra (Definition 5.2)");
+    case Expr::Op::kUnion: {
+      SETREC_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> l,
+                              Translate(expr->left(), catalog));
+      SETREC_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> r,
+                              Translate(expr->right(), catalog));
+      for (ConjunctiveQuery& q : r) l.push_back(std::move(q));
+      return l;
+    }
+    case Expr::Op::kProduct: {
+      SETREC_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> l,
+                              Translate(expr->left(), catalog));
+      SETREC_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> r,
+                              Translate(expr->right(), catalog));
+      std::vector<ConjunctiveQuery> out;
+      out.reserve(l.size() * r.size());
+      for (const ConjunctiveQuery& ql : l) {
+        for (const ConjunctiveQuery& qr : r) {
+          ConjunctiveQuery q = ql;
+          q.Absorb(qr);  // concatenates summaries
+          if (!q.trivially_false()) out.push_back(std::move(q));
+        }
+      }
+      return out;
+    }
+    case Expr::Op::kSelectEq:
+    case Expr::Op::kSelectNeq: {
+      SETREC_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> children,
+                              Translate(expr->child(), catalog));
+      SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
+                              InferScheme(*expr->child(), catalog));
+      SETREC_ASSIGN_OR_RETURN(std::size_t ia, scheme.IndexOf(expr->attr_a()));
+      SETREC_ASSIGN_OR_RETURN(std::size_t ib, scheme.IndexOf(expr->attr_b()));
+      std::vector<ConjunctiveQuery> out;
+      for (ConjunctiveQuery& q : children) {
+        const VarId va = q.summary()[ia];
+        const VarId vb = q.summary()[ib];
+        if (expr->op() == Expr::Op::kSelectEq) {
+          q.SubstituteVar(std::max(va, vb), std::min(va, vb));
+        } else {
+          q.AddNonEquality(va, vb);
+        }
+        if (!q.trivially_false()) out.push_back(std::move(q));
+      }
+      return out;
+    }
+    case Expr::Op::kProject: {
+      SETREC_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> children,
+                              Translate(expr->child(), catalog));
+      SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
+                              InferScheme(*expr->child(), catalog));
+      std::vector<std::size_t> indices;
+      for (const std::string& name : expr->projection()) {
+        SETREC_ASSIGN_OR_RETURN(std::size_t i, scheme.IndexOf(name));
+        indices.push_back(i);
+      }
+      for (ConjunctiveQuery& q : children) {
+        std::vector<VarId> new_summary;
+        new_summary.reserve(indices.size());
+        for (std::size_t i : indices) new_summary.push_back(q.summary()[i]);
+        q.set_summary(std::move(new_summary));
+      }
+      return children;
+    }
+    case Expr::Op::kRename:
+      // Renaming does not change variables, only the output attribute name,
+      // which lives in the scheme computed at the top level.
+      return Translate(expr->child(), catalog);
+  }
+  return Status::Internal("unknown expression operator");
+}
+
+}  // namespace
+
+Result<PositiveQuery> TranslateToPositiveQuery(const ExprPtr& expr,
+                                               const Catalog& catalog) {
+  SETREC_ASSIGN_OR_RETURN(RelationScheme scheme, InferScheme(*expr, catalog));
+  SETREC_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> disjuncts,
+                          Translate(expr, catalog));
+  for (ConjunctiveQuery& q : disjuncts) q.Compact();
+  return PositiveQuery{std::move(scheme), std::move(disjuncts)};
+}
+
+}  // namespace setrec

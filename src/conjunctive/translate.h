@@ -1,0 +1,30 @@
+#ifndef SETREC_CONJUNCTIVE_TRANSLATE_H_
+#define SETREC_CONJUNCTIVE_TRANSLATE_H_
+
+#include "conjunctive/conjunctive_query.h"
+#include "relational/expression.h"
+
+namespace setrec {
+
+/// Translates a *positive* relational algebra expression (Definition 5.2)
+/// into an equivalent positive query — a union of conjunctive queries with
+/// non-equalities (Appendix A). The translation is the standard one:
+///
+///   relation R        → one CQ with a single conjunct over fresh variables;
+///   union             → concatenation of disjunct lists;
+///   product           → pairwise disjoint-variable merge of disjuncts;
+///   σ_{a=b}           → unify the two summary variables;
+///   σ_{a≠b}           → add a non-equality (dropping the disjunct when both
+///                       attributes already share a variable);
+///   projection        → shrink the summary (dropped variables stay
+///                       existential);
+///   renaming          → rename the output attribute only.
+///
+/// Trivially false disjuncts are dropped. Fails with InvalidArgument if the
+/// expression uses difference or does not type-check against `catalog`.
+Result<PositiveQuery> TranslateToPositiveQuery(const ExprPtr& expr,
+                                               const Catalog& catalog);
+
+}  // namespace setrec
+
+#endif  // SETREC_CONJUNCTIVE_TRANSLATE_H_

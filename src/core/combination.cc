@@ -1,0 +1,57 @@
+#include "core/combination.h"
+
+#include <vector>
+
+#include "core/partial_instance.h"
+
+namespace setrec {
+
+namespace {
+
+Result<std::vector<Instance>> PerReceiverResults(
+    const UpdateMethod& method, const Instance& instance,
+    std::span<const Receiver> receivers) {
+  std::vector<Instance> results;
+  results.reserve(receivers.size());
+  for (const Receiver& t : receivers) {
+    SETREC_ASSIGN_OR_RETURN(Instance di, method.Apply(instance, t));
+    results.push_back(std::move(di));
+  }
+  return results;
+}
+
+}  // namespace
+
+Result<Instance> ApplyCombinationUnion(const UpdateMethod& method,
+                                       const Instance& instance,
+                                       std::span<const Receiver> receivers) {
+  if (receivers.empty()) return instance;
+  SETREC_ASSIGN_OR_RETURN(std::vector<Instance> results,
+                          PerReceiverResults(method, instance, receivers));
+  PartialInstance acc = PartialInstance::FromInstance(results[0]);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    acc = acc.Union(PartialInstance::FromInstance(results[i]));
+  }
+  // A union of proper instances is proper, so G is the identity here; it is
+  // applied anyway to return an Instance.
+  return acc.G();
+}
+
+Result<Instance> ApplyCombinationRefined(const UpdateMethod& method,
+                                         const Instance& instance,
+                                         std::span<const Receiver> receivers) {
+  if (receivers.empty()) return instance;
+  SETREC_ASSIGN_OR_RETURN(std::vector<Instance> results,
+                          PerReceiverResults(method, instance, receivers));
+  const PartialInstance input = PartialInstance::FromInstance(instance);
+  PartialInstance meet = PartialInstance::FromInstance(results[0]);
+  PartialInstance additions = meet.Difference(input);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    PartialInstance di = PartialInstance::FromInstance(results[i]);
+    meet = meet.Intersection(di);
+    additions = additions.Union(di.Difference(input));
+  }
+  return meet.Union(additions).G();
+}
+
+}  // namespace setrec

@@ -1,0 +1,34 @@
+#ifndef SETREC_CORE_COMBINATION_H_
+#define SETREC_CORE_COMBINATION_H_
+
+#include <span>
+
+#include "core/instance.h"
+#include "core/receiver.h"
+#include "core/status.h"
+#include "core/update_method.h"
+
+namespace setrec {
+
+/// The "coarser grained" parallel interpretations discussed at the end of
+/// Section 1: apply M to each receiver *separately* on the original input
+/// instance, producing D1, ..., Dn, then combine the outputs.
+
+/// Abiteboul–Vianu combination: the plain union ∪i Di of the per-receiver
+/// results (union of proper instances is proper). Returns I itself when the
+/// receiver set is empty.
+Result<Instance> ApplyCombinationUnion(const UpdateMethod& method,
+                                       const Instance& instance,
+                                       std::span<const Receiver> receivers);
+
+/// The refined combination operator the paper singles out as well-behaved:
+///     ∩i Di  ∪  ∪i (Di − D)
+/// where D is the input instance; the result is cleaned up with G since
+/// removing items can orphan edges contributed by other receivers.
+Result<Instance> ApplyCombinationRefined(const UpdateMethod& method,
+                                         const Instance& instance,
+                                         std::span<const Receiver> receivers);
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_COMBINATION_H_

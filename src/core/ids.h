@@ -1,0 +1,71 @@
+#ifndef SETREC_CORE_IDS_H_
+#define SETREC_CORE_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace setrec {
+
+/// Index of a class name in a Schema.
+using ClassId = std::uint32_t;
+/// Index of a property name (edge label) in a Schema.
+using PropertyId = std::uint32_t;
+
+/// Identity of an object. The paper (Section 2) requires each class name to
+/// have its own universe of objects, with universes of different classes
+/// disjoint; tagging every object with its class realizes this structurally:
+/// two ObjectIds with different classes are never equal.
+class ObjectId {
+ public:
+  constexpr ObjectId(ClassId class_id, std::uint32_t index)
+      : class_id_(class_id), index_(index) {}
+
+  constexpr ClassId class_id() const { return class_id_; }
+  constexpr std::uint32_t index() const { return index_; }
+
+  friend constexpr auto operator<=>(const ObjectId&, const ObjectId&) = default;
+
+ private:
+  ClassId class_id_;
+  std::uint32_t index_;
+};
+
+/// A schema item (Definition 4.1 lifted to schemas): either a class name or
+/// a property name. Colorings assign color sets to schema items.
+class SchemaItem {
+ public:
+  enum class Kind : std::uint8_t { kClass, kProperty };
+
+  static constexpr SchemaItem Class(ClassId id) {
+    return SchemaItem(Kind::kClass, id);
+  }
+  static constexpr SchemaItem Property(PropertyId id) {
+    return SchemaItem(Kind::kProperty, id);
+  }
+
+  constexpr Kind kind() const { return kind_; }
+  constexpr bool is_class() const { return kind_ == Kind::kClass; }
+  constexpr bool is_property() const { return kind_ == Kind::kProperty; }
+  constexpr std::uint32_t id() const { return id_; }
+
+  friend constexpr auto operator<=>(const SchemaItem&, const SchemaItem&) =
+      default;
+
+ private:
+  constexpr SchemaItem(Kind kind, std::uint32_t id) : kind_(kind), id_(id) {}
+
+  Kind kind_;
+  std::uint32_t id_;
+};
+
+}  // namespace setrec
+
+template <>
+struct std::hash<setrec::ObjectId> {
+  std::size_t operator()(const setrec::ObjectId& o) const noexcept {
+    return (static_cast<std::size_t>(o.class_id()) << 32) | o.index();
+  }
+};
+
+#endif  // SETREC_CORE_IDS_H_

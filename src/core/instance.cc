@@ -1,0 +1,167 @@
+#include "core/instance.h"
+
+#include <cassert>
+
+namespace setrec {
+
+namespace {
+const std::set<ObjectId> kEmptyObjects;
+const std::set<std::pair<ObjectId, ObjectId>> kEmptyEdges;
+}  // namespace
+
+Instance::Instance(const Schema* schema) : schema_(schema) {
+  assert(schema != nullptr);
+}
+
+Status Instance::AddObject(ObjectId object) {
+  if (!schema_->HasClass(object.class_id())) {
+    return Status::InvalidArgument("object class unknown to schema");
+  }
+  objects_[object.class_id()].insert(object);
+  return Status::OK();
+}
+
+Status Instance::AddEdge(ObjectId source, PropertyId property,
+                         ObjectId target) {
+  if (!schema_->HasProperty(property)) {
+    return Status::InvalidArgument("property unknown to schema");
+  }
+  const Schema::PropertyDef& def = schema_->property(property);
+  if (source.class_id() != def.source || target.class_id() != def.target) {
+    return Status::InvalidArgument("edge endpoints violate property typing: " +
+                                   def.name);
+  }
+  if (!HasObject(source) || !HasObject(target)) {
+    return Status::FailedPrecondition(
+        "edge endpoints must be present in the instance");
+  }
+  edges_[property].emplace(source, target);
+  return Status::OK();
+}
+
+Status Instance::RemoveEdge(ObjectId source, PropertyId property,
+                            ObjectId target) {
+  auto it = edges_.find(property);
+  if (it != edges_.end()) {
+    it->second.erase({source, target});
+    if (it->second.empty()) edges_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status Instance::RemoveObject(ObjectId object) {
+  auto it = objects_.find(object.class_id());
+  if (it == objects_.end() || it->second.erase(object) == 0) {
+    return Status::OK();
+  }
+  if (it->second.empty()) objects_.erase(it);
+  // Drop incident edges so the graph stays proper.
+  for (auto eit = edges_.begin(); eit != edges_.end();) {
+    auto& pairs = eit->second;
+    for (auto pit = pairs.begin(); pit != pairs.end();) {
+      if (pit->first == object || pit->second == object) {
+        pit = pairs.erase(pit);
+      } else {
+        ++pit;
+      }
+    }
+    eit = pairs.empty() ? edges_.erase(eit) : std::next(eit);
+  }
+  return Status::OK();
+}
+
+Status Instance::ClearEdgesFrom(ObjectId source, PropertyId property) {
+  auto it = edges_.find(property);
+  if (it == edges_.end()) return Status::OK();
+  auto& pairs = it->second;
+  auto lo = pairs.lower_bound({source, ObjectId(0, 0)});
+  while (lo != pairs.end() && lo->first == source) {
+    lo = pairs.erase(lo);
+  }
+  if (pairs.empty()) edges_.erase(it);
+  return Status::OK();
+}
+
+bool Instance::HasObject(ObjectId object) const {
+  auto it = objects_.find(object.class_id());
+  return it != objects_.end() && it->second.contains(object);
+}
+
+bool Instance::HasEdge(ObjectId source, PropertyId property,
+                       ObjectId target) const {
+  auto it = edges_.find(property);
+  return it != edges_.end() && it->second.contains({source, target});
+}
+
+const std::set<ObjectId>& Instance::objects(ClassId class_id) const {
+  auto it = objects_.find(class_id);
+  return it == objects_.end() ? kEmptyObjects : it->second;
+}
+
+const std::set<std::pair<ObjectId, ObjectId>>& Instance::edges(
+    PropertyId property) const {
+  auto it = edges_.find(property);
+  return it == edges_.end() ? kEmptyEdges : it->second;
+}
+
+std::vector<ObjectId> Instance::Targets(ObjectId source,
+                                        PropertyId property) const {
+  std::vector<ObjectId> out;
+  auto it = edges_.find(property);
+  if (it == edges_.end()) return out;
+  for (auto lo = it->second.lower_bound({source, ObjectId(0, 0)});
+       lo != it->second.end() && lo->first == source; ++lo) {
+    out.push_back(lo->second);
+  }
+  return out;
+}
+
+std::size_t Instance::num_objects() const {
+  std::size_t n = 0;
+  for (const auto& [cls, objs] : objects_) n += objs.size();
+  return n;
+}
+
+std::size_t Instance::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& [property, pairs] : edges_) n += pairs.size();
+  return n;
+}
+
+std::vector<ObjectId> Instance::AllObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(num_objects());
+  for (const auto& [cls, objs] : objects_) {
+    out.insert(out.end(), objs.begin(), objs.end());
+  }
+  return out;
+}
+
+std::vector<Edge> Instance::AllEdges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (const auto& [property, pairs] : edges_) {
+    for (const auto& [source, target] : pairs) {
+      out.push_back(Edge{source, property, target});
+    }
+  }
+  return out;
+}
+
+bool Instance::IsSubInstanceOf(const Instance& other) const {
+  for (const auto& [cls, objs] : objects_) {
+    const auto& theirs = other.objects(cls);
+    for (ObjectId o : objs) {
+      if (!theirs.contains(o)) return false;
+    }
+  }
+  for (const auto& [property, pairs] : edges_) {
+    const auto& theirs = other.edges(property);
+    for (const auto& pair : pairs) {
+      if (!theirs.contains(pair)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace setrec

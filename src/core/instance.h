@@ -1,0 +1,107 @@
+#ifndef SETREC_CORE_INSTANCE_H_
+#define SETREC_CORE_INSTANCE_H_
+
+#include <compare>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/schema.h"
+#include "core/status.h"
+
+namespace setrec {
+
+/// A property link (o, e, p) between two objects (Definition 2.2).
+struct Edge {
+  ObjectId source;
+  PropertyId property;
+  ObjectId target;
+
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// An instance of an object-base schema (Definition 2.2): a finite labeled
+/// directed graph whose nodes are objects and whose edges are property links
+/// conforming to the schema. An Instance is always a *proper* graph — every
+/// edge's endpoints are present (contrast PartialInstance). All mutators
+/// preserve this invariant: RemoveObject also removes incident edges.
+///
+/// Equality is full graph equality (same objects, same edges), which is the
+/// notion of sameness used by all order-independence definitions.
+class Instance {
+ public:
+  /// An empty instance of `schema`; the schema must outlive the instance.
+  explicit Instance(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  // -- Mutators (all preserve graph validity) --------------------------------
+
+  /// Inserts an object; no-op (OK) if already present. Fails if the object's
+  /// class is unknown to the schema.
+  Status AddObject(ObjectId object);
+
+  /// Inserts the edge (source, property, target). Fails unless the property
+  /// exists, both endpoints are present, and their classes match the
+  /// property's declaration. No-op (OK) if the edge already exists.
+  Status AddEdge(ObjectId source, PropertyId property, ObjectId target);
+  Status AddEdge(const Edge& e) { return AddEdge(e.source, e.property, e.target); }
+
+  /// Removes an edge; no-op (OK) if absent.
+  Status RemoveEdge(ObjectId source, PropertyId property, ObjectId target);
+
+  /// Removes an object *and all its incident edges* (so that the result is
+  /// again a proper graph); no-op (OK) if absent.
+  Status RemoveObject(ObjectId object);
+
+  /// Removes every `property` edge leaving `source`. Used by the algebraic
+  /// update semantics (Definition 5.4(5)), which replaces all a-edges leaving
+  /// the receiving object.
+  Status ClearEdgesFrom(ObjectId source, PropertyId property);
+
+  // -- Queries ----------------------------------------------------------------
+
+  bool HasObject(ObjectId object) const;
+  bool HasEdge(ObjectId source, PropertyId property, ObjectId target) const;
+
+  /// The class C of `class_id` — all objects labeled by that class name.
+  const std::set<ObjectId>& objects(ClassId class_id) const;
+
+  /// All (source, target) pairs linked by `property`, in sorted order.
+  const std::set<std::pair<ObjectId, ObjectId>>& edges(
+      PropertyId property) const;
+
+  /// Targets of `property` edges leaving `source`, in sorted order.
+  std::vector<ObjectId> Targets(ObjectId source, PropertyId property) const;
+
+  std::size_t num_objects() const;
+  std::size_t num_edges() const;
+
+  /// Every object of every class, in (class, index) order.
+  std::vector<ObjectId> AllObjects() const;
+  /// Every edge of every property, in (property, source, target) order.
+  std::vector<Edge> AllEdges() const;
+
+  /// True when every object and edge of this instance is also in `other`.
+  /// This is the item-set inclusion I ⊆ J used to define inflationary and
+  /// deflationary updates (Propositions 4.10 and 4.19).
+  bool IsSubInstanceOf(const Instance& other) const;
+
+  friend bool operator==(const Instance& a, const Instance& b) {
+    return a.objects_ == b.objects_ && a.edges_ == b.edges_;
+  }
+
+ private:
+  friend class PartialInstance;
+
+  const Schema* schema_;
+  // Keyed maps keep iteration deterministic; absent keys mean empty sets.
+  std::map<ClassId, std::set<ObjectId>> objects_;
+  std::map<PropertyId, std::set<std::pair<ObjectId, ObjectId>>> edges_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_INSTANCE_H_

@@ -1,0 +1,87 @@
+#ifndef SETREC_CORE_INSTANCE_GENERATOR_H_
+#define SETREC_CORE_INSTANCE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/receiver.h"
+#include "core/schema.h"
+
+namespace setrec {
+
+/// SplitMix64: a tiny, high-quality, fully deterministic PRNG. Used instead
+/// of <random> engines so that generated workloads are bit-identical across
+/// standard libraries — every property test and bench is reproducible from
+/// its seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be positive.
+  std::size_t UniformInt(std::size_t n) { return Next() % n; }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Seeded generator of random instances and receiver sets over a schema,
+/// used by property-based tests and by the randomized order-dependence
+/// refuter (the best one can do for the undecidable general case, Cor 5.7).
+class InstanceGenerator {
+ public:
+  struct Options {
+    /// Objects drawn per class: uniform in [min_objects, max_objects].
+    std::uint32_t min_objects_per_class = 1;
+    std::uint32_t max_objects_per_class = 4;
+    /// Each schema-permitted edge is present independently with this
+    /// probability.
+    double edge_probability = 0.4;
+  };
+
+  InstanceGenerator(const Schema* schema, std::uint64_t seed)
+      : schema_(schema), rng_(seed) {}
+
+  /// A random instance of the schema.
+  Instance RandomInstance(const Options& options);
+
+  /// Every receiver of type `signature` over `instance` (the Cartesian
+  /// product of the signature's classes). Deterministic order.
+  static std::vector<Receiver> AllReceivers(const Instance& instance,
+                                            const MethodSignature& signature);
+
+  /// A random subset of AllReceivers of size ≤ count (distinct receivers).
+  std::vector<Receiver> RandomReceiverSet(const Instance& instance,
+                                          const MethodSignature& signature,
+                                          std::size_t count);
+
+  /// A random *key set* (Section 3): distinct receiving objects. Size is
+  /// bounded by both `count` and the receiving class's population.
+  std::vector<Receiver> RandomKeySet(const Instance& instance,
+                                     const MethodSignature& signature,
+                                     std::size_t count);
+
+  SplitMix64& rng() { return rng_; }
+
+ private:
+  const Schema* schema_;
+  SplitMix64 rng_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_INSTANCE_GENERATOR_H_

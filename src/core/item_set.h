@@ -1,0 +1,79 @@
+#ifndef SETREC_CORE_ITEM_SET_H_
+#define SETREC_CORE_ITEM_SET_H_
+
+#include <set>
+
+#include "core/ids.h"
+#include "core/schema.h"
+
+namespace setrec {
+
+/// A set of schema items (classes and properties). Used as the type
+/// parameter X of "uses only information of type X" (Definitions 4.5, 4.7,
+/// 4.16) and as the carrier of restriction I|X.
+class SchemaItemSet {
+ public:
+  SchemaItemSet() = default;
+
+  void InsertClass(ClassId c) { classes_.insert(c); }
+  void InsertProperty(PropertyId p) { properties_.insert(p); }
+  void Insert(SchemaItem item) {
+    if (item.is_class()) {
+      classes_.insert(item.id());
+    } else {
+      properties_.insert(item.id());
+    }
+  }
+
+  bool ContainsClass(ClassId c) const { return classes_.contains(c); }
+  bool ContainsProperty(PropertyId p) const {
+    return properties_.contains(p);
+  }
+  bool Contains(SchemaItem item) const {
+    return item.is_class() ? ContainsClass(item.id())
+                           : ContainsProperty(item.id());
+  }
+
+  const std::set<ClassId>& classes() const { return classes_; }
+  const std::set<PropertyId>& properties() const { return properties_; }
+
+  bool empty() const { return classes_.empty() && properties_.empty(); }
+
+  /// Adds, for every property in the set, its incident classes. Definition
+  /// 4.7 requires the "use" set X to be edge-closed in this sense (if an edge
+  /// is in X, so are its incident nodes) so that I|X is always an instance.
+  void CloseUnderIncidentClasses(const Schema& schema) {
+    for (PropertyId p : properties_) {
+      classes_.insert(schema.property(p).source);
+      classes_.insert(schema.property(p).target);
+    }
+  }
+
+  /// True if every property's incident classes are also members.
+  bool IsEdgeClosed(const Schema& schema) const {
+    for (PropertyId p : properties_) {
+      if (!classes_.contains(schema.property(p).source) ||
+          !classes_.contains(schema.property(p).target)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The full item set of `schema`.
+  static SchemaItemSet All(const Schema& schema) {
+    SchemaItemSet out;
+    for (SchemaItem item : schema.AllItems()) out.Insert(item);
+    return out;
+  }
+
+  friend bool operator==(const SchemaItemSet&, const SchemaItemSet&) = default;
+
+ private:
+  std::set<ClassId> classes_;
+  std::set<PropertyId> properties_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_ITEM_SET_H_

@@ -1,0 +1,70 @@
+#ifndef SETREC_CORE_PARTIAL_INSTANCE_H_
+#define SETREC_CORE_PARTIAL_INSTANCE_H_
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/ids.h"
+#include "core/instance.h"
+#include "core/item_set.h"
+#include "core/schema.h"
+#include "core/status.h"
+
+namespace setrec {
+
+/// A partial instance (Definition 4.3): a subset of some instance viewed as
+/// a set of items. Unlike Instance, a PartialInstance may contain "dangling"
+/// edges whose endpoints were removed. Set-theoretic union and difference
+/// operate item-wise, and the G operator (Definition 4.4) recovers the
+/// largest proper instance contained in the item set.
+class PartialInstance {
+ public:
+  explicit PartialInstance(const Schema* schema);
+
+  /// Views an instance as the set of its items.
+  static PartialInstance FromInstance(const Instance& instance);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Inserts items without any dangling-edge checks (typing is still
+  /// enforced: the edge label must exist and endpoint classes must match).
+  Status AddObject(ObjectId object);
+  Status AddEdge(ObjectId source, PropertyId property, ObjectId target);
+
+  bool HasObject(ObjectId object) const;
+  bool HasEdge(ObjectId source, PropertyId property, ObjectId target) const;
+
+  std::size_t num_items() const;
+  bool empty() const { return num_items() == 0; }
+
+  /// Item-wise union J ∪ K.
+  PartialInstance Union(const PartialInstance& other) const;
+  /// Item-wise difference J − K.
+  PartialInstance Difference(const PartialInstance& other) const;
+  /// Item-wise intersection J ∩ K.
+  PartialInstance Intersection(const PartialInstance& other) const;
+
+  /// The operator G (Definition 4.4): the largest instance contained in this
+  /// partial instance, i.e. this item set with all dangling edges removed.
+  Instance G() const;
+
+  /// The restriction I|X (Definition 4.5): removes every item whose schema
+  /// label is not in `items`. Classes absent from X lose their objects;
+  /// properties absent from X lose their edges (possibly leaving danglers).
+  static PartialInstance Restrict(const Instance& instance,
+                                  const SchemaItemSet& items);
+
+  friend bool operator==(const PartialInstance& a, const PartialInstance& b) {
+    return a.objects_ == b.objects_ && a.edges_ == b.edges_;
+  }
+
+ private:
+  const Schema* schema_;
+  std::map<ClassId, std::set<ObjectId>> objects_;
+  std::map<PropertyId, std::set<std::pair<ObjectId, ObjectId>>> edges_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_PARTIAL_INSTANCE_H_

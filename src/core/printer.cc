@@ -1,0 +1,61 @@
+#include "core/printer.h"
+
+#include <sstream>
+
+namespace setrec {
+
+std::string ObjectName(const Schema& schema, ObjectId object) {
+  std::ostringstream out;
+  out << schema.class_name(object.class_id()) << "_" << object.index();
+  return out.str();
+}
+
+std::string SchemaToString(const Schema& schema) {
+  std::ostringstream out;
+  out << "schema {\n";
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    out << "  class " << schema.class_name(c) << "\n";
+  }
+  for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+    const Schema::PropertyDef& def = schema.property(p);
+    out << "  " << schema.class_name(def.source) << " --" << def.name
+        << "--> " << schema.class_name(def.target) << "\n";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string InstanceToString(const Instance& instance) {
+  const Schema& schema = instance.schema();
+  std::ostringstream out;
+  out << "instance {\n";
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    const auto& objs = instance.objects(c);
+    if (objs.empty()) continue;
+    out << "  " << schema.class_name(c) << ":";
+    for (ObjectId o : objs) out << " " << ObjectName(schema, o);
+    out << "\n";
+  }
+  for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+    for (const auto& [src, dst] : instance.edges(p)) {
+      out << "  " << ObjectName(schema, src) << " --"
+          << schema.property(p).name << "--> " << ObjectName(schema, dst)
+          << "\n";
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string ReceiverToString(const Schema& schema, const Receiver& receiver) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < receiver.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << ObjectName(schema, receiver.object_at(i));
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace setrec

@@ -1,0 +1,29 @@
+#ifndef SETREC_CORE_PRINTER_H_
+#define SETREC_CORE_PRINTER_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/receiver.h"
+#include "core/schema.h"
+
+namespace setrec {
+
+/// Renders an object as "Drinker_0" using its class name and index, matching
+/// the paper's figures (objects of type C are denoted C_1, C_2, ...).
+std::string ObjectName(const Schema& schema, ObjectId object);
+
+/// Renders a schema as one "B --e--> C" line per edge plus isolated classes.
+std::string SchemaToString(const Schema& schema);
+
+/// Renders an instance: a line per class listing its objects, then a line
+/// per edge "Drinker_0 --frequents--> Bar_2". Deterministic order, so the
+/// output is directly comparable in tests and golden files.
+std::string InstanceToString(const Instance& instance);
+
+/// Renders a receiver as "[Drinker_0, Bar_2]".
+std::string ReceiverToString(const Schema& schema, const Receiver& receiver);
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_PRINTER_H_

@@ -1,0 +1,59 @@
+#include "core/receiver.h"
+
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace setrec {
+
+MethodSignature::MethodSignature(std::vector<ClassId> classes)
+    : classes_(std::move(classes)) {
+  assert(!classes_.empty() && "a signature is a non-empty tuple (Def 2.4)");
+}
+
+Result<Receiver> Receiver::Make(const MethodSignature& signature,
+                                std::vector<ObjectId> objects,
+                                const Instance& instance) {
+  if (objects.size() != signature.size()) {
+    return Status::InvalidArgument("receiver arity does not match signature");
+  }
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].class_id() != signature.class_at(i)) {
+      return Status::InvalidArgument(
+          "receiver component has wrong class at position " +
+          std::to_string(i));
+    }
+    if (!instance.HasObject(objects[i])) {
+      return Status::FailedPrecondition(
+          "receiver component not present in instance at position " +
+          std::to_string(i));
+    }
+  }
+  return Receiver(std::move(objects));
+}
+
+Receiver Receiver::Unchecked(std::vector<ObjectId> objects) {
+  assert(!objects.empty());
+  return Receiver(std::move(objects));
+}
+
+bool Receiver::IsValidOver(const MethodSignature& signature,
+                           const Instance& instance) const {
+  if (objects_.size() != signature.size()) return false;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    if (objects_[i].class_id() != signature.class_at(i)) return false;
+    if (!instance.HasObject(objects_[i])) return false;
+  }
+  return true;
+}
+
+bool IsKeySet(std::span<const Receiver> receivers) {
+  std::map<ObjectId, const Receiver*> by_receiving;
+  for (const Receiver& r : receivers) {
+    auto [it, inserted] = by_receiving.emplace(r.receiving_object(), &r);
+    if (!inserted && !(*it->second == r)) return false;
+  }
+  return true;
+}
+
+}  // namespace setrec

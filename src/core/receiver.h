@@ -1,0 +1,81 @@
+#ifndef SETREC_CORE_RECEIVER_H_
+#define SETREC_CORE_RECEIVER_H_
+
+#include <compare>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/instance.h"
+#include "core/status.h"
+
+namespace setrec {
+
+/// A method signature σ = [C0, ..., Ck] over a schema (Definition 2.4): a
+/// non-empty tuple of class names. C0 is the receiving class; C1..Ck are the
+/// argument classes.
+class MethodSignature {
+ public:
+  /// `classes` must be non-empty; its first element is the receiving class.
+  explicit MethodSignature(std::vector<ClassId> classes);
+
+  ClassId receiving_class() const { return classes_[0]; }
+  /// Number of argument positions (k), excluding the receiver.
+  std::size_t num_args() const { return classes_.size() - 1; }
+  /// Total tuple length (k + 1).
+  std::size_t size() const { return classes_.size(); }
+  ClassId class_at(std::size_t i) const { return classes_[i]; }
+  ClassId arg_class(std::size_t i) const { return classes_[i + 1]; }
+
+  friend bool operator==(const MethodSignature&, const MethodSignature&) =
+      default;
+
+ private:
+  std::vector<ClassId> classes_;
+};
+
+/// A receiver [o0, ..., ok] of some type σ (Definition 2.5): a tuple of
+/// objects whose classes match the signature positionally. o0 is the
+/// receiving object; o1..ok are the arguments.
+class Receiver {
+ public:
+  /// Validates classes against `signature` and presence in `instance`
+  /// (receivers are defined *over* an instance).
+  static Result<Receiver> Make(const MethodSignature& signature,
+                               std::vector<ObjectId> objects,
+                               const Instance& instance);
+
+  /// Constructs without presence checks (classes are asserted). Useful when
+  /// the receiver's validity over the evolving instance is checked later, as
+  /// sequential application must do.
+  static Receiver Unchecked(std::vector<ObjectId> objects);
+
+  ObjectId receiving_object() const { return objects_[0]; }
+  std::size_t num_args() const { return objects_.size() - 1; }
+  std::size_t size() const { return objects_.size(); }
+  ObjectId object_at(std::size_t i) const { return objects_[i]; }
+  ObjectId arg(std::size_t i) const { return objects_[i + 1]; }
+
+  /// True when every component object is present in `instance` with the
+  /// right class per `signature`.
+  bool IsValidOver(const MethodSignature& signature,
+                   const Instance& instance) const;
+
+  friend auto operator<=>(const Receiver&, const Receiver&) = default;
+
+ private:
+  explicit Receiver(std::vector<ObjectId> objects)
+      : objects_(std::move(objects)) {}
+
+  std::vector<ObjectId> objects_;
+};
+
+/// True when, viewing T as a relation, the first column (the receiving
+/// objects) is a key for T (Section 3, key-order independence): no receiving
+/// object occurs twice with different arguments.
+bool IsKeySet(std::span<const Receiver> receivers);
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_RECEIVER_H_

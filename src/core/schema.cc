@@ -1,0 +1,84 @@
+#include "core/schema.h"
+
+#include <utility>
+
+namespace setrec {
+
+Result<ClassId> Schema::AddClass(std::string name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("class name must be non-empty");
+  }
+  if (class_index_.contains(name)) {
+    return Status::AlreadyExists("duplicate class name: " + name);
+  }
+  if (property_index_.contains(name)) {
+    return Status::AlreadyExists(
+        "class name collides with a property name: " + name);
+  }
+  ClassId id = static_cast<ClassId>(classes_.size());
+  class_index_.emplace(name, id);
+  classes_.push_back(std::move(name));
+  return id;
+}
+
+Result<PropertyId> Schema::AddProperty(std::string name, ClassId source,
+                                       ClassId target) {
+  if (name.empty()) {
+    return Status::InvalidArgument("property name must be non-empty");
+  }
+  if (!HasClass(source) || !HasClass(target)) {
+    return Status::InvalidArgument("property " + name +
+                                   " references an unknown class");
+  }
+  if (property_index_.contains(name)) {
+    return Status::AlreadyExists("duplicate property name: " + name);
+  }
+  if (class_index_.contains(name)) {
+    return Status::AlreadyExists(
+        "property name collides with a class name: " + name);
+  }
+  PropertyId id = static_cast<PropertyId>(properties_.size());
+  property_index_.emplace(name, id);
+  properties_.push_back(PropertyDef{std::move(name), source, target});
+  return id;
+}
+
+Result<ClassId> Schema::FindClass(std::string_view name) const {
+  auto it = class_index_.find(std::string(name));
+  if (it == class_index_.end()) {
+    return Status::NotFound("no class named " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<PropertyId> Schema::FindProperty(std::string_view name) const {
+  auto it = property_index_.find(std::string(name));
+  if (it == property_index_.end()) {
+    return Status::NotFound("no property named " + std::string(name));
+  }
+  return it->second;
+}
+
+std::vector<PropertyId> Schema::IncidentProperties(ClassId c) const {
+  std::vector<PropertyId> out;
+  for (PropertyId p = 0; p < properties_.size(); ++p) {
+    if (properties_[p].source == c || properties_[p].target == c) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<SchemaItem> Schema::AllItems() const {
+  std::vector<SchemaItem> items;
+  items.reserve(classes_.size() + properties_.size());
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    items.push_back(SchemaItem::Class(c));
+  }
+  for (PropertyId p = 0; p < properties_.size(); ++p) {
+    items.push_back(SchemaItem::Property(p));
+  }
+  return items;
+}
+
+}  // namespace setrec

@@ -1,0 +1,70 @@
+#ifndef SETREC_CORE_SCHEMA_H_
+#define SETREC_CORE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+
+namespace setrec {
+
+/// An object-base schema (Definition 2.1): a finite, edge-labeled, directed
+/// graph whose nodes are class names and whose edges (B, e, C) declare a
+/// property e of class B with target type C. Different edges must carry
+/// different labels, so a property name identifies its edge uniquely.
+///
+/// Schemas are built incrementally with AddClass/AddProperty and are
+/// otherwise immutable; Instance and the analysis layers hold `const Schema*`
+/// pointers, so a schema must outlive everything built on it.
+class Schema {
+ public:
+  /// Declaration of one schema edge (B, e, C).
+  struct PropertyDef {
+    std::string name;
+    ClassId source;
+    ClassId target;
+  };
+
+  Schema() = default;
+
+  /// Adds a class name; fails with AlreadyExists on duplicates.
+  Result<ClassId> AddClass(std::string name);
+
+  /// Adds a property edge (source, name, target). Both endpoint classes must
+  /// exist; the label must be globally fresh (Definition 2.1 requires
+  /// distinct labels on distinct edges).
+  Result<PropertyId> AddProperty(std::string name, ClassId source,
+                                 ClassId target);
+
+  std::size_t num_classes() const { return classes_.size(); }
+  std::size_t num_properties() const { return properties_.size(); }
+
+  bool HasClass(ClassId id) const { return id < classes_.size(); }
+  bool HasProperty(PropertyId id) const { return id < properties_.size(); }
+
+  const std::string& class_name(ClassId id) const { return classes_[id]; }
+  const PropertyDef& property(PropertyId id) const { return properties_[id]; }
+
+  Result<ClassId> FindClass(std::string_view name) const;
+  Result<PropertyId> FindProperty(std::string_view name) const;
+
+  /// All properties whose source or target is `c`, in id order. Used by the
+  /// coloring soundness criteria, which quantify over incident schema edges.
+  std::vector<PropertyId> IncidentProperties(ClassId c) const;
+
+  /// All schema items (classes then properties), the domain of a coloring.
+  std::vector<SchemaItem> AllItems() const;
+
+ private:
+  std::vector<std::string> classes_;
+  std::vector<PropertyDef> properties_;
+  std::unordered_map<std::string, ClassId> class_index_;
+  std::unordered_map<std::string, PropertyId> property_index_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_SCHEMA_H_

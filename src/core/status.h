@@ -1,0 +1,178 @@
+#ifndef SETREC_CORE_STATUS_H_
+#define SETREC_CORE_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace setrec {
+
+/// Error categories used across the library. The unusual `kDiverges` code
+/// models the deliberately non-terminating update methods constructed in the
+/// proof of Proposition 4.13: instead of looping forever, a witness method
+/// reports divergence, preserving the observable semantics (undefinedness).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kDiverges,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kDiverges:
+      return "Diverges";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+/// A RocksDB/Arrow-style status object. Functions that can fail return a
+/// `Status` (or a `Result<T>` when they also produce a value); no exceptions
+/// cross the public API.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Diverges(std::string msg) {
+    return Status(StatusCode::kDiverges, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Code: message" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. Accessing `value()` on an errored result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  /// Unwrapping an errored Result is a programming error; fail loudly (also
+  /// in release builds) instead of dereferencing an empty optional.
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define SETREC_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::setrec::Status _setrec_status = (expr);   \
+    if (!_setrec_status.ok()) return _setrec_status; \
+  } while (0)
+
+/// Evaluates a Result-returning expression, propagating errors, and binds the
+/// unwrapped value to `lhs`.
+#define SETREC_ASSIGN_OR_RETURN(lhs, expr)                    \
+  auto SETREC_CONCAT_(_setrec_result_, __LINE__) = (expr);    \
+  if (!SETREC_CONCAT_(_setrec_result_, __LINE__).ok())        \
+    return SETREC_CONCAT_(_setrec_result_, __LINE__).status(); \
+  lhs = std::move(SETREC_CONCAT_(_setrec_result_, __LINE__)).value()
+
+#define SETREC_CONCAT_INNER_(a, b) a##b
+#define SETREC_CONCAT_(a, b) SETREC_CONCAT_INNER_(a, b)
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_STATUS_H_

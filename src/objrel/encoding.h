@@ -1,0 +1,48 @@
+#ifndef SETREC_OBJREL_ENCODING_H_
+#define SETREC_OBJREL_ENCODING_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/schema.h"
+#include "relational/dependencies.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace setrec {
+
+/// The relational representation of object bases (Section 5.1). For a
+/// schema S the corresponding relational database schema contains, for each
+/// class name C, the unary relation scheme C (attribute C with domain Δ_C),
+/// and for each edge (C, a, B), the binary relation scheme "Ca" with
+/// attributes C (domain Δ_C) and a (domain Δ_B). Relation "Ca" is named by
+/// concatenating the class and property names, exactly as the paper writes
+/// Df for Drinker.frequents.
+
+/// Name of the binary relation representing property `p` ("Ca").
+std::string PropertyRelationName(const Schema& schema, PropertyId p);
+
+/// Builds the relational catalog corresponding to `schema`. Fails if the
+/// concatenated relation names collide (e.g. class "A" + property "BC"
+/// versus class "AB" + property "C"); rename schema elements to resolve.
+Result<Catalog> EncodeCatalog(const Schema& schema);
+
+/// The integrity constraints the encoding induces (Section 5.1): for each
+/// edge (C, a, B), the full inclusion dependencies Ca[C] ⊆ C and Ca[a] ⊆ B,
+/// plus pairwise disjointness of all class relations. (Disjointness also
+/// holds structurally in this typed model.)
+DependencySet InducedDependencies(const Schema& schema);
+
+/// Encodes an object-base instance as a relational database instance.
+Result<Database> EncodeInstance(const Instance& instance);
+
+/// Decodes a relational database back into an object-base instance of
+/// `schema`. Fails if the database does not satisfy the induced inclusion
+/// dependencies (dangling property tuples) or misses a relation. Together
+/// with EncodeInstance this realizes Proposition 5.1's exact correspondence.
+Result<Instance> DecodeInstance(const Database& database,
+                                const Schema& schema);
+
+}  // namespace setrec
+
+#endif  // SETREC_OBJREL_ENCODING_H_

@@ -1,0 +1,67 @@
+#include "relational/builder.h"
+
+#include <cassert>
+
+namespace setrec::ra {
+
+ExprPtr Rel(std::string name) { return Expr::Relation(std::move(name)); }
+
+ExprPtr Union(ExprPtr l, ExprPtr r) {
+  return Expr::Union(std::move(l), std::move(r));
+}
+
+ExprPtr Diff(ExprPtr l, ExprPtr r) {
+  return Expr::Difference(std::move(l), std::move(r));
+}
+
+ExprPtr Product(ExprPtr l, ExprPtr r) {
+  return Expr::Product(std::move(l), std::move(r));
+}
+
+ExprPtr SelectEq(ExprPtr e, std::string a, std::string b) {
+  return Expr::SelectEq(std::move(e), std::move(a), std::move(b));
+}
+
+ExprPtr SelectNeq(ExprPtr e, std::string a, std::string b) {
+  return Expr::SelectNeq(std::move(e), std::move(a), std::move(b));
+}
+
+ExprPtr Project(ExprPtr e, std::vector<std::string> attrs) {
+  return Expr::Project(std::move(e), std::move(attrs));
+}
+
+ExprPtr Rename(ExprPtr e, std::string from, std::string to) {
+  return Expr::Rename(std::move(e), std::move(from), std::move(to));
+}
+
+ExprPtr JoinEq(ExprPtr l, ExprPtr r, std::string a, std::string b) {
+  return SelectEq(Product(std::move(l), std::move(r)), std::move(a),
+                  std::move(b));
+}
+
+ExprPtr JoinNeq(ExprPtr l, ExprPtr r, std::string a, std::string b) {
+  return SelectNeq(Product(std::move(l), std::move(r)), std::move(a),
+                   std::move(b));
+}
+
+ExprPtr Guard(ExprPtr e) { return Project(std::move(e), {}); }
+
+ExprPtr UnionAll(std::vector<ExprPtr> exprs) {
+  assert(!exprs.empty());
+  ExprPtr out = exprs[0];
+  for (std::size_t i = 1; i < exprs.size(); ++i) {
+    out = Union(std::move(out), exprs[i]);
+  }
+  return out;
+}
+
+ExprPtr ProductAll(std::vector<ExprPtr> exprs) {
+  assert(!exprs.empty());
+  ExprPtr out = exprs[0];
+  for (std::size_t i = 1; i < exprs.size(); ++i) {
+    out = Product(std::move(out), exprs[i]);
+  }
+  return out;
+}
+
+}  // namespace setrec::ra

@@ -1,0 +1,48 @@
+#ifndef SETREC_RELATIONAL_BUILDER_H_
+#define SETREC_RELATIONAL_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/expression.h"
+
+namespace setrec::ra {
+
+/// Terse builders for relational algebra expressions, plus the derived
+/// operators the paper uses freely (theta-joins as abbreviations of product,
+/// selection and renaming; the π_∅ "guard" trick from the proof of Theorem
+/// 5.6). Example, Example 5.5's add_bar:
+///
+///   auto e = ra::Union(
+///       ra::Project(ra::JoinNeq(ra::Rel("self"), ra::Rel("Df"),
+///                               "self", "D"), {"f"}),
+///       ra::Rel("arg1"));
+
+ExprPtr Rel(std::string name);
+ExprPtr Union(ExprPtr l, ExprPtr r);
+ExprPtr Diff(ExprPtr l, ExprPtr r);
+ExprPtr Product(ExprPtr l, ExprPtr r);
+ExprPtr SelectEq(ExprPtr e, std::string a, std::string b);
+ExprPtr SelectNeq(ExprPtr e, std::string a, std::string b);
+ExprPtr Project(ExprPtr e, std::vector<std::string> attrs);
+ExprPtr Rename(ExprPtr e, std::string from, std::string to);
+
+/// Theta-join l ⋈_{a=b} r, an abbreviation for σ_{a=b}(l × r).
+ExprPtr JoinEq(ExprPtr l, ExprPtr r, std::string a, std::string b);
+/// Theta-join l ⋈_{a≠b} r, an abbreviation for σ_{a≠b}(l × r).
+ExprPtr JoinNeq(ExprPtr l, ExprPtr r, std::string a, std::string b);
+
+/// π_∅(e): the nullary guard. Evaluates to {()} iff e is non-empty and to ∅
+/// otherwise; multiplying an expression by a guard conditions it on the
+/// guard's truth (the trick from the proof of Theorem 5.6).
+ExprPtr Guard(ExprPtr e);
+
+/// Folds a non-empty list with union.
+ExprPtr UnionAll(std::vector<ExprPtr> exprs);
+
+/// Folds a non-empty list with product.
+ExprPtr ProductAll(std::vector<ExprPtr> exprs);
+
+}  // namespace setrec::ra
+
+#endif  // SETREC_RELATIONAL_BUILDER_H_

@@ -1,0 +1,77 @@
+#include "relational/dependencies.h"
+
+#include <map>
+
+namespace setrec {
+
+Result<bool> Satisfies(const Database& database,
+                       const FunctionalDependency& fd) {
+  SETREC_ASSIGN_OR_RETURN(const Relation* rel, database.Find(fd.relation));
+  std::vector<std::size_t> lhs;
+  for (const std::string& a : fd.lhs) {
+    SETREC_ASSIGN_OR_RETURN(std::size_t i, rel->scheme().IndexOf(a));
+    lhs.push_back(i);
+  }
+  SETREC_ASSIGN_OR_RETURN(std::size_t rhs, rel->scheme().IndexOf(fd.rhs));
+
+  std::map<Tuple, ObjectId> seen;
+  for (const Tuple& t : *rel) {
+    Tuple key = t.Project(lhs);
+    auto [it, inserted] = seen.emplace(std::move(key), t.at(rhs));
+    if (!inserted && !(it->second == t.at(rhs))) return false;
+  }
+  return true;
+}
+
+Result<bool> Satisfies(const Database& database,
+                       const InclusionDependency& ind) {
+  SETREC_ASSIGN_OR_RETURN(const Relation* from,
+                          database.Find(ind.from_relation));
+  SETREC_ASSIGN_OR_RETURN(const Relation* to, database.Find(ind.to_relation));
+  if (ind.from_attrs.size() != to->scheme().arity()) {
+    return Status::InvalidArgument(
+        "full inclusion dependency must cover the whole target scheme");
+  }
+  std::vector<std::size_t> idx;
+  for (const std::string& a : ind.from_attrs) {
+    SETREC_ASSIGN_OR_RETURN(std::size_t i, from->scheme().IndexOf(a));
+    idx.push_back(i);
+  }
+  for (const Tuple& t : *from) {
+    if (!to->Contains(t.Project(idx))) return false;
+  }
+  return true;
+}
+
+Result<bool> Satisfies(const Database& database,
+                       const DisjointnessDependency& dd) {
+  SETREC_ASSIGN_OR_RETURN(const Relation* a, database.Find(dd.relation_a));
+  SETREC_ASSIGN_OR_RETURN(const Relation* b, database.Find(dd.relation_b));
+  if (a->scheme().arity() != 1 || b->scheme().arity() != 1) {
+    return Status::InvalidArgument(
+        "disjointness dependencies apply to unary relations");
+  }
+  for (const Tuple& t : *a) {
+    if (b->Contains(t)) return false;
+  }
+  return true;
+}
+
+Result<bool> SatisfiesAll(const Database& database,
+                          const DependencySet& deps) {
+  for (const auto& fd : deps.fds) {
+    SETREC_ASSIGN_OR_RETURN(bool ok, Satisfies(database, fd));
+    if (!ok) return false;
+  }
+  for (const auto& ind : deps.inds) {
+    SETREC_ASSIGN_OR_RETURN(bool ok, Satisfies(database, ind));
+    if (!ok) return false;
+  }
+  for (const auto& dd : deps.disjointness) {
+    SETREC_ASSIGN_OR_RETURN(bool ok, Satisfies(database, dd));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace setrec

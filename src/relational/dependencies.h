@@ -1,0 +1,62 @@
+#ifndef SETREC_RELATIONAL_DEPENDENCIES_H_
+#define SETREC_RELATIONAL_DEPENDENCIES_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace setrec {
+
+/// A functional dependency R : X → A (Appendix A). X may be empty — the
+/// Theorem 5.6 reduction uses ∅ → self to force the special receiver
+/// relations to hold at most one tuple.
+struct FunctionalDependency {
+  std::string relation;
+  std::vector<std::string> lhs;
+  std::string rhs;
+};
+
+/// A *full* inclusion dependency R[A1...Ak] ⊆ S (Appendix A): the right-hand
+/// side covers exactly the whole scheme of S in its natural attribute order,
+/// so only the source-side attribute list is stored. The object-relational
+/// encoding emits Ca[C] ⊆ C and Ca[a] ⊆ B for every schema edge (C, a, B).
+struct InclusionDependency {
+  std::string from_relation;
+  std::vector<std::string> from_attrs;
+  std::string to_relation;
+};
+
+/// A disjointness dependency C[C] ∩ C'[C'] = ∅ between two unary relations
+/// (Section 5.1). In this library's typed model these hold structurally
+/// (values carry their class); the explicit form exists for documentation
+/// and for validating foreign data.
+struct DisjointnessDependency {
+  std::string relation_a;
+  std::string relation_b;
+};
+
+/// The dependency set Σ under which expression equivalence is decided.
+struct DependencySet {
+  std::vector<FunctionalDependency> fds;
+  std::vector<InclusionDependency> inds;
+  std::vector<DisjointnessDependency> disjointness;
+};
+
+/// Checks whether `database` satisfies the given dependency. A missing
+/// relation fails with NotFound; an ill-formed dependency (unknown
+/// attribute, arity mismatch against the full-IND target) fails with
+/// InvalidArgument.
+Result<bool> Satisfies(const Database& database,
+                       const FunctionalDependency& fd);
+Result<bool> Satisfies(const Database& database,
+                       const InclusionDependency& ind);
+Result<bool> Satisfies(const Database& database,
+                       const DisjointnessDependency& dd);
+
+/// True when the database satisfies every dependency in the set.
+Result<bool> SatisfiesAll(const Database& database, const DependencySet& deps);
+
+}  // namespace setrec
+
+#endif  // SETREC_RELATIONAL_DEPENDENCIES_H_

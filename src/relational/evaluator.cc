@@ -1,0 +1,280 @@
+#include "relational/evaluator.h"
+
+#include <map>
+#include <set>
+
+namespace setrec {
+
+const Catalog& Evaluator::DatabaseCatalog() {
+  if (!catalog_.has_value()) {
+    catalog_.emplace();
+    for (const std::string& name : database_->Names()) {
+      Result<const Relation*> rel = database_->Find(name);
+      if (rel.ok()) {
+        Status added = catalog_->AddRelation(name, (*rel)->scheme());
+        (void)added;
+      }
+    }
+  }
+  return *catalog_;
+}
+
+Result<Relation> Evaluator::Eval(const ExprPtr& expr) {
+  auto it = cache_.find(expr.get());
+  if (it != cache_.end()) return it->second;
+  SETREC_ASSIGN_OR_RETURN(Relation result, EvalUncached(*expr));
+  cache_.emplace(expr.get(), result);
+  return result;
+}
+
+Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
+  switch (expr.op()) {
+    case Expr::Op::kRelation: {
+      SETREC_ASSIGN_OR_RETURN(const Relation* rel,
+                              database_->Find(expr.relation_name()));
+      return *rel;
+    }
+    case Expr::Op::kUnion:
+    case Expr::Op::kDifference: {
+      SETREC_ASSIGN_OR_RETURN(Relation l, Eval(expr.left()));
+      SETREC_ASSIGN_OR_RETURN(Relation r, Eval(expr.right()));
+      if (!(l.scheme() == r.scheme())) {
+        return Status::InvalidArgument(
+            "union/difference operands must have identical schemes");
+      }
+      Relation out(l.scheme());
+      if (expr.op() == Expr::Op::kUnion) {
+        for (const Tuple& t : l) SETREC_RETURN_IF_ERROR(out.Insert(t));
+        for (const Tuple& t : r) SETREC_RETURN_IF_ERROR(out.Insert(t));
+      } else {
+        for (const Tuple& t : l) {
+          if (!r.Contains(t)) SETREC_RETURN_IF_ERROR(out.Insert(t));
+        }
+      }
+      return out;
+    }
+    case Expr::Op::kProduct: {
+      // Guard short-circuit: products with a nullary factor implement the
+      // paper's if-then-else encoding (E × π_∅(...)). When the guard side
+      // evaluates empty, the data of the other side is irrelevant — only
+      // its scheme is needed, which the type-only path derives without
+      // touching tuples.
+      for (bool guard_on_left : {true, false}) {
+        const ExprPtr& guard_ptr =
+            guard_on_left ? expr.left() : expr.right();
+        const ExprPtr& other_ptr =
+            guard_on_left ? expr.right() : expr.left();
+        if (guard_ptr->op() != Expr::Op::kProject ||
+            !guard_ptr->projection().empty()) {
+          continue;
+        }
+        SETREC_ASSIGN_OR_RETURN(Relation guard, Eval(guard_ptr));
+        if (!guard.empty()) break;  // no saving; fall through to full eval
+        SETREC_ASSIGN_OR_RETURN(RelationScheme other_scheme,
+                                InferScheme(*other_ptr, DatabaseCatalog()));
+        return Relation(std::move(other_scheme));
+      }
+      SETREC_ASSIGN_OR_RETURN(Relation l, Eval(expr.left()));
+      SETREC_ASSIGN_OR_RETURN(Relation r, Eval(expr.right()));
+      std::vector<Attribute> attrs = l.scheme().attributes();
+      for (const Attribute& a : r.scheme().attributes()) {
+        if (l.scheme().HasAttribute(a.name)) {
+          return Status::InvalidArgument(
+              "product operands share attribute name " + a.name);
+        }
+        attrs.push_back(a);
+      }
+      SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
+                              RelationScheme::Make(std::move(attrs)));
+      Relation out(std::move(scheme));
+      for (const Tuple& lt : l) {
+        for (const Tuple& rt : r) {
+          SETREC_RETURN_IF_ERROR(out.Insert(lt.Concat(rt)));
+        }
+      }
+      return out;
+    }
+    case Expr::Op::kSelectEq:
+    case Expr::Op::kSelectNeq: {
+      // Fuse σ-chains over a product into a hash join when possible.
+      const Expr* bottom = &expr;
+      while (bottom->op() == Expr::Op::kSelectEq ||
+             bottom->op() == Expr::Op::kSelectNeq) {
+        bottom = bottom->child().get();
+      }
+      if (bottom->op() == Expr::Op::kProduct) {
+        return EvalSelectionChain(expr);
+      }
+      SETREC_ASSIGN_OR_RETURN(Relation c, Eval(expr.child()));
+      SETREC_ASSIGN_OR_RETURN(std::size_t ia,
+                              c.scheme().IndexOf(expr.attr_a()));
+      SETREC_ASSIGN_OR_RETURN(std::size_t ib,
+                              c.scheme().IndexOf(expr.attr_b()));
+      if (c.scheme().attribute(ia).domain != c.scheme().attribute(ib).domain) {
+        return Status::InvalidArgument(
+            "selection compares attributes of different domains");
+      }
+      const bool want_equal = expr.op() == Expr::Op::kSelectEq;
+      Relation out(c.scheme());
+      for (const Tuple& t : c) {
+        if ((t.at(ia) == t.at(ib)) == want_equal) {
+          SETREC_RETURN_IF_ERROR(out.Insert(t));
+        }
+      }
+      return out;
+    }
+    case Expr::Op::kProject: {
+      SETREC_ASSIGN_OR_RETURN(Relation c, Eval(expr.child()));
+      std::vector<std::size_t> indices;
+      std::vector<Attribute> attrs;
+      std::set<std::string> seen;
+      for (const std::string& name : expr.projection()) {
+        if (!seen.insert(name).second) {
+          return Status::InvalidArgument("duplicate projection attribute " +
+                                         name);
+        }
+        SETREC_ASSIGN_OR_RETURN(std::size_t i, c.scheme().IndexOf(name));
+        indices.push_back(i);
+        attrs.push_back(c.scheme().attribute(i));
+      }
+      SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
+                              RelationScheme::Make(std::move(attrs)));
+      Relation out(std::move(scheme));
+      for (const Tuple& t : c) {
+        SETREC_RETURN_IF_ERROR(out.Insert(t.Project(indices)));
+      }
+      return out;
+    }
+    case Expr::Op::kRename: {
+      SETREC_ASSIGN_OR_RETURN(Relation c, Eval(expr.child()));
+      SETREC_ASSIGN_OR_RETURN(std::size_t i,
+                              c.scheme().IndexOf(expr.rename_from()));
+      if (c.scheme().HasAttribute(expr.rename_to())) {
+        return Status::InvalidArgument("rename target attribute " +
+                                       expr.rename_to() + " already present");
+      }
+      std::vector<Attribute> attrs = c.scheme().attributes();
+      attrs[i].name = expr.rename_to();
+      SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
+                              RelationScheme::Make(std::move(attrs)));
+      Relation out(std::move(scheme));
+      for (const Tuple& t : c) SETREC_RETURN_IF_ERROR(out.Insert(t));
+      return out;
+    }
+  }
+  return Status::Internal("unknown expression operator");
+}
+
+Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
+  // Collect the selection conditions down to the product.
+  struct Condition {
+    bool equal;
+    std::string a;
+    std::string b;
+  };
+  std::vector<Condition> conditions;
+  const Expr* node = &top;
+  while (node->op() == Expr::Op::kSelectEq ||
+         node->op() == Expr::Op::kSelectNeq) {
+    conditions.push_back(Condition{node->op() == Expr::Op::kSelectEq,
+                                   node->attr_a(), node->attr_b()});
+    node = node->child().get();
+  }
+  SETREC_ASSIGN_OR_RETURN(Relation left, Eval(node->left()));
+  SETREC_ASSIGN_OR_RETURN(Relation right, Eval(node->right()));
+
+  // Output scheme = product scheme.
+  std::vector<Attribute> attrs = left.scheme().attributes();
+  for (const Attribute& a : right.scheme().attributes()) {
+    if (left.scheme().HasAttribute(a.name)) {
+      return Status::InvalidArgument("product operands share attribute name " +
+                                     a.name);
+    }
+    attrs.push_back(a);
+  }
+  SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
+                          RelationScheme::Make(std::move(attrs)));
+
+  // Classify conditions: per-side filters, cross equalities (join keys),
+  // cross non-equalities (residual filters).
+  const std::size_t lw = left.scheme().arity();
+  struct Resolved {
+    bool equal;
+    bool a_left, b_left;
+    std::size_t ia, ib;  // indices local to their side
+  };
+  std::vector<Resolved> local_left, local_right, cross;
+  std::vector<std::pair<std::size_t, std::size_t>> join_keys;  // (l, r)
+  for (const Condition& c : conditions) {
+    SETREC_ASSIGN_OR_RETURN(std::size_t ga, scheme.IndexOf(c.a));
+    SETREC_ASSIGN_OR_RETURN(std::size_t gb, scheme.IndexOf(c.b));
+    if (scheme.attribute(ga).domain != scheme.attribute(gb).domain) {
+      return Status::InvalidArgument(
+          "selection compares attributes of different domains");
+    }
+    Resolved r;
+    r.equal = c.equal;
+    r.a_left = ga < lw;
+    r.b_left = gb < lw;
+    r.ia = r.a_left ? ga : ga - lw;
+    r.ib = r.b_left ? gb : gb - lw;
+    if (r.a_left && r.b_left) {
+      local_left.push_back(r);
+    } else if (!r.a_left && !r.b_left) {
+      local_right.push_back(r);
+    } else if (r.equal) {
+      // Normalize to (left index, right index).
+      join_keys.emplace_back(r.a_left ? r.ia : r.ib, r.a_left ? r.ib : r.ia);
+    } else {
+      cross.push_back(r);
+    }
+  }
+
+  auto passes_local = [](const Tuple& t, const std::vector<Resolved>& cs) {
+    for (const Resolved& c : cs) {
+      if ((t.at(c.ia) == t.at(c.ib)) != c.equal) return false;
+    }
+    return true;
+  };
+
+  // Build the hash table on the right side, keyed by the join attributes.
+  std::map<Tuple, std::vector<const Tuple*>> index;
+  std::vector<std::size_t> right_key;
+  right_key.reserve(join_keys.size());
+  for (const auto& [l, r] : join_keys) right_key.push_back(r);
+  for (const Tuple& t : right) {
+    if (!passes_local(t, local_right)) continue;
+    index[t.Project(right_key)].push_back(&t);
+  }
+
+  std::vector<std::size_t> left_key;
+  left_key.reserve(join_keys.size());
+  for (const auto& [l, r] : join_keys) left_key.push_back(l);
+
+  Relation out(std::move(scheme));
+  for (const Tuple& lt : left) {
+    if (!passes_local(lt, local_left)) continue;
+    auto it = index.find(lt.Project(left_key));
+    if (it == index.end()) continue;
+    for (const Tuple* rt : it->second) {
+      bool ok = true;
+      for (const Resolved& c : cross) {
+        const ObjectId va = c.a_left ? lt.at(c.ia) : rt->at(c.ia);
+        const ObjectId vb = c.b_left ? lt.at(c.ib) : rt->at(c.ib);
+        if ((va == vb) != c.equal) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) SETREC_RETURN_IF_ERROR(out.Insert(lt.Concat(*rt)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> Evaluate(const ExprPtr& expr, const Database& database) {
+  Evaluator evaluator(&database);
+  return evaluator.Eval(expr);
+}
+
+}  // namespace setrec

@@ -1,0 +1,51 @@
+#ifndef SETREC_RELATIONAL_EVALUATOR_H_
+#define SETREC_RELATIONAL_EVALUATOR_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "relational/expression.h"
+#include "relational/relation.h"
+
+namespace setrec {
+
+/// Evaluates relational algebra expressions against a Database. The
+/// evaluator memoizes results per expression node, so DAG-shaped expressions
+/// (as produced by the Theorem 5.6 substitution and the par(E) rewriting)
+/// evaluate each shared subexpression once. An Evaluator is bound to one
+/// database snapshot; create a fresh one after any mutation.
+class Evaluator {
+ public:
+  explicit Evaluator(const Database* database) : database_(database) {}
+
+  /// Evaluates `expr`. Scheme checks are performed on the fly against the
+  /// actual relations, so a standalone catalog is not required here.
+  Result<Relation> Eval(const ExprPtr& expr);
+
+ private:
+  Result<Relation> EvalUncached(const Expr& expr);
+
+  /// Join fusion: evaluates a chain of selections over a Cartesian product
+  /// as a hash join instead of materializing the product. The paper's
+  /// expressions are built almost exclusively from theta-joins
+  /// (σ_{aθb}(l × r)), and the par(E) rewriting multiplies every relation
+  /// by π_self(rec), so without fusion intermediate results grow with the
+  /// square of the receiver-set size.
+  Result<Relation> EvalSelectionChain(const Expr& top);
+
+  /// A lazily built catalog over the bound database's relations, used for
+  /// type-only scheme inference (the guard short-circuit needs the scheme
+  /// of a subexpression whose data it can skip).
+  const Catalog& DatabaseCatalog();
+
+  const Database* database_;
+  std::optional<Catalog> catalog_;
+  std::unordered_map<const Expr*, Relation> cache_;
+};
+
+/// One-shot convenience wrapper.
+Result<Relation> Evaluate(const ExprPtr& expr, const Database& database);
+
+}  // namespace setrec
+
+#endif  // SETREC_RELATIONAL_EVALUATOR_H_

@@ -1,0 +1,277 @@
+#include "relational/expression.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace setrec {
+
+ExprPtr Expr::Relation(std::string name) {
+  auto node = std::shared_ptr<Expr>(new Expr(Op::kRelation));
+  node->relation_name_ = std::move(name);
+  return node;
+}
+
+ExprPtr Expr::Union(ExprPtr left, ExprPtr right) {
+  auto node = std::shared_ptr<Expr>(new Expr(Op::kUnion));
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return node;
+}
+
+ExprPtr Expr::Difference(ExprPtr left, ExprPtr right) {
+  auto node = std::shared_ptr<Expr>(new Expr(Op::kDifference));
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return node;
+}
+
+ExprPtr Expr::Product(ExprPtr left, ExprPtr right) {
+  auto node = std::shared_ptr<Expr>(new Expr(Op::kProduct));
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return node;
+}
+
+ExprPtr Expr::SelectEq(ExprPtr child, std::string a, std::string b) {
+  auto node = std::shared_ptr<Expr>(new Expr(Op::kSelectEq));
+  node->left_ = std::move(child);
+  node->attr_a_ = std::move(a);
+  node->attr_b_ = std::move(b);
+  return node;
+}
+
+ExprPtr Expr::SelectNeq(ExprPtr child, std::string a, std::string b) {
+  auto node = std::shared_ptr<Expr>(new Expr(Op::kSelectNeq));
+  node->left_ = std::move(child);
+  node->attr_a_ = std::move(a);
+  node->attr_b_ = std::move(b);
+  return node;
+}
+
+ExprPtr Expr::Project(ExprPtr child, std::vector<std::string> attrs) {
+  auto node = std::shared_ptr<Expr>(new Expr(Op::kProject));
+  node->left_ = std::move(child);
+  node->projection_ = std::move(attrs);
+  return node;
+}
+
+ExprPtr Expr::Rename(ExprPtr child, std::string from, std::string to) {
+  auto node = std::shared_ptr<Expr>(new Expr(Op::kRename));
+  node->left_ = std::move(child);
+  node->attr_a_ = std::move(from);
+  node->attr_b_ = std::move(to);
+  return node;
+}
+
+bool IsPositive(const Expr& expr) {
+  if (expr.op() == Expr::Op::kDifference) return false;
+  if (expr.left() && !IsPositive(*expr.left())) return false;
+  if (expr.right() && !IsPositive(*expr.right())) return false;
+  return true;
+}
+
+namespace {
+void CollectRelations(const Expr& expr, std::set<std::string>& out) {
+  if (expr.op() == Expr::Op::kRelation) {
+    out.insert(expr.relation_name());
+    return;
+  }
+  if (expr.left()) CollectRelations(*expr.left(), out);
+  if (expr.right()) CollectRelations(*expr.right(), out);
+}
+}  // namespace
+
+std::vector<std::string> ReferencedRelations(const Expr& expr) {
+  std::set<std::string> names;
+  CollectRelations(expr, names);
+  return {names.begin(), names.end()};
+}
+
+Result<RelationScheme> InferScheme(const Expr& expr, const Catalog& catalog) {
+  switch (expr.op()) {
+    case Expr::Op::kRelation: {
+      SETREC_ASSIGN_OR_RETURN(const RelationScheme* scheme,
+                              catalog.Find(expr.relation_name()));
+      return *scheme;
+    }
+    case Expr::Op::kUnion:
+    case Expr::Op::kDifference: {
+      SETREC_ASSIGN_OR_RETURN(RelationScheme l,
+                              InferScheme(*expr.left(), catalog));
+      SETREC_ASSIGN_OR_RETURN(RelationScheme r,
+                              InferScheme(*expr.right(), catalog));
+      if (!(l == r)) {
+        return Status::InvalidArgument(
+            "union/difference operands must have identical schemes");
+      }
+      return l;
+    }
+    case Expr::Op::kProduct: {
+      SETREC_ASSIGN_OR_RETURN(RelationScheme l,
+                              InferScheme(*expr.left(), catalog));
+      SETREC_ASSIGN_OR_RETURN(RelationScheme r,
+                              InferScheme(*expr.right(), catalog));
+      std::vector<Attribute> attrs = l.attributes();
+      for (const Attribute& a : r.attributes()) {
+        if (l.HasAttribute(a.name)) {
+          return Status::InvalidArgument(
+              "product operands share attribute name " + a.name +
+              "; rename first");
+        }
+        attrs.push_back(a);
+      }
+      return RelationScheme::Make(std::move(attrs));
+    }
+    case Expr::Op::kSelectEq:
+    case Expr::Op::kSelectNeq: {
+      SETREC_ASSIGN_OR_RETURN(RelationScheme s,
+                              InferScheme(*expr.child(), catalog));
+      SETREC_ASSIGN_OR_RETURN(std::size_t ia, s.IndexOf(expr.attr_a()));
+      SETREC_ASSIGN_OR_RETURN(std::size_t ib, s.IndexOf(expr.attr_b()));
+      if (s.attribute(ia).domain != s.attribute(ib).domain) {
+        return Status::InvalidArgument(
+            "selection compares attributes of different domains: " +
+            expr.attr_a() + " vs " + expr.attr_b());
+      }
+      return s;
+    }
+    case Expr::Op::kProject: {
+      SETREC_ASSIGN_OR_RETURN(RelationScheme s,
+                              InferScheme(*expr.child(), catalog));
+      std::vector<Attribute> attrs;
+      std::set<std::string> seen;
+      for (const std::string& name : expr.projection()) {
+        if (!seen.insert(name).second) {
+          return Status::InvalidArgument("duplicate projection attribute " +
+                                         name);
+        }
+        SETREC_ASSIGN_OR_RETURN(std::size_t i, s.IndexOf(name));
+        attrs.push_back(s.attribute(i));
+      }
+      return RelationScheme::Make(std::move(attrs));
+    }
+    case Expr::Op::kRename: {
+      SETREC_ASSIGN_OR_RETURN(RelationScheme s,
+                              InferScheme(*expr.child(), catalog));
+      SETREC_ASSIGN_OR_RETURN(std::size_t i, s.IndexOf(expr.rename_from()));
+      if (s.HasAttribute(expr.rename_to())) {
+        return Status::InvalidArgument("rename target attribute " +
+                                       expr.rename_to() + " already present");
+      }
+      std::vector<Attribute> attrs = s.attributes();
+      attrs[i].name = expr.rename_to();
+      return RelationScheme::Make(std::move(attrs));
+    }
+  }
+  return Status::Internal("unknown expression operator");
+}
+
+ExprPtr SubstituteRelation(const ExprPtr& expr, const std::string& name,
+                           const ExprPtr& replacement) {
+  switch (expr->op()) {
+    case Expr::Op::kRelation:
+      return expr->relation_name() == name ? replacement : expr;
+    case Expr::Op::kUnion:
+    case Expr::Op::kDifference:
+    case Expr::Op::kProduct: {
+      ExprPtr l = SubstituteRelation(expr->left(), name, replacement);
+      ExprPtr r = SubstituteRelation(expr->right(), name, replacement);
+      if (l == expr->left() && r == expr->right()) return expr;
+      switch (expr->op()) {
+        case Expr::Op::kUnion:
+          return Expr::Union(std::move(l), std::move(r));
+        case Expr::Op::kDifference:
+          return Expr::Difference(std::move(l), std::move(r));
+        default:
+          return Expr::Product(std::move(l), std::move(r));
+      }
+    }
+    case Expr::Op::kSelectEq:
+    case Expr::Op::kSelectNeq: {
+      ExprPtr c = SubstituteRelation(expr->child(), name, replacement);
+      if (c == expr->child()) return expr;
+      return expr->op() == Expr::Op::kSelectEq
+                 ? Expr::SelectEq(std::move(c), expr->attr_a(), expr->attr_b())
+                 : Expr::SelectNeq(std::move(c), expr->attr_a(),
+                                   expr->attr_b());
+    }
+    case Expr::Op::kProject: {
+      ExprPtr c = SubstituteRelation(expr->child(), name, replacement);
+      if (c == expr->child()) return expr;
+      return Expr::Project(std::move(c), expr->projection());
+    }
+    case Expr::Op::kRename: {
+      ExprPtr c = SubstituteRelation(expr->child(), name, replacement);
+      if (c == expr->child()) return expr;
+      return Expr::Rename(std::move(c), expr->rename_from(),
+                          expr->rename_to());
+    }
+  }
+  return expr;
+}
+
+namespace {
+void Print(const Expr& expr, std::ostringstream& out) {
+  switch (expr.op()) {
+    case Expr::Op::kRelation:
+      out << expr.relation_name();
+      return;
+    case Expr::Op::kUnion:
+      out << "(";
+      Print(*expr.left(), out);
+      out << " ∪ ";
+      Print(*expr.right(), out);
+      out << ")";
+      return;
+    case Expr::Op::kDifference:
+      out << "(";
+      Print(*expr.left(), out);
+      out << " − ";
+      Print(*expr.right(), out);
+      out << ")";
+      return;
+    case Expr::Op::kProduct:
+      out << "(";
+      Print(*expr.left(), out);
+      out << " × ";
+      Print(*expr.right(), out);
+      out << ")";
+      return;
+    case Expr::Op::kSelectEq:
+    case Expr::Op::kSelectNeq:
+      out << "σ[" << expr.attr_a()
+          << (expr.op() == Expr::Op::kSelectEq ? "=" : "≠") << expr.attr_b()
+          << "](";
+      Print(*expr.child(), out);
+      out << ")";
+      return;
+    case Expr::Op::kProject: {
+      out << "π[";
+      bool first = true;
+      for (const std::string& a : expr.projection()) {
+        if (!first) out << ",";
+        out << a;
+        first = false;
+      }
+      out << "](";
+      Print(*expr.child(), out);
+      out << ")";
+      return;
+    }
+    case Expr::Op::kRename:
+      out << "ρ[" << expr.rename_from() << "→" << expr.rename_to() << "](";
+      Print(*expr.child(), out);
+      out << ")";
+      return;
+  }
+}
+}  // namespace
+
+std::string ExprToString(const Expr& expr) {
+  std::ostringstream out;
+  Print(expr, out);
+  return out.str();
+}
+
+}  // namespace setrec

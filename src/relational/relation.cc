@@ -1,0 +1,44 @@
+#include "relational/relation.h"
+
+namespace setrec {
+
+Status Relation::Insert(Tuple tuple) {
+  if (tuple.arity() != scheme_.arity()) {
+    return Status::InvalidArgument("tuple arity does not match scheme");
+  }
+  for (std::size_t i = 0; i < tuple.arity(); ++i) {
+    if (tuple.at(i).class_id() != scheme_.attribute(i).domain) {
+      return Status::InvalidArgument(
+          "tuple value violates attribute domain at position " +
+          std::to_string(i) + " (attribute " + scheme_.attribute(i).name +
+          ")");
+    }
+  }
+  tuples_.insert(std::move(tuple));
+  return Status::OK();
+}
+
+void Database::Put(std::string name, Relation relation) {
+  relations_.insert_or_assign(std::move(name), std::move(relation));
+}
+
+bool Database::Has(std::string_view name) const {
+  return relations_.find(name) != relations_.end();
+}
+
+Result<const Relation*> Database::Find(std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named " + std::string(name));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+}  // namespace setrec

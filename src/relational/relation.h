@@ -1,0 +1,66 @@
+#ifndef SETREC_RELATIONAL_RELATION_H_
+#define SETREC_RELATIONAL_RELATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace setrec {
+
+/// A finite relation: a scheme plus a set of tuples over it. Insertions are
+/// domain-checked (each value's class must equal the attribute's domain), so
+/// a Relation is typed by construction.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelationScheme scheme) : scheme_(std::move(scheme)) {}
+
+  const RelationScheme& scheme() const { return scheme_; }
+
+  /// Inserts a tuple; fails on arity or domain mismatch. Duplicate inserts
+  /// are OK no-ops (relations are sets).
+  Status Insert(Tuple tuple);
+
+  bool Contains(const Tuple& tuple) const { return tuples_.contains(tuple); }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::set<Tuple>& tuples() const { return tuples_; }
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.scheme_ == b.scheme_ && a.tuples_ == b.tuples_;
+  }
+
+ private:
+  RelationScheme scheme_;
+  std::set<Tuple> tuples_;
+};
+
+/// A relational database instance: named relations. The object-relational
+/// encoding produces one; update expressions are evaluated against one.
+class Database {
+ public:
+  /// Installs (or replaces) a relation under `name`.
+  void Put(std::string name, Relation relation);
+
+  bool Has(std::string_view name) const;
+  Result<const Relation*> Find(std::string_view name) const;
+
+  /// Names in deterministic (sorted) order.
+  std::vector<std::string> Names() const;
+
+  friend bool operator==(const Database&, const Database&) = default;
+
+ private:
+  std::map<std::string, Relation, std::less<>> relations_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_RELATIONAL_RELATION_H_

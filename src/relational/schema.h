@@ -1,0 +1,69 @@
+#ifndef SETREC_RELATIONAL_SCHEMA_H_
+#define SETREC_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+
+namespace setrec {
+
+/// One attribute of a relation scheme: a name plus a class domain. The typed
+/// relational model (Section 5.1 / Appendix A) associates every attribute
+/// with one of a number of pairwise disjoint domains; here a domain is a
+/// class of the object-base schema. Typing realizes the paper's disjointness
+/// dependencies structurally.
+struct Attribute {
+  std::string name;
+  ClassId domain;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// An ordered relation scheme. Attribute names are unique within a scheme.
+class RelationScheme {
+ public:
+  RelationScheme() = default;
+
+  /// Builds a scheme; fails on duplicate attribute names.
+  static Result<RelationScheme> Make(std::vector<Attribute> attributes);
+
+  std::size_t arity() const { return attributes_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  bool HasAttribute(std::string_view name) const;
+  /// Positional index of the named attribute.
+  Result<std::size_t> IndexOf(std::string_view name) const;
+
+  friend bool operator==(const RelationScheme&, const RelationScheme&) =
+      default;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+/// The catalog of a relational database schema: relation names with their
+/// schemes. Built by the object-relational encoding (one unary scheme per
+/// class, one binary scheme per property) and extended with the special
+/// `self`/`arg_i`/`rec` relations by the update-method machinery.
+class Catalog {
+ public:
+  Status AddRelation(std::string name, RelationScheme scheme);
+
+  bool Has(std::string_view name) const;
+  Result<const RelationScheme*> Find(std::string_view name) const;
+
+  /// Relation names in deterministic (sorted) order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, RelationScheme, std::less<>> relations_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,18 @@
+#include "relational/tuple.h"
+
+namespace setrec {
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<ObjectId> out = values_;
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Project(std::span<const std::size_t> indices) const {
+  std::vector<ObjectId> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(values_[i]);
+  return Tuple(std::move(out));
+}
+
+}  // namespace setrec

@@ -1,0 +1,43 @@
+#ifndef SETREC_RELATIONAL_TUPLE_H_
+#define SETREC_RELATIONAL_TUPLE_H_
+
+#include <compare>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace setrec {
+
+/// A relational tuple. Values are ObjectIds: the relational representation
+/// of an object base (Section 5.1) stores only objects, and every attribute
+/// carries a class domain, so a tuple is a typed vector of object
+/// identities. Nullary tuples (the single tuple of a 0-ary relation, used by
+/// π_∅ guard expressions) are supported.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<ObjectId> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<ObjectId> values) : values_(values) {}
+
+  std::size_t arity() const { return values_.size(); }
+  ObjectId at(std::size_t i) const { return values_[i]; }
+  const std::vector<ObjectId>& values() const { return values_; }
+
+  /// Concatenation, used by Cartesian product.
+  Tuple Concat(const Tuple& other) const;
+
+  /// Projection onto the given positional indices, in the given order.
+  Tuple Project(std::span<const std::size_t> indices) const;
+
+  friend auto operator<=>(const Tuple&, const Tuple&) = default;
+
+ private:
+  std::vector<ObjectId> values_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_RELATIONAL_TUPLE_H_

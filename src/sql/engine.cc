@@ -1,0 +1,129 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/sequential.h"
+
+namespace setrec {
+
+Result<Instance> CursorDelete(const Instance& instance, ClassId cls,
+                              const RowPredicate& pred,
+                              std::span<const ObjectId> order) {
+  std::vector<ObjectId> rows(order.begin(), order.end());
+  if (rows.empty()) {
+    rows.assign(instance.objects(cls).begin(), instance.objects(cls).end());
+  }
+  Instance current = instance;
+  for (ObjectId row : rows) {
+    if (!current.HasObject(row)) continue;  // already deleted by a cascade
+    SETREC_ASSIGN_OR_RETURN(bool doomed, pred(current, row));
+    if (doomed) SETREC_RETURN_IF_ERROR(current.RemoveObject(row));
+  }
+  return current;
+}
+
+Result<Instance> SetOrientedDelete(const Instance& instance, ClassId cls,
+                                   const RowPredicate& pred) {
+  std::vector<ObjectId> doomed;
+  for (ObjectId row : instance.objects(cls)) {
+    SETREC_ASSIGN_OR_RETURN(bool d, pred(instance, row));
+    if (d) doomed.push_back(row);
+  }
+  Instance out = instance;
+  for (ObjectId row : doomed) SETREC_RETURN_IF_ERROR(out.RemoveObject(row));
+  return out;
+}
+
+Result<CursorOrderReport> TestCursorDeleteOrders(const Instance& instance,
+                                                 ClassId cls,
+                                                 const RowPredicate& pred,
+                                                 std::size_t max_rows) {
+  std::vector<ObjectId> rows(instance.objects(cls).begin(),
+                             instance.objects(cls).end());
+  if (rows.size() > max_rows) {
+    return Status::InvalidArgument(
+        "too many rows for an exhaustive permutation test");
+  }
+  CursorOrderReport report;
+  std::vector<std::size_t> perm(rows.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    std::vector<ObjectId> order;
+    order.reserve(rows.size());
+    for (std::size_t i : perm) order.push_back(rows[i]);
+    SETREC_ASSIGN_OR_RETURN(Instance outcome,
+                            CursorDelete(instance, cls, pred, order));
+    if (!report.first.has_value()) {
+      report.first = std::move(outcome);
+    } else if (!(*report.first == outcome)) {
+      report.order_independent = false;
+      report.disagreement = std::move(outcome);
+      return report;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  report.order_independent = true;
+  return report;
+}
+
+RowPredicate SalaryInFire(const PayrollSchema& schema) {
+  return [&schema](const Instance& db, ObjectId row) -> Result<bool> {
+    for (ObjectId salary : db.Targets(row, schema.salary)) {
+      for (const auto& [fire_row, amount] : db.edges(schema.fire_amt)) {
+        if (amount == salary && db.HasObject(fire_row)) return true;
+      }
+    }
+    return false;
+  };
+}
+
+RowPredicate ManagerSalaryInFire(const PayrollSchema& schema) {
+  RowPredicate direct = SalaryInFire(schema);
+  return [&schema, direct](const Instance& db, ObjectId row) -> Result<bool> {
+    for (ObjectId manager : db.Targets(row, schema.manager)) {
+      if (!db.HasObject(manager)) continue;
+      SETREC_ASSIGN_OR_RETURN(bool fired, direct(db, manager));
+      if (fired) return true;
+    }
+    return false;
+  };
+}
+
+Result<Instance> CursorUpdate(const AlgebraicUpdateMethod& method,
+                              const Instance& instance,
+                              std::span<const Receiver> order) {
+  return ApplySequence(method, instance, order);
+}
+
+Result<std::unique_ptr<AlgebraicUpdateMethod>> MakeAssignArgMethod(
+    const Schema* schema, PropertyId property) {
+  if (!schema->HasProperty(property)) {
+    return Status::InvalidArgument("unknown property");
+  }
+  const Schema::PropertyDef& def = schema->property(property);
+  return AlgebraicUpdateMethod::Make(
+      schema, MethodSignature({def.source, def.target}),
+      "assign_" + def.name,
+      {UpdateStatement{property, Expr::Relation("arg1")}});
+}
+
+Result<Instance> SetOrientedUpdate(const Instance& instance,
+                                   PropertyId property,
+                                   const ExprPtr& receiver_query) {
+  const Schema* schema = &instance.schema();
+  SETREC_ASSIGN_OR_RETURN(std::unique_ptr<AlgebraicUpdateMethod> assign,
+                          MakeAssignArgMethod(schema, property));
+  // Phase one: compute the receiver set against the input instance.
+  SETREC_ASSIGN_OR_RETURN(
+      std::vector<Receiver> receivers,
+      ReceiversFromQuery(receiver_query, instance, assign->signature()));
+  if (!IsKeySet(receivers)) {
+    return Status::FailedPrecondition(
+        "set-oriented update would assign two values to one row; the "
+        "receiver query must produce a key set");
+  }
+  // Phase two: apply the trivial key-order independent update.
+  return ApplySequence(*assign, instance, receivers);
+}
+
+}  // namespace setrec

@@ -1,0 +1,76 @@
+#ifndef SETREC_SQL_ENGINE_H_
+#define SETREC_SQL_ENGINE_H_
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "algebraic/method_library.h"
+#include "core/instance.h"
+
+namespace setrec {
+
+/// A row predicate for DELETE statements, evaluated against the *current*
+/// instance state (which is what makes cursor semantics order-sensitive).
+using RowPredicate =
+    std::function<Result<bool>(const Instance&, ObjectId row)>;
+
+/// Cursor-based DELETE (Section 7): visits the rows of `cls` in `order`
+/// (default: sorted), re-evaluates `pred` against the evolving instance and
+/// removes a satisfying row (with its incident edges) immediately, before
+/// inspecting the next row.
+Result<Instance> CursorDelete(const Instance& instance, ClassId cls,
+                              const RowPredicate& pred,
+                              std::span<const ObjectId> order = {});
+
+/// Set-oriented DELETE: first identifies every row satisfying `pred` against
+/// the *input* instance, then removes them all together — the two-phase
+/// semantics of the standalone SQL statement.
+Result<Instance> SetOrientedDelete(const Instance& instance, ClassId cls,
+                                   const RowPredicate& pred);
+
+/// Runs CursorDelete under every permutation of the rows (bounded by
+/// `max_rows`!) and reports whether all outcomes agree; when they do not,
+/// `disagreement` holds a second outcome differing from `first`.
+struct CursorOrderReport {
+  bool order_independent = false;
+  std::optional<Instance> first;
+  std::optional<Instance> disagreement;
+};
+Result<CursorOrderReport> TestCursorDeleteOrders(const Instance& instance,
+                                                 ClassId cls,
+                                                 const RowPredicate& pred,
+                                                 std::size_t max_rows = 6);
+
+/// Section 7 predicates over the payroll tables.
+/// "Salary in table Fire" — used by the correct cursor delete.
+RowPredicate SalaryInFire(const PayrollSchema& schema);
+/// "exists E1 with E1.EmpId = Manager and E1.Salary in table Fire" — the
+/// manager variant whose cursor form is order dependent (an employee
+/// survives when their manager was visited and deleted first).
+RowPredicate ManagerSalaryInFire(const PayrollSchema& schema);
+
+/// Cursor-based UPDATE: sequential application of `method` to the receiver
+/// list in the given order (update (B)/(C) of Section 7 are instances of
+/// this with the library methods).
+Result<Instance> CursorUpdate(const AlgebraicUpdateMethod& method,
+                              const Instance& instance,
+                              std::span<const Receiver> order);
+
+/// The trivial modification update "a := arg1" of type [C, B] that underlies
+/// every set-oriented UPDATE statement (Section 7): key-order independent by
+/// Proposition 5.8.
+Result<std::unique_ptr<AlgebraicUpdateMethod>> MakeAssignArgMethod(
+    const Schema* schema, PropertyId property);
+
+/// Set-oriented UPDATE: computes the receiver key set with `receiver_query`
+/// against the input instance (phase one), then applies `a := arg1` to it
+/// (phase two). `receiver_query`'s scheme must be (receiving class, target
+/// class of `property`).
+Result<Instance> SetOrientedUpdate(const Instance& instance,
+                                   PropertyId property,
+                                   const ExprPtr& receiver_query);
+
+}  // namespace setrec
+
+#endif  // SETREC_SQL_ENGINE_H_

@@ -1,0 +1,50 @@
+#include "sql/improve.h"
+
+#include "algebraic/order_independence.h"
+#include "algebraic/parallel.h"
+#include "sql/engine.h"
+
+namespace setrec {
+
+Result<ImprovedUpdate> ImproveCursorUpdate(const AlgebraicUpdateMethod& method,
+                                           const ExprPtr& rec_source,
+                                           bool verify) {
+  if (method.statements().size() != 1) {
+    return Status::InvalidArgument(
+        "the improvement tool handles single-statement methods");
+  }
+  const MethodContext& ctx = method.context();
+  // rec_source must have exactly rec's scheme.
+  SETREC_ASSIGN_OR_RETURN(RelationScheme expected, RecScheme(ctx.signature));
+  SETREC_ASSIGN_OR_RETURN(Catalog object_catalog, EncodeCatalog(*ctx.schema));
+  SETREC_ASSIGN_OR_RETURN(RelationScheme actual,
+                          InferScheme(*rec_source, object_catalog));
+  if (!(actual == expected)) {
+    return Status::InvalidArgument(
+        "rec_source scheme must be (self, arg1, ..., argk) with the "
+        "signature's domains");
+  }
+  if (verify) {
+    SETREC_ASSIGN_OR_RETURN(
+        bool key_oi,
+        DecideOrderIndependence(method, OrderIndependenceKind::kKeyOrder));
+    if (!key_oi) {
+      return Status::FailedPrecondition(
+          "cursor program is not key-order independent; the set-oriented "
+          "form would change its semantics (Theorem 6.5 does not apply)");
+    }
+  }
+  const UpdateStatement& statement = method.statements()[0];
+  SETREC_ASSIGN_OR_RETURN(ExprPtr par_expr,
+                          ParTransform(statement.expression, ctx));
+  ExprPtr query = SubstituteRelation(par_expr, kRecRelation, rec_source);
+  return ImprovedUpdate{std::move(query), statement.property};
+}
+
+Result<Instance> ApplyImprovedUpdate(const ImprovedUpdate& improved,
+                                     const Instance& instance) {
+  return SetOrientedUpdate(instance, improved.property,
+                           improved.receiver_query);
+}
+
+}  // namespace setrec

@@ -1,0 +1,42 @@
+#ifndef SETREC_SQL_IMPROVE_H_
+#define SETREC_SQL_IMPROVE_H_
+
+#include "algebraic/algebraic_method.h"
+
+namespace setrec {
+
+/// The Theorem 6.5 "code improvement" tool sketched at the end of Section 7:
+/// given a cursor-based update program — a key-order-independent algebraic
+/// method with a single statement a := E, applied to the key set described
+/// by `rec_source` — it emits the equivalent *set-oriented* statement: a
+/// single query computing the receiver key set for the trivial update
+/// a := arg1, obtained as par(E) with the rec relation replaced by
+/// `rec_source`. The set-oriented form evaluates one optimizable query
+/// instead of one query per row.
+struct ImprovedUpdate {
+  /// Evaluates (against the encoded instance) to the key set
+  /// {(receiving object, new value)}; scheme (self, a).
+  ExprPtr receiver_query;
+  PropertyId property;
+};
+
+/// `rec_source` must be an expression over the object relations whose
+/// scheme is rec's scheme (attributes self, arg1, ..., argk with the
+/// signature's domains) — e.g. ρ_{Emp→self}ρ_{Salary→arg1}(EmpSalary) for
+/// Section 7's update (B). With `verify` set, the method's key-order
+/// independence is first established with the Theorem 5.12 decision
+/// procedure (requires a positive method); improving an order-dependent
+/// cursor program would silently change its semantics, so verification
+/// failure is an error.
+Result<ImprovedUpdate> ImproveCursorUpdate(const AlgebraicUpdateMethod& method,
+                                           const ExprPtr& rec_source,
+                                           bool verify = true);
+
+/// Executes the improved form: phase one evaluates receiver_query, phase two
+/// applies a := arg1 (SetOrientedUpdate).
+Result<Instance> ApplyImprovedUpdate(const ImprovedUpdate& improved,
+                                     const Instance& instance);
+
+}  // namespace setrec
+
+#endif  // SETREC_SQL_IMPROVE_H_

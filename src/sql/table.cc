@@ -1,0 +1,89 @@
+#include "sql/table.h"
+
+#include <algorithm>
+#include <set>
+
+namespace setrec {
+
+Result<Instance> BuildPayrollInstance(const PayrollSchema& schema,
+                                      std::span<const EmployeeRow> employees,
+                                      std::span<const std::uint32_t> fire,
+                                      std::span<const NewSalRow> new_sal) {
+  Instance instance(&schema.schema);
+  // Materialize the amount domain.
+  std::set<std::uint32_t> amounts;
+  for (const EmployeeRow& e : employees) amounts.insert(e.salary);
+  for (std::uint32_t amount : fire) amounts.insert(amount);
+  for (const NewSalRow& row : new_sal) {
+    amounts.insert(row.old_salary);
+    amounts.insert(row.new_salary);
+  }
+  for (std::uint32_t amount : amounts) {
+    SETREC_RETURN_IF_ERROR(instance.AddObject(ObjectId(schema.val, amount)));
+  }
+  // Employees with salaries.
+  for (const EmployeeRow& e : employees) {
+    SETREC_RETURN_IF_ERROR(instance.AddObject(ObjectId(schema.emp, e.id)));
+  }
+  for (const EmployeeRow& e : employees) {
+    SETREC_RETURN_IF_ERROR(instance.AddEdge(ObjectId(schema.emp, e.id),
+                                            schema.salary,
+                                            ObjectId(schema.val, e.salary)));
+    if (e.manager.has_value()) {
+      if (!instance.HasObject(ObjectId(schema.emp, *e.manager))) {
+        return Status::InvalidArgument("manager id " +
+                                       std::to_string(*e.manager) +
+                                       " names no employee");
+      }
+      SETREC_RETURN_IF_ERROR(
+          instance.AddEdge(ObjectId(schema.emp, e.id), schema.manager,
+                           ObjectId(schema.emp, *e.manager)));
+    }
+  }
+  // Fire rows.
+  std::uint32_t fire_row = 0;
+  for (std::uint32_t amount : fire) {
+    const ObjectId row(schema.fire, fire_row++);
+    SETREC_RETURN_IF_ERROR(instance.AddObject(row));
+    SETREC_RETURN_IF_ERROR(
+        instance.AddEdge(row, schema.fire_amt, ObjectId(schema.val, amount)));
+  }
+  // NewSal rows.
+  std::uint32_t ns_row = 0;
+  for (const NewSalRow& r : new_sal) {
+    const ObjectId row(schema.ns, ns_row++);
+    SETREC_RETURN_IF_ERROR(instance.AddObject(row));
+    SETREC_RETURN_IF_ERROR(instance.AddEdge(
+        row, schema.old_amt, ObjectId(schema.val, r.old_salary)));
+    SETREC_RETURN_IF_ERROR(instance.AddEdge(
+        row, schema.new_amt, ObjectId(schema.val, r.new_salary)));
+  }
+  return instance;
+}
+
+Result<std::vector<std::pair<std::uint32_t, std::uint32_t>>> ReadSalaries(
+    const PayrollSchema& schema, const Instance& instance) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (ObjectId emp : instance.objects(schema.emp)) {
+    std::vector<ObjectId> salaries = instance.Targets(emp, schema.salary);
+    if (salaries.size() != 1) {
+      return Status::InvalidArgument(
+          "employee " + std::to_string(emp.index()) + " has " +
+          std::to_string(salaries.size()) + " salary edges");
+    }
+    out.emplace_back(emp.index(), salaries[0].index());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> EmployeeIds(const PayrollSchema& schema,
+                                       const Instance& instance) {
+  std::vector<std::uint32_t> out;
+  for (ObjectId emp : instance.objects(schema.emp)) {
+    out.push_back(emp.index());
+  }
+  return out;
+}
+
+}  // namespace setrec

@@ -1,0 +1,54 @@
+#ifndef SETREC_SQL_TABLE_H_
+#define SETREC_SQL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "algebraic/method_library.h"
+#include "core/instance.h"
+
+namespace setrec {
+
+/// Section 7 interprets classical relations as object bases: a tuple of
+/// relation R is an object of type R, an attribute is a property, and a
+/// foreign key is an object-valued property. These helpers build and read
+/// the Employee / Fire / NewSal tables of Section 7 over the PayrollSchema.
+/// Amounts are objects of the Val class whose *index* is the amount, so the
+/// mapping between "salary 100" and its object is the identity.
+
+struct EmployeeRow {
+  std::uint32_t id;
+  std::uint32_t salary;
+  std::optional<std::uint32_t> manager;  // employee id
+};
+
+/// One NewSal(Old, New) row.
+struct NewSalRow {
+  std::uint32_t old_salary;
+  std::uint32_t new_salary;
+};
+
+/// Builds the object-base instance holding the three tables. Every amount
+/// mentioned anywhere is materialized as a Val object (the amount domain the
+/// paper calls "the class D we would use to represent the type of this
+/// property").
+Result<Instance> BuildPayrollInstance(const PayrollSchema& schema,
+                                      std::span<const EmployeeRow> employees,
+                                      std::span<const std::uint32_t> fire,
+                                      std::span<const NewSalRow> new_sal);
+
+/// Reads back (employee id, salary) pairs, sorted by id. Employees with no
+/// or multiple salary edges are reported with InvalidArgument.
+Result<std::vector<std::pair<std::uint32_t, std::uint32_t>>> ReadSalaries(
+    const PayrollSchema& schema, const Instance& instance);
+
+/// Employee ids present, sorted.
+std::vector<std::uint32_t> EmployeeIds(const PayrollSchema& schema,
+                                       const Instance& instance);
+
+}  // namespace setrec
+
+#endif  // SETREC_SQL_TABLE_H_

@@ -1,0 +1,62 @@
+#ifndef SETREC_TEXT_PARSER_H_
+#define SETREC_TEXT_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "algebraic/algebraic_method.h"
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace setrec {
+
+/// A small text front-end so schemas, instances, update expressions and
+/// algebraic methods can live in files instead of C++ builders. The syntax
+/// mirrors the library's structure one-to-one:
+///
+///   schema {
+///     class D; class Ba; class Be;
+///     property f : D -> Ba;
+///     property l : D -> Be;
+///     property s : Ba -> Be;
+///   }
+///
+///   instance {
+///     object D(1); object Ba(1); object Ba(2); object Ba(3);
+///     edge D(1) f Ba(1);
+///     edge D(1) f Ba(2);
+///   }
+///
+///   method add_bar [D, Ba] {
+///     f := union(project[f](join[self = D](self, Df)),
+///                rename[arg1 -> f](arg1));
+///   }
+///
+/// Expressions are call-style (no precedence rules to remember):
+///   union(e, e) | diff(e, e) | product(e, e)
+///   | project[a, b, ...](e)      — project[](e) is the nullary guard π_∅
+///   | select[a = b](e) | select[a != b](e)
+///   | rename[a -> b](e)
+///   | join[a = b](l, r) | join[a != b](l, r)   — θ-join sugar
+///   | RelationName
+///
+/// `//` comments run to end of line. All parse errors carry line:column.
+
+/// Parses a `schema { ... }` block.
+Result<std::unique_ptr<Schema>> ParseSchema(std::string_view text);
+
+/// Parses an `instance { ... }` block over `schema`. Object literals are
+/// written ClassName(index).
+Result<Instance> ParseInstance(std::string_view text, const Schema* schema);
+
+/// Parses a bare expression (no surrounding block).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+/// Parses a `method name [C0, C1, ...] { a := expr; ... }` block over
+/// `schema`, validating it as an algebraic update method (Definition 5.4).
+Result<std::unique_ptr<AlgebraicUpdateMethod>> ParseMethod(
+    std::string_view text, const Schema* schema);
+
+}  // namespace setrec
+
+#endif  // SETREC_TEXT_PARSER_H_

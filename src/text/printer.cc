@@ -1,0 +1,121 @@
+#include "text/printer.h"
+
+#include <sstream>
+
+namespace setrec {
+
+namespace {
+
+void PrintExpr(const Expr& expr, std::ostringstream& out) {
+  switch (expr.op()) {
+    case Expr::Op::kRelation:
+      out << expr.relation_name();
+      return;
+    case Expr::Op::kUnion:
+    case Expr::Op::kDifference:
+    case Expr::Op::kProduct:
+      out << (expr.op() == Expr::Op::kUnion
+                  ? "union"
+                  : expr.op() == Expr::Op::kDifference ? "diff" : "product")
+          << "(";
+      PrintExpr(*expr.left(), out);
+      out << ", ";
+      PrintExpr(*expr.right(), out);
+      out << ")";
+      return;
+    case Expr::Op::kSelectEq:
+    case Expr::Op::kSelectNeq:
+      out << "select[" << expr.attr_a()
+          << (expr.op() == Expr::Op::kSelectEq ? " = " : " != ")
+          << expr.attr_b() << "](";
+      PrintExpr(*expr.child(), out);
+      out << ")";
+      return;
+    case Expr::Op::kProject: {
+      out << "project[";
+      bool first = true;
+      for (const std::string& a : expr.projection()) {
+        if (!first) out << ", ";
+        out << a;
+        first = false;
+      }
+      out << "](";
+      PrintExpr(*expr.child(), out);
+      out << ")";
+      return;
+    }
+    case Expr::Op::kRename:
+      out << "rename[" << expr.rename_from() << " -> " << expr.rename_to()
+          << "](";
+      PrintExpr(*expr.child(), out);
+      out << ")";
+      return;
+  }
+}
+
+void PrintObject(const Schema& schema, ObjectId o, std::ostringstream& out) {
+  out << schema.class_name(o.class_id()) << "(" << o.index() << ")";
+}
+
+}  // namespace
+
+std::string SchemaToText(const Schema& schema) {
+  std::ostringstream out;
+  out << "schema {\n";
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    out << "  class " << schema.class_name(c) << ";\n";
+  }
+  for (PropertyId p = 0; p < schema.num_properties(); ++p) {
+    const Schema::PropertyDef& def = schema.property(p);
+    out << "  property " << def.name << " : " << schema.class_name(def.source)
+        << " -> " << schema.class_name(def.target) << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string InstanceToText(const Instance& instance) {
+  const Schema& schema = instance.schema();
+  std::ostringstream out;
+  out << "instance {\n";
+  for (ObjectId o : instance.AllObjects()) {
+    out << "  object ";
+    PrintObject(schema, o, out);
+    out << ";\n";
+  }
+  for (const Edge& e : instance.AllEdges()) {
+    out << "  edge ";
+    PrintObject(schema, e.source, out);
+    out << " " << schema.property(e.property).name << " ";
+    PrintObject(schema, e.target, out);
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string ExprToText(const Expr& expr) {
+  std::ostringstream out;
+  PrintExpr(expr, out);
+  return out.str();
+}
+
+std::string MethodToText(const AlgebraicUpdateMethod& method) {
+  const Schema& schema = *method.context().schema;
+  std::ostringstream out;
+  out << "method " << (method.name().empty() ? "anonymous" : method.name())
+      << " [";
+  for (std::size_t i = 0; i < method.signature().size(); ++i) {
+    if (i > 0) out << ", ";
+    out << schema.class_name(method.signature().class_at(i));
+  }
+  out << "] {\n";
+  for (const UpdateStatement& s : method.statements()) {
+    out << "  " << schema.property(s.property).name << " := "
+        << ExprToText(*s.expression) << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace setrec

@@ -1,0 +1,27 @@
+#ifndef SETREC_TEXT_PRINTER_H_
+#define SETREC_TEXT_PRINTER_H_
+
+#include <string>
+
+#include "algebraic/algebraic_method.h"
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace setrec {
+
+/// Emitters for the text format of text/parser.h. Every emitter produces
+/// input the corresponding parser accepts, and the round trip is exact:
+///   ParseSchema(SchemaToText(s))       reproduces s,
+///   ParseInstance(InstanceToText(i))   reproduces i,
+///   ParseExpression(ExprToText(e))     reproduces e structurally,
+///   ParseMethod(MethodToText(m))       reproduces m's statements.
+/// (Property-tested in tests/text_test.cc.)
+
+std::string SchemaToText(const Schema& schema);
+std::string InstanceToText(const Instance& instance);
+std::string ExprToText(const Expr& expr);
+std::string MethodToText(const AlgebraicUpdateMethod& method);
+
+}  // namespace setrec
+
+#endif  // SETREC_TEXT_PRINTER_H_
