@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apply.dir/bench_apply.cc.o"
+  "CMakeFiles/bench_apply.dir/bench_apply.cc.o.d"
+  "bench_apply"
+  "bench_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq_vs_par.dir/bench_seq_vs_par.cc.o"
+  "CMakeFiles/bench_seq_vs_par.dir/bench_seq_vs_par.cc.o.d"
+  "bench_seq_vs_par"
+  "bench_seq_vs_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq_vs_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_payroll.dir/employee_payroll.cpp.o"
+  "CMakeFiles/employee_payroll.dir/employee_payroll.cpp.o.d"
+  "employee_payroll"
+  "employee_payroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_payroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/setrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_objrel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_conjunctive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_algebraic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

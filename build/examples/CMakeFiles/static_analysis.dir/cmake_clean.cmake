@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_analysis.dir/static_analysis.cpp.o"
+  "CMakeFiles/static_analysis.dir/static_analysis.cpp.o.d"
+  "static_analysis"
+  "static_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transitive_closure.dir/transitive_closure.cpp.o"
+  "CMakeFiles/transitive_closure.dir/transitive_closure.cpp.o.d"
+  "transitive_closure"
+  "transitive_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transitive_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

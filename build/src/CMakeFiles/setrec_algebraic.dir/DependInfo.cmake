@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebraic/algebraic_method.cc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/algebraic_method.cc.o" "gcc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/algebraic_method.cc.o.d"
+  "/root/repo/src/algebraic/gadgets.cc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/gadgets.cc.o" "gcc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/gadgets.cc.o.d"
+  "/root/repo/src/algebraic/method_library.cc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/method_library.cc.o" "gcc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/method_library.cc.o.d"
+  "/root/repo/src/algebraic/order_independence.cc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/order_independence.cc.o" "gcc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/order_independence.cc.o.d"
+  "/root/repo/src/algebraic/parallel.cc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/parallel.cc.o" "gcc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/parallel.cc.o.d"
+  "/root/repo/src/algebraic/update_expression.cc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/update_expression.cc.o" "gcc" "src/CMakeFiles/setrec_algebraic.dir/algebraic/update_expression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/setrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_objrel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_conjunctive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

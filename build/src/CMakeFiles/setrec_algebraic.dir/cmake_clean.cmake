@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrec_algebraic.dir/algebraic/algebraic_method.cc.o"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/algebraic_method.cc.o.d"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/gadgets.cc.o"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/gadgets.cc.o.d"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/method_library.cc.o"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/method_library.cc.o.d"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/order_independence.cc.o"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/order_independence.cc.o.d"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/parallel.cc.o"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/parallel.cc.o.d"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/update_expression.cc.o"
+  "CMakeFiles/setrec_algebraic.dir/algebraic/update_expression.cc.o.d"
+  "libsetrec_algebraic.a"
+  "libsetrec_algebraic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrec_algebraic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coloring/coloring.cc" "src/CMakeFiles/setrec_coloring.dir/coloring/coloring.cc.o" "gcc" "src/CMakeFiles/setrec_coloring.dir/coloring/coloring.cc.o.d"
+  "/root/repo/src/coloring/counterexamples.cc" "src/CMakeFiles/setrec_coloring.dir/coloring/counterexamples.cc.o" "gcc" "src/CMakeFiles/setrec_coloring.dir/coloring/counterexamples.cc.o.d"
+  "/root/repo/src/coloring/inference.cc" "src/CMakeFiles/setrec_coloring.dir/coloring/inference.cc.o" "gcc" "src/CMakeFiles/setrec_coloring.dir/coloring/inference.cc.o.d"
+  "/root/repo/src/coloring/soundness.cc" "src/CMakeFiles/setrec_coloring.dir/coloring/soundness.cc.o" "gcc" "src/CMakeFiles/setrec_coloring.dir/coloring/soundness.cc.o.d"
+  "/root/repo/src/coloring/witness.cc" "src/CMakeFiles/setrec_coloring.dir/coloring/witness.cc.o" "gcc" "src/CMakeFiles/setrec_coloring.dir/coloring/witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/setrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_algebraic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_objrel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_conjunctive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

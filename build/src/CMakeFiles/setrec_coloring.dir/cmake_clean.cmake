@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrec_coloring.dir/coloring/coloring.cc.o"
+  "CMakeFiles/setrec_coloring.dir/coloring/coloring.cc.o.d"
+  "CMakeFiles/setrec_coloring.dir/coloring/counterexamples.cc.o"
+  "CMakeFiles/setrec_coloring.dir/coloring/counterexamples.cc.o.d"
+  "CMakeFiles/setrec_coloring.dir/coloring/inference.cc.o"
+  "CMakeFiles/setrec_coloring.dir/coloring/inference.cc.o.d"
+  "CMakeFiles/setrec_coloring.dir/coloring/soundness.cc.o"
+  "CMakeFiles/setrec_coloring.dir/coloring/soundness.cc.o.d"
+  "CMakeFiles/setrec_coloring.dir/coloring/witness.cc.o"
+  "CMakeFiles/setrec_coloring.dir/coloring/witness.cc.o.d"
+  "libsetrec_coloring.a"
+  "libsetrec_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrec_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

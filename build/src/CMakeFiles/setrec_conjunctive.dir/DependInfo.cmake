@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conjunctive/chase.cc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/chase.cc.o" "gcc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/chase.cc.o.d"
+  "/root/repo/src/conjunctive/conjunctive_query.cc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/conjunctive_query.cc.o" "gcc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/conjunctive_query.cc.o.d"
+  "/root/repo/src/conjunctive/containment.cc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/containment.cc.o" "gcc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/containment.cc.o.d"
+  "/root/repo/src/conjunctive/homomorphism.cc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/homomorphism.cc.o" "gcc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/homomorphism.cc.o.d"
+  "/root/repo/src/conjunctive/representative.cc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/representative.cc.o" "gcc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/representative.cc.o.d"
+  "/root/repo/src/conjunctive/translate.cc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/translate.cc.o" "gcc" "src/CMakeFiles/setrec_conjunctive.dir/conjunctive/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/setrec_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/setrec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/chase.cc.o"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/chase.cc.o.d"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/conjunctive_query.cc.o"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/conjunctive_query.cc.o.d"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/containment.cc.o"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/containment.cc.o.d"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/homomorphism.cc.o"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/homomorphism.cc.o.d"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/representative.cc.o"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/representative.cc.o.d"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/translate.cc.o"
+  "CMakeFiles/setrec_conjunctive.dir/conjunctive/translate.cc.o.d"
+  "libsetrec_conjunctive.a"
+  "libsetrec_conjunctive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrec_conjunctive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsetrec_conjunctive.a"
+)

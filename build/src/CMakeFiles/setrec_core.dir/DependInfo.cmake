@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combination.cc" "src/CMakeFiles/setrec_core.dir/core/combination.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/combination.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/setrec_core.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/instance_generator.cc" "src/CMakeFiles/setrec_core.dir/core/instance_generator.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/instance_generator.cc.o.d"
+  "/root/repo/src/core/partial_instance.cc" "src/CMakeFiles/setrec_core.dir/core/partial_instance.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/partial_instance.cc.o.d"
+  "/root/repo/src/core/printer.cc" "src/CMakeFiles/setrec_core.dir/core/printer.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/printer.cc.o.d"
+  "/root/repo/src/core/receiver.cc" "src/CMakeFiles/setrec_core.dir/core/receiver.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/receiver.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/setrec_core.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/sequential.cc" "src/CMakeFiles/setrec_core.dir/core/sequential.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/sequential.cc.o.d"
+  "/root/repo/src/core/update_method.cc" "src/CMakeFiles/setrec_core.dir/core/update_method.cc.o" "gcc" "src/CMakeFiles/setrec_core.dir/core/update_method.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

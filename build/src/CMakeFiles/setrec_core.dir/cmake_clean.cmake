@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrec_core.dir/core/combination.cc.o"
+  "CMakeFiles/setrec_core.dir/core/combination.cc.o.d"
+  "CMakeFiles/setrec_core.dir/core/instance.cc.o"
+  "CMakeFiles/setrec_core.dir/core/instance.cc.o.d"
+  "CMakeFiles/setrec_core.dir/core/instance_generator.cc.o"
+  "CMakeFiles/setrec_core.dir/core/instance_generator.cc.o.d"
+  "CMakeFiles/setrec_core.dir/core/partial_instance.cc.o"
+  "CMakeFiles/setrec_core.dir/core/partial_instance.cc.o.d"
+  "CMakeFiles/setrec_core.dir/core/printer.cc.o"
+  "CMakeFiles/setrec_core.dir/core/printer.cc.o.d"
+  "CMakeFiles/setrec_core.dir/core/receiver.cc.o"
+  "CMakeFiles/setrec_core.dir/core/receiver.cc.o.d"
+  "CMakeFiles/setrec_core.dir/core/schema.cc.o"
+  "CMakeFiles/setrec_core.dir/core/schema.cc.o.d"
+  "CMakeFiles/setrec_core.dir/core/sequential.cc.o"
+  "CMakeFiles/setrec_core.dir/core/sequential.cc.o.d"
+  "CMakeFiles/setrec_core.dir/core/update_method.cc.o"
+  "CMakeFiles/setrec_core.dir/core/update_method.cc.o.d"
+  "libsetrec_core.a"
+  "libsetrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrec_objrel.dir/objrel/encoding.cc.o"
+  "CMakeFiles/setrec_objrel.dir/objrel/encoding.cc.o.d"
+  "libsetrec_objrel.a"
+  "libsetrec_objrel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrec_objrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

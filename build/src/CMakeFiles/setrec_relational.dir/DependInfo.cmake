@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/builder.cc" "src/CMakeFiles/setrec_relational.dir/relational/builder.cc.o" "gcc" "src/CMakeFiles/setrec_relational.dir/relational/builder.cc.o.d"
+  "/root/repo/src/relational/dependencies.cc" "src/CMakeFiles/setrec_relational.dir/relational/dependencies.cc.o" "gcc" "src/CMakeFiles/setrec_relational.dir/relational/dependencies.cc.o.d"
+  "/root/repo/src/relational/evaluator.cc" "src/CMakeFiles/setrec_relational.dir/relational/evaluator.cc.o" "gcc" "src/CMakeFiles/setrec_relational.dir/relational/evaluator.cc.o.d"
+  "/root/repo/src/relational/expression.cc" "src/CMakeFiles/setrec_relational.dir/relational/expression.cc.o" "gcc" "src/CMakeFiles/setrec_relational.dir/relational/expression.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/setrec_relational.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/setrec_relational.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/setrec_relational.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/setrec_relational.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/setrec_relational.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/setrec_relational.dir/relational/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/setrec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrec_relational.dir/relational/builder.cc.o"
+  "CMakeFiles/setrec_relational.dir/relational/builder.cc.o.d"
+  "CMakeFiles/setrec_relational.dir/relational/dependencies.cc.o"
+  "CMakeFiles/setrec_relational.dir/relational/dependencies.cc.o.d"
+  "CMakeFiles/setrec_relational.dir/relational/evaluator.cc.o"
+  "CMakeFiles/setrec_relational.dir/relational/evaluator.cc.o.d"
+  "CMakeFiles/setrec_relational.dir/relational/expression.cc.o"
+  "CMakeFiles/setrec_relational.dir/relational/expression.cc.o.d"
+  "CMakeFiles/setrec_relational.dir/relational/relation.cc.o"
+  "CMakeFiles/setrec_relational.dir/relational/relation.cc.o.d"
+  "CMakeFiles/setrec_relational.dir/relational/schema.cc.o"
+  "CMakeFiles/setrec_relational.dir/relational/schema.cc.o.d"
+  "CMakeFiles/setrec_relational.dir/relational/tuple.cc.o"
+  "CMakeFiles/setrec_relational.dir/relational/tuple.cc.o.d"
+  "libsetrec_relational.a"
+  "libsetrec_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrec_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrec_sql.dir/sql/engine.cc.o"
+  "CMakeFiles/setrec_sql.dir/sql/engine.cc.o.d"
+  "CMakeFiles/setrec_sql.dir/sql/improve.cc.o"
+  "CMakeFiles/setrec_sql.dir/sql/improve.cc.o.d"
+  "CMakeFiles/setrec_sql.dir/sql/table.cc.o"
+  "CMakeFiles/setrec_sql.dir/sql/table.cc.o.d"
+  "libsetrec_sql.a"
+  "libsetrec_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrec_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

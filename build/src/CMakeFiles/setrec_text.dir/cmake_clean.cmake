@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrec_text.dir/text/parser.cc.o"
+  "CMakeFiles/setrec_text.dir/text/parser.cc.o.d"
+  "CMakeFiles/setrec_text.dir/text/printer.cc.o"
+  "CMakeFiles/setrec_text.dir/text/printer.cc.o.d"
+  "libsetrec_text.a"
+  "libsetrec_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrec_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

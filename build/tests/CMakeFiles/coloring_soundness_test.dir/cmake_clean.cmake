@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coloring_soundness_test.dir/coloring_soundness_test.cc.o"
+  "CMakeFiles/coloring_soundness_test.dir/coloring_soundness_test.cc.o.d"
+  "coloring_soundness_test"
+  "coloring_soundness_test.pdb"
+  "coloring_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coloring_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrel_test.dir/objrel_test.cc.o"
+  "CMakeFiles/objrel_test.dir/objrel_test.cc.o.d"
+  "objrel_test"
+  "objrel_test.pdb"
+  "objrel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

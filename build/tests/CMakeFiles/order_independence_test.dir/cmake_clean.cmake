@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_independence_test.dir/order_independence_test.cc.o"
+  "CMakeFiles/order_independence_test.dir/order_independence_test.cc.o.d"
+  "order_independence_test"
+  "order_independence_test.pdb"
+  "order_independence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_independence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_order_test.dir/query_order_test.cc.o"
+  "CMakeFiles/query_order_test.dir/query_order_test.cc.o.d"
+  "query_order_test"
+  "query_order_test.pdb"
+  "query_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/algebraic_test[1]_include.cmake")
+include("/root/repo/build/tests/order_independence_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/objrel_test[1]_include.cmake")
+include("/root/repo/build/tests/containment_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_test[1]_include.cmake")
+include("/root/repo/build/tests/sequential_test[1]_include.cmake")
+include("/root/repo/build/tests/query_order_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/coloring_test[1]_include.cmake")
+include("/root/repo/build/tests/coloring_soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/coloring_oi_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/combination_test[1]_include.cmake")
+include("/root/repo/build/tests/gadget_test[1]_include.cmake")
+include("/root/repo/build/tests/decision_crossvalidation_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
