@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "algebraic/algebraic_method.h"
+#include "core/exec_context.h"
 
 namespace setrec {
 
@@ -153,7 +154,9 @@ Result<std::unique_ptr<AlgebraicUpdateMethod>> MakeSalaryFromManagersNewSal(
 Result<std::vector<Receiver>> ReceiversFromQuery(const ExprPtr& query,
                                                  const Instance& instance,
                                                  const MethodSignature&
-                                                     signature);
+                                                     signature,
+                                                 ExecContext& ctx =
+                                                     ExecContext::Default());
 
 }  // namespace setrec
 

@@ -161,7 +161,8 @@ Result<std::vector<ReductionExpressions>> BuildOrderIndependenceReduction(
 }
 
 Result<bool> DecideOrderIndependence(const AlgebraicUpdateMethod& method,
-                                     OrderIndependenceKind kind) {
+                                     OrderIndependenceKind kind,
+                                     ExecContext& ctx) {
   if (!method.IsPositiveMethod()) {
     return Status::InvalidArgument(
         "order independence is only decidable for positive methods "
@@ -169,24 +170,41 @@ Result<bool> DecideOrderIndependence(const AlgebraicUpdateMethod& method,
   }
   SETREC_ASSIGN_OR_RETURN(std::vector<ReductionExpressions> reductions,
                           BuildOrderIndependenceReduction(method, kind));
-  const MethodContext& ctx = method.context();
+  const MethodContext& mctx = method.context();
   for (const ReductionExpressions& r : reductions) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("decision/property"));
     SETREC_ASSIGN_OR_RETURN(
         PositiveQuery q1,
-        TranslateToPositiveQuery(r.e_tt, ctx.reduction_catalog));
+        TranslateToPositiveQuery(r.e_tt, mctx.reduction_catalog));
     SETREC_ASSIGN_OR_RETURN(
         PositiveQuery q2,
-        TranslateToPositiveQuery(r.e_ts, ctx.reduction_catalog));
+        TranslateToPositiveQuery(r.e_ts, mctx.reduction_catalog));
     SETREC_ASSIGN_OR_RETURN(
         bool equivalent,
-        EquivalentUnder(q1, q2, ctx.reduction_deps, ctx.reduction_catalog));
+        EquivalentUnder(q1, q2, mctx.reduction_deps, mctx.reduction_catalog,
+                        ctx));
     if (!equivalent) return false;
   }
   return true;
 }
 
+Result<OrderIndependenceVerdict> DecideOrderIndependenceBounded(
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    ExecContext& ctx) {
+  Result<bool> decided = DecideOrderIndependence(method, kind, ctx);
+  if (decided.ok()) {
+    return *decided ? OrderIndependenceVerdict::kIndependent
+                    : OrderIndependenceVerdict::kDependent;
+  }
+  if (decided.status().IsRetryable()) {
+    return OrderIndependenceVerdict::kUnknown;
+  }
+  return decided.status();
+}
+
 Result<DecisionReport> DecideOrderIndependenceDetailed(
-    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind) {
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    ExecContext& ctx) {
   if (!method.IsPositiveMethod()) {
     return Status::InvalidArgument(
         "order independence is only decidable for positive methods "
@@ -194,27 +212,29 @@ Result<DecisionReport> DecideOrderIndependenceDetailed(
   }
   SETREC_ASSIGN_OR_RETURN(std::vector<ReductionExpressions> reductions,
                           BuildOrderIndependenceReduction(method, kind));
-  const MethodContext& ctx = method.context();
+  const MethodContext& mctx = method.context();
   DecisionReport report;
   report.order_independent = true;
   for (const ReductionExpressions& r : reductions) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("decision/property"));
     SETREC_ASSIGN_OR_RETURN(
         PositiveQuery q1,
-        TranslateToPositiveQuery(r.e_tt, ctx.reduction_catalog));
+        TranslateToPositiveQuery(r.e_tt, mctx.reduction_catalog));
     SETREC_ASSIGN_OR_RETURN(
         PositiveQuery q2,
-        TranslateToPositiveQuery(r.e_ts, ctx.reduction_catalog));
+        TranslateToPositiveQuery(r.e_ts, mctx.reduction_catalog));
     DecisionReport::PropertyDetail detail;
     detail.property = r.property;
     detail.raw_disjuncts_tt = q1.disjuncts.size();
     detail.raw_disjuncts_ts = q2.disjuncts.size();
-    PositiveQuery p1 = SimplifyPositiveQuery(std::move(q1));
-    PositiveQuery p2 = SimplifyPositiveQuery(std::move(q2));
+    PositiveQuery p1 = SimplifyPositiveQuery(std::move(q1), ctx);
+    PositiveQuery p2 = SimplifyPositiveQuery(std::move(q2), ctx);
     detail.pruned_disjuncts_tt = p1.disjuncts.size();
     detail.pruned_disjuncts_ts = p2.disjuncts.size();
     SETREC_ASSIGN_OR_RETURN(
         detail.equivalent,
-        EquivalentUnder(p1, p2, ctx.reduction_deps, ctx.reduction_catalog));
+        EquivalentUnder(p1, p2, mctx.reduction_deps, mctx.reduction_catalog,
+                        ctx));
     if (!detail.equivalent) report.order_independent = false;
     report.properties.push_back(detail);
   }
@@ -241,9 +261,10 @@ bool SatisfiesUpdateIsolationCondition(const AlgebraicUpdateMethod& method) {
 Result<std::optional<OrderDependenceWitness>> SearchOrderDependenceWitness(
     const UpdateMethod& method, const Schema& schema, std::uint64_t seed,
     int trials, const InstanceGenerator::Options& options,
-    bool key_pairs_only) {
+    bool key_pairs_only, ExecContext& ctx) {
   InstanceGenerator gen(&schema, seed);
   for (int trial = 0; trial < trials; ++trial) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("witness-search/trial"));
     Instance instance = gen.RandomInstance(options);
     std::vector<Receiver> receivers =
         InstanceGenerator::AllReceivers(instance, method.signature());
@@ -256,7 +277,7 @@ Result<std::optional<OrderDependenceWitness>> SearchOrderDependenceWitness(
         std::vector<Receiver> pair = {receivers[i], receivers[j]};
         SETREC_ASSIGN_OR_RETURN(
             OrderIndependenceOutcome outcome,
-            PairwiseOrderIndependentOn(method, instance, pair));
+            PairwiseOrderIndependentOn(method, instance, pair, ctx));
         if (!outcome.order_independent) {
           return std::optional<OrderDependenceWitness>(OrderDependenceWitness{
               std::move(instance), receivers[i], receivers[j]});
@@ -272,20 +293,21 @@ SearchQueryOrderDependenceWitness(const UpdateMethod& method,
                                   const ExprPtr& query, const Schema& schema,
                                   std::uint64_t seed, int trials,
                                   const InstanceGenerator::Options& options,
-                                  std::size_t max_set_size) {
+                                  std::size_t max_set_size, ExecContext& ctx) {
   InstanceGenerator gen(&schema, seed);
   for (int trial = 0; trial < trials; ++trial) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("witness-search/query-trial"));
     Instance instance = gen.RandomInstance(options);
     SETREC_ASSIGN_OR_RETURN(
         std::vector<Receiver> receivers,
-        ReceiversFromQuery(query, instance, method.signature()));
+        ReceiversFromQuery(query, instance, method.signature(), ctx));
     // Q(I) receivers are tuples of objects drawn from the instance, so
     // they are valid over it; skip oversized sets (the exhaustive test is
     // |T|!).
     if (receivers.size() > max_set_size) continue;
     SETREC_ASSIGN_OR_RETURN(
         OrderIndependenceOutcome outcome,
-        OrderIndependentOn(method, instance, receivers, max_set_size));
+        OrderIndependentOn(method, instance, receivers, ctx, max_set_size));
     if (!outcome.order_independent) {
       return std::optional<QueryOrderDependenceWitness>(
           QueryOrderDependenceWitness{std::move(instance),

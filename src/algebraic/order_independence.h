@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algebraic/algebraic_method.h"
+#include "core/exec_context.h"
 #include "core/instance_generator.h"
 #include "core/sequential.h"
 
@@ -40,8 +41,29 @@ Result<std::vector<ReductionExpressions>> BuildOrderIndependenceReduction(
 /// context (Lemma 5.13). Fails with InvalidArgument on non-positive methods
 /// — the problem is undecidable there (Corollary 5.7); use
 /// SearchOrderDependenceWitness for refutation instead.
+///
+/// The underlying containment tests run under `ctx`; with a step budget or
+/// deadline the call returns kResourceExhausted / kDeadlineExceeded. Use
+/// DecideOrderIndependenceBounded for the three-valued wrapper that turns
+/// those into a sound kUnknown verdict.
 Result<bool> DecideOrderIndependence(const AlgebraicUpdateMethod& method,
-                                     OrderIndependenceKind kind);
+                                     OrderIndependenceKind kind,
+                                     ExecContext& ctx =
+                                         ExecContext::Default());
+
+/// Three-valued verdict for the bounded decision procedure. kUnknown means
+/// "not decided within the budget" — it is sound to treat such a method as
+/// potentially order dependent, never as independent.
+enum class OrderIndependenceVerdict { kIndependent, kDependent, kUnknown };
+
+/// Runs DecideOrderIndependence under `ctx` and degrades retryable
+/// governance failures (step budget, deadline, row/memory caps) to
+/// kUnknown instead of an error. Cancellation and genuine errors still
+/// propagate: a cancelled run decided nothing and should not be reported as
+/// a verdict.
+Result<OrderIndependenceVerdict> DecideOrderIndependenceBounded(
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    ExecContext& ctx = ExecContext::Default());
 
 /// A detailed account of one decision run: per updated property, the union
 /// widths of the two reduction sides before and after disjunct-subsumption
@@ -63,7 +85,8 @@ struct DecisionReport {
 /// Like DecideOrderIndependence but evaluates every property (no early
 /// exit) and reports the reduction statistics.
 Result<DecisionReport> DecideOrderIndependenceDetailed(
-    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind);
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    ExecContext& ctx = ExecContext::Default());
 
 /// Proposition 5.8's sufficient syntactic condition for key-order
 /// independence: no update expression of the method accesses any relation Ca
@@ -88,7 +111,7 @@ struct OrderDependenceWitness {
 Result<std::optional<OrderDependenceWitness>> SearchOrderDependenceWitness(
     const UpdateMethod& method, const Schema& schema, std::uint64_t seed,
     int trials, const InstanceGenerator::Options& options,
-    bool key_pairs_only = false);
+    bool key_pairs_only = false, ExecContext& ctx = ExecContext::Default());
 
 /// A refutation of Q-order independence: an instance whose full receiver
 /// set Q(I) admits two disagreeing enumerations (witnessed inside
@@ -109,7 +132,8 @@ SearchQueryOrderDependenceWitness(const UpdateMethod& method,
                                   const ExprPtr& query, const Schema& schema,
                                   std::uint64_t seed, int trials,
                                   const InstanceGenerator::Options& options,
-                                  std::size_t max_set_size = 5);
+                                  std::size_t max_set_size = 5,
+                                  ExecContext& ctx = ExecContext::Default());
 
 }  // namespace setrec
 

@@ -125,18 +125,20 @@ Result<ExprPtr> ParTransform(const ExprPtr& expr,
 
 Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
                                const Instance& instance,
-                               std::span<const Receiver> receivers) {
-  const MethodContext& ctx = method.context();
+                               std::span<const Receiver> receivers,
+                               ExecContext& ctx) {
+  const MethodContext& mctx = method.context();
   std::vector<Receiver> set = CanonicalReceiverSet(receivers);
   for (const Receiver& t : set) {
-    if (!t.IsValidOver(ctx.signature, instance)) {
+    if (!t.IsValidOver(mctx.signature, instance)) {
       return Status::FailedPrecondition(
           "receiver not valid over the instance");
     }
   }
 
   SETREC_ASSIGN_OR_RETURN(Database db, EncodeInstance(instance));
-  SETREC_ASSIGN_OR_RETURN(RelationScheme rec_scheme, RecScheme(ctx.signature));
+  SETREC_ASSIGN_OR_RETURN(RelationScheme rec_scheme,
+                          RecScheme(mctx.signature));
   Relation rec(rec_scheme);
   for (const Receiver& t : set) {
     std::vector<ObjectId> values;
@@ -149,14 +151,15 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
   db.Put(kRecRelation, std::move(rec));
 
   // Evaluate one par(E) per statement, all against the input snapshot.
-  Evaluator evaluator(&db);
+  Evaluator evaluator(&db, ctx);
   struct StatementResult {
     PropertyId property;
     std::map<ObjectId, std::vector<ObjectId>> targets_by_receiver;
   };
   std::vector<StatementResult> results;
   for (const UpdateStatement& s : method.statements()) {
-    SETREC_ASSIGN_OR_RETURN(ExprPtr par_expr, ParTransform(s.expression, ctx));
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("parallel/statement"));
+    SETREC_ASSIGN_OR_RETURN(ExprPtr par_expr, ParTransform(s.expression, mctx));
     SETREC_ASSIGN_OR_RETURN(Relation r, evaluator.Eval(par_expr));
     SETREC_ASSIGN_OR_RETURN(std::size_t self_idx,
                             r.scheme().IndexOf(kSelfRelation));
@@ -183,6 +186,7 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
       auto it = sr.targets_by_receiver.find(o0);
       if (it == sr.targets_by_receiver.end()) continue;
       for (ObjectId target : it->second) {
+        SETREC_RETURN_IF_ERROR(ctx.CheckPoint("parallel/edge"));
         SETREC_RETURN_IF_ERROR(out.AddEdge(o0, sr.property, target));
       }
     }

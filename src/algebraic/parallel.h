@@ -4,6 +4,7 @@
 #include <span>
 
 #include "algebraic/algebraic_method.h"
+#include "core/exec_context.h"
 
 namespace setrec {
 
@@ -37,9 +38,12 @@ Result<ExprPtr> ParTransform(const ExprPtr& expr, const MethodContext& context);
 /// statement, and replaces, for every receiving object occurring in T, its
 /// a-edges by the objects par(E) links to it. Every receiver must be valid
 /// over `instance`. Duplicate receivers are deduplicated (T is a set).
+/// The par(E) evaluations and the edge-replacement loops run under `ctx`
+/// (row/memory budgets apply to the joins the rewriting introduces).
 Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
                                const Instance& instance,
-                               std::span<const Receiver> receivers);
+                               std::span<const Receiver> receivers,
+                               ExecContext& ctx = ExecContext::Default());
 
 }  // namespace setrec
 

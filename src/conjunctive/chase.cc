@@ -60,7 +60,7 @@ Result<std::vector<std::size_t>> ResolveInd(const InclusionDependency& ind,
 
 Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
                                     const DependencySet& deps,
-                                    const Catalog& catalog) {
+                                    const Catalog& catalog, ExecContext& ctx) {
   if (query.trivially_false()) return query;
 
   // Pre-resolve attribute positions once.
@@ -80,6 +80,7 @@ Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
 
   bool changed = true;
   while (changed && !query.trivially_false()) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("chase/round"));
     changed = false;
 
     // fd rule.
@@ -93,6 +94,7 @@ Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
       for (std::size_t i = 0; i < rel_conjuncts.size() && !changed; ++i) {
         for (std::size_t j = i + 1; j < rel_conjuncts.size() && !changed;
              ++j) {
+          SETREC_RETURN_IF_ERROR(ctx.CheckPoint("chase/fd-pair"));
           const Conjunct& u = *rel_conjuncts[i];
           const Conjunct& v = *rel_conjuncts[j];
           bool lhs_equal = true;
@@ -124,6 +126,7 @@ Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
       std::vector<Conjunct> to_add;
       for (const Conjunct& c : query.conjuncts()) {
         if (c.relation != ind.from_relation) continue;
+        SETREC_RETURN_IF_ERROR(ctx.CheckPoint("chase/ind-candidate"));
         std::vector<VarId> vars;
         vars.reserve(idx.size());
         for (std::size_t k : idx) vars.push_back(c.vars[k]);

@@ -2,6 +2,7 @@
 #define SETREC_CONJUNCTIVE_CHASE_H_
 
 #include "conjunctive/conjunctive_query.h"
+#include "core/exec_context.h"
 #include "relational/dependencies.h"
 #include "relational/schema.h"
 
@@ -28,9 +29,15 @@ namespace setrec {
 ///
 /// The result is compacted (contiguous variable ids); summary positions are
 /// preserved.
+///
+/// Every chase round and every fd-pair / ind-candidate scan is a `ctx`
+/// checkpoint, so a step budget or deadline bounds the (polynomial but
+/// potentially large) fixpoint with a typed kResourceExhausted /
+/// kDeadlineExceeded instead of an unbounded stall.
 Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
                                     const DependencySet& deps,
-                                    const Catalog& catalog);
+                                    const Catalog& catalog,
+                                    ExecContext& ctx = ExecContext::Default());
 
 }  // namespace setrec
 

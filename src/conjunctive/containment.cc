@@ -5,7 +5,7 @@
 
 namespace setrec {
 
-PositiveQuery SimplifyPositiveQuery(PositiveQuery query) {
+PositiveQuery SimplifyPositiveQuery(PositiveQuery query, ExecContext& ctx) {
   std::vector<ConjunctiveQuery> live;
   for (ConjunctiveQuery& q : query.disjuncts) {
     if (!q.trivially_false()) live.push_back(std::move(q));
@@ -14,8 +14,10 @@ PositiveQuery SimplifyPositiveQuery(PositiveQuery query) {
   for (std::size_t j = 0; j < live.size(); ++j) {
     for (std::size_t i = 0; i < live.size() && alive[j]; ++i) {
       if (i == j || !alive[i]) continue;
+      // A failed (or governance-interrupted) subsumption test just leaves
+      // the disjunct unpruned — conservative and sound.
       Result<bool> hom = HasHomomorphism(live[i], live[j],
-                                         /*strict_neq=*/true);
+                                         /*strict_neq=*/true, ctx);
       if (hom.ok() && *hom) alive[j] = false;
     }
   }
@@ -30,24 +32,24 @@ Result<ContainmentResult> CheckContainment(const PositiveQuery& q1_in,
                                            const PositiveQuery& q2_in,
                                            const DependencySet& deps,
                                            const Catalog& catalog,
-                                           bool simplify) {
+                                           bool simplify, ExecContext& ctx) {
   if (!(q1_in.scheme == q2_in.scheme)) {
     return Status::InvalidArgument(
         "containment requires identical result schemes");
   }
   const PositiveQuery q1 =
-      simplify ? SimplifyPositiveQuery(q1_in) : q1_in;
+      simplify ? SimplifyPositiveQuery(q1_in, ctx) : q1_in;
   const PositiveQuery q2 =
-      simplify ? SimplifyPositiveQuery(q2_in) : q2_in;
+      simplify ? SimplifyPositiveQuery(q2_in, ctx) : q2_in;
   ContainmentResult result;
   for (const ConjunctiveQuery& disjunct : q1.disjuncts) {
     SETREC_ASSIGN_OR_RETURN(ConjunctiveQuery chased,
-                            ChaseQuery(disjunct, deps, catalog));
+                            ChaseQuery(disjunct, deps, catalog, ctx));
     if (chased.trivially_false()) continue;  // unsatisfiable under Σ
 
     Status inner_status = Status::OK();
     bool found_counterexample = false;
-    ForEachRepresentativeValuation(
+    Status enumerated = ForEachRepresentativeValuation(
         chased, [&](const std::vector<VarId>& block_of) {
           Result<CanonicalInstance> canon =
               BuildCanonicalInstance(chased, block_of, catalog);
@@ -67,7 +69,7 @@ Result<ContainmentResult> CheckContainment(const PositiveQuery& q1_in,
             if (!*sat) return true;  // continue with next valuation
           }
           Result<bool> member =
-              TupleInPositiveQuery(q2, canon->summary, canon->database);
+              TupleInPositiveQuery(q2, canon->summary, canon->database, ctx);
           if (!member.ok()) {
             inner_status = member.status();
             return false;
@@ -79,7 +81,9 @@ Result<ContainmentResult> CheckContainment(const PositiveQuery& q1_in,
             return false;
           }
           return true;
-        });
+        },
+        ctx);
+    SETREC_RETURN_IF_ERROR(enumerated);
     SETREC_RETURN_IF_ERROR(inner_status);
     if (found_counterexample) {
       result.contained = false;
@@ -91,19 +95,20 @@ Result<ContainmentResult> CheckContainment(const PositiveQuery& q1_in,
 }
 
 Result<bool> ContainedUnder(const PositiveQuery& q1, const PositiveQuery& q2,
-                            const DependencySet& deps,
-                            const Catalog& catalog) {
-  SETREC_ASSIGN_OR_RETURN(ContainmentResult r,
-                          CheckContainment(q1, q2, deps, catalog));
+                            const DependencySet& deps, const Catalog& catalog,
+                            ExecContext& ctx) {
+  SETREC_ASSIGN_OR_RETURN(
+      ContainmentResult r,
+      CheckContainment(q1, q2, deps, catalog, /*simplify=*/true, ctx));
   return r.contained;
 }
 
 Result<bool> EquivalentUnder(const PositiveQuery& q1, const PositiveQuery& q2,
                              const DependencySet& deps,
-                             const Catalog& catalog) {
-  SETREC_ASSIGN_OR_RETURN(bool a, ContainedUnder(q1, q2, deps, catalog));
+                             const Catalog& catalog, ExecContext& ctx) {
+  SETREC_ASSIGN_OR_RETURN(bool a, ContainedUnder(q1, q2, deps, catalog, ctx));
   if (!a) return false;
-  return ContainedUnder(q2, q1, deps, catalog);
+  return ContainedUnder(q2, q1, deps, catalog, ctx);
 }
 
 }  // namespace setrec

@@ -5,6 +5,7 @@
 
 #include "conjunctive/conjunctive_query.h"
 #include "conjunctive/representative.h"
+#include "core/exec_context.h"
 #include "relational/dependencies.h"
 
 namespace setrec {
@@ -40,11 +41,18 @@ struct ContainmentResult {
 /// 5.6 reduction produces unions with heavily subsumed branches, and
 /// pruning them shrinks both the outer disjunct loop and the inner
 /// membership tests).
+///
+/// The chase, the representative-valuation enumeration, and the inner
+/// membership searches all run under `ctx`; with a step budget or deadline
+/// the worst-case-exponential procedure returns kResourceExhausted /
+/// kDeadlineExceeded instead of running away.
 Result<ContainmentResult> CheckContainment(const PositiveQuery& q1,
                                            const PositiveQuery& q2,
                                            const DependencySet& deps,
                                            const Catalog& catalog,
-                                           bool simplify = true);
+                                           bool simplify = true,
+                                           ExecContext& ctx =
+                                               ExecContext::Default());
 
 /// Semantic-preserving pruning of a union of conjunctive queries:
 /// trivially-false disjuncts are dropped, and a disjunct q_j is dropped
@@ -53,16 +61,23 @@ Result<ContainmentResult> CheckContainment(const PositiveQuery& q1,
 /// ≠-constrained pair of q_j — the Chandra–Merlin condition, which remains
 /// *sufficient* for q_j ⊆ q_i in the presence of non-equalities (and
 /// subsumption composes, so pruning in one pass is sound).
-PositiveQuery SimplifyPositiveQuery(PositiveQuery query);
+///
+/// Simplification is an optimization only, so governance errors inside a
+/// subsumption test simply leave that disjunct unpruned (conservative and
+/// sound) rather than failing the caller.
+PositiveQuery SimplifyPositiveQuery(PositiveQuery query,
+                                    ExecContext& ctx = ExecContext::Default());
 
 /// Convenience: the boolean verdict of CheckContainment.
 Result<bool> ContainedUnder(const PositiveQuery& q1, const PositiveQuery& q2,
-                            const DependencySet& deps, const Catalog& catalog);
+                            const DependencySet& deps, const Catalog& catalog,
+                            ExecContext& ctx = ExecContext::Default());
 
 /// q1 ≡_Σ q2 (mutual containment).
 Result<bool> EquivalentUnder(const PositiveQuery& q1, const PositiveQuery& q2,
                              const DependencySet& deps,
-                             const Catalog& catalog);
+                             const Catalog& catalog,
+                             ExecContext& ctx = ExecContext::Default());
 
 }  // namespace setrec
 

@@ -15,7 +15,8 @@ Status SearchValuations(
     const ConjunctiveQuery& query, const Database& database,
     std::vector<std::optional<ObjectId>> binding,
     const std::function<bool(const std::vector<std::optional<ObjectId>>&)>&
-        on_solution) {
+        on_solution,
+    ExecContext& ctx) {
   if (query.trivially_false()) return Status::OK();
 
   std::vector<const Conjunct*> conjuncts;
@@ -49,8 +50,14 @@ Status SearchValuations(
   };
 
   bool keep_going = true;
+  Status governed = Status::OK();
   std::function<void(std::size_t)> recurse = [&](std::size_t i) {
     if (!keep_going) return;
+    governed = ctx.CheckPoint("homomorphism/valuation-node");
+    if (!governed.ok()) {
+      keep_going = false;
+      return;
+    }
     if (i == conjuncts.size()) {
       keep_going = on_solution(binding);
       return;
@@ -83,14 +90,15 @@ Status SearchValuations(
     }
   };
   recurse(0);
-  return Status::OK();
+  return governed;
 }
 
 }  // namespace
 
 Result<Relation> EvaluateConjunctiveQuery(const ConjunctiveQuery& query,
                                           const RelationScheme& scheme,
-                                          const Database& database) {
+                                          const Database& database,
+                                          ExecContext& ctx) {
   Relation out(scheme);
   if (query.trivially_false()) return out;
   if (scheme.arity() != query.summary().size()) {
@@ -110,7 +118,8 @@ Result<Relation> EvaluateConjunctiveQuery(const ConjunctiveQuery& query,
           return false;
         }
         return true;
-      });
+      },
+      ctx);
   SETREC_RETURN_IF_ERROR(s);
   SETREC_RETURN_IF_ERROR(collect_status);
   return out;
@@ -118,7 +127,8 @@ Result<Relation> EvaluateConjunctiveQuery(const ConjunctiveQuery& query,
 
 Result<bool> TupleInConjunctiveQuery(const ConjunctiveQuery& query,
                                      const Tuple& s,
-                                     const Database& database) {
+                                     const Database& database,
+                                     ExecContext& ctx) {
   if (query.trivially_false()) return false;
   if (s.arity() != query.summary().size()) {
     return Status::InvalidArgument("tuple arity does not match summary");
@@ -136,33 +146,37 @@ Result<bool> TupleInConjunctiveQuery(const ConjunctiveQuery& query,
       [&](const std::vector<std::optional<ObjectId>>&) {
         found = true;
         return false;  // stop at first witness
-      }));
+      },
+      ctx));
   return found;
 }
 
 Result<bool> TupleInPositiveQuery(const PositiveQuery& query, const Tuple& s,
-                                  const Database& database) {
+                                  const Database& database, ExecContext& ctx) {
   for (const ConjunctiveQuery& q : query.disjuncts) {
-    SETREC_ASSIGN_OR_RETURN(bool in, TupleInConjunctiveQuery(q, s, database));
+    SETREC_ASSIGN_OR_RETURN(bool in,
+                            TupleInConjunctiveQuery(q, s, database, ctx));
     if (in) return true;
   }
   return false;
 }
 
 Result<Relation> EvaluatePositiveQuery(const PositiveQuery& query,
-                                       const Database& database) {
+                                       const Database& database,
+                                       ExecContext& ctx) {
   Relation out(query.scheme);
   for (const ConjunctiveQuery& q : query.disjuncts) {
     SETREC_ASSIGN_OR_RETURN(Relation r,
                             EvaluateConjunctiveQuery(q, query.scheme,
-                                                     database));
+                                                     database, ctx));
     for (const Tuple& t : r) SETREC_RETURN_IF_ERROR(out.Insert(t));
   }
   return out;
 }
 
 Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
-                             const ConjunctiveQuery& to, bool strict_neq) {
+                             const ConjunctiveQuery& to, bool strict_neq,
+                             ExecContext& ctx) {
   if (from.trivially_false()) return true;  // ⊥ maps anywhere vacuously
   if (to.trivially_false()) return false;
   if (from.summary().size() != to.summary().size()) {
@@ -194,7 +208,10 @@ Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
     return true;
   };
 
+  Status governed = Status::OK();
   std::function<bool(std::size_t)> recurse = [&](std::size_t i) -> bool {
+    governed = ctx.CheckPoint("homomorphism/map-node");
+    if (!governed.ok()) return false;
     if (i == fc.size()) return neq_ok();
     const Conjunct& c = *fc[i];
     for (const Conjunct& target : to.conjuncts()) {
@@ -220,11 +237,14 @@ Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
         }
       }
       if (ok && neq_ok() && recurse(i + 1)) return true;
+      if (!governed.ok()) return false;
       for (VarId f : touched) psi[f] = kUnbound;
     }
     return false;
   };
-  return recurse(0);
+  const bool found = recurse(0);
+  SETREC_RETURN_IF_ERROR(governed);
+  return found;
 }
 
 }  // namespace setrec

@@ -5,9 +5,14 @@
 #include <vector>
 
 #include "conjunctive/conjunctive_query.h"
+#include "core/exec_context.h"
 #include "relational/relation.h"
 
 namespace setrec {
+
+// All searches in this header are worst-case exponential backtracking; each
+// explored node is an ExecContext checkpoint, so budgets/deadlines/
+// cancellation unwind them cleanly with a typed Status.
 
 /// Evaluates a conjunctive query over a database by backtracking search for
 /// satisfying valuations ("typed valuations" in Appendix A): every conjunct
@@ -17,22 +22,29 @@ namespace setrec {
 /// summary tuples. `scheme` gives the output relation scheme.
 Result<Relation> EvaluateConjunctiveQuery(const ConjunctiveQuery& query,
                                           const RelationScheme& scheme,
-                                          const Database& database);
+                                          const Database& database,
+                                          ExecContext& ctx =
+                                              ExecContext::Default());
 
 /// Membership test s ∈ q(I) without materializing q(I): binds the summary
 /// variables to `s` first, then searches for an extension. This is the inner
 /// loop of the Klug containment test (Theorem A.1).
 Result<bool> TupleInConjunctiveQuery(const ConjunctiveQuery& query,
-                                     const Tuple& s, const Database& database);
+                                     const Tuple& s, const Database& database,
+                                     ExecContext& ctx =
+                                         ExecContext::Default());
 
 /// Membership in a positive query: s ∈ Q(I) iff s ∈ q'(I) for some disjunct
 /// q' (Sagiv–Yannakakis).
 Result<bool> TupleInPositiveQuery(const PositiveQuery& query, const Tuple& s,
-                                  const Database& database);
+                                  const Database& database,
+                                  ExecContext& ctx = ExecContext::Default());
 
 /// Evaluates a positive query (union of its disjuncts' results).
 Result<Relation> EvaluatePositiveQuery(const PositiveQuery& query,
-                                       const Database& database);
+                                       const Database& database,
+                                       ExecContext& ctx =
+                                           ExecContext::Default());
 
 /// Classical homomorphism test (Chandra–Merlin): is there a mapping ψ from
 /// `from`'s variables to `to`'s variables with ψ(conjuncts(from)) ⊆
@@ -47,7 +59,8 @@ Result<Relation> EvaluatePositiveQuery(const PositiveQuery& query,
 /// are either distinct-and-≠-constrained in `to` or syntactically distinct
 /// when `strict_neq` is false.
 Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
-                             const ConjunctiveQuery& to, bool strict_neq);
+                             const ConjunctiveQuery& to, bool strict_neq,
+                             ExecContext& ctx = ExecContext::Default());
 
 }  // namespace setrec
 

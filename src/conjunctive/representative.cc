@@ -4,9 +4,10 @@
 
 namespace setrec {
 
-void ForEachRepresentativeValuation(
+Status ForEachRepresentativeValuation(
     const ConjunctiveQuery& query,
-    const std::function<bool(const std::vector<VarId>& block_of)>& fn) {
+    const std::function<bool(const std::vector<VarId>& block_of)>& fn,
+    ExecContext& ctx) {
   const std::size_t n = query.num_vars();
   std::vector<VarId> block_of(n, 0);
   // blocks[i] = (domain, members) of block i, for blocks created so far.
@@ -24,8 +25,14 @@ void ForEachRepresentativeValuation(
   };
 
   bool keep_going = true;
+  Status governed = Status::OK();
   std::function<void(VarId)> recurse = [&](VarId v) {
     if (!keep_going) return;
+    governed = ctx.CheckPoint("representative/valuation");
+    if (!governed.ok()) {
+      keep_going = false;
+      return;
+    }
     if (v == n) {
       keep_going = fn(block_of);
       return;
@@ -49,14 +56,18 @@ void ForEachRepresentativeValuation(
     block_members.pop_back();
   };
   recurse(0);
+  return governed;
 }
 
 std::size_t CountRepresentativeValuations(const ConjunctiveQuery& query) {
   std::size_t count = 0;
-  ForEachRepresentativeValuation(query, [&](const std::vector<VarId>&) {
-    ++count;
-    return true;
-  });
+  // The default (permissive) context never fires, so the Status is always OK.
+  Status s =
+      ForEachRepresentativeValuation(query, [&](const std::vector<VarId>&) {
+        ++count;
+        return true;
+      });
+  (void)s;
   return count;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "conjunctive/conjunctive_query.h"
+#include "core/exec_context.h"
 #include "relational/relation.h"
 
 namespace setrec {
@@ -26,10 +27,13 @@ namespace setrec {
 /// partitions is a product of (restricted) Bell numbers per domain — small
 /// thanks to typing, but still exponential; callers should chase and compact
 /// queries first (the ∅→self FDs of the Theorem 5.6 reduction collapse many
-/// variables).
-void ForEachRepresentativeValuation(
+/// variables). Every explored partition node is a `ctx` checkpoint; on
+/// budget/deadline exhaustion or cancellation the enumeration unwinds and
+/// the governance Status is returned.
+Status ForEachRepresentativeValuation(
     const ConjunctiveQuery& query,
-    const std::function<bool(const std::vector<VarId>& block_of)>& fn);
+    const std::function<bool(const std::vector<VarId>& block_of)>& fn,
+    ExecContext& ctx = ExecContext::Default());
 
 /// Counts the representative valuations of `query` (bench support).
 std::size_t CountRepresentativeValuations(const ConjunctiveQuery& query);

@@ -1,0 +1,12 @@
+#include "core/exec_context.h"
+
+namespace setrec {
+
+ExecContext& ExecContext::Default() {
+  // One permissive context per thread: mutation of its step counter from
+  // concurrently running computations on different threads never races.
+  thread_local ExecContext ctx;
+  return ctx;
+}
+
+}  // namespace setrec

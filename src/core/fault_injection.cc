@@ -1,0 +1,73 @@
+#include "core/fault_injection.h"
+
+namespace setrec {
+
+namespace {
+
+/// SplitMix64 step (same generator as core/instance_generator.h, duplicated
+/// here to keep the core fault layer free of the generator header).
+std::uint64_t NextRandom(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Status MakeFault(StatusCode code, std::string_view probe,
+                 std::uint64_t ordinal) {
+  std::string msg = "injected fault at probe '" + std::string(probe) +
+                    "' (#" + std::to_string(ordinal) + ")";
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(msg));
+    default:
+      return Status::Internal(std::move(msg));
+  }
+}
+
+}  // namespace
+
+FaultInjector FaultInjector::FireAtNthProbe(std::uint64_t nth,
+                                            StatusCode code) {
+  FaultInjector out;
+  out.fire_at_ = nth;
+  out.code_ = code;
+  return out;
+}
+
+FaultInjector FaultInjector::FireWithProbability(std::uint64_t seed, double p,
+                                                 StatusCode code) {
+  FaultInjector out;
+  out.seeded_ = true;
+  out.rng_state_ = seed;
+  out.probability_ = p;
+  out.code_ = code;
+  return out;
+}
+
+Status FaultInjector::Probe(std::string_view probe_point) {
+  ++probes_;
+  if (recording_) log_.emplace_back(probe_point);
+  bool fire = false;
+  if (fire_at_ != 0 && probes_ == fire_at_) fire = true;
+  if (seeded_) {
+    const double draw =
+        static_cast<double>(NextRandom(rng_state_) >> 11) * 0x1.0p-53;
+    if (draw < probability_) fire = true;
+  }
+  if (!fire) return Status::OK();
+  ++fired_;
+  return MakeFault(code_, probe_point, probes_);
+}
+
+void FaultInjector::Reset() {
+  probes_ = 0;
+  fired_ = 0;
+  log_.clear();
+}
+
+}  // namespace setrec

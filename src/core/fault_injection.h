@@ -1,0 +1,85 @@
+#ifndef SETREC_CORE_FAULT_INJECTION_H_
+#define SETREC_CORE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace setrec {
+
+/// Deterministic fault-injection harness for the resource-governed kernels.
+///
+/// Every cooperative check inside the library (ExecContext::CheckPoint and
+/// the row/memory charge calls) names a *probe point* — a stable string like
+/// "chase/fd-pair" or "sql/update/receiver". When an injector is attached to
+/// an ExecContext, each check first consults the injector, which can turn
+/// the check into a failure. Two deterministic modes:
+///
+///   * count-triggered — fire exactly at the Nth probe the injector sees
+///     (1-based). Tests first run the scenario with an observe-only injector
+///     to learn the probe count, then re-run with fire_at = 1..N to prove
+///     that a fault at *every* probe point unwinds cleanly (no partial
+///     mutation observable).
+///   * seeded — fire independently at each probe with a fixed probability,
+///     driven by a SplitMix64 stream, so soak tests are reproducible from
+///     the seed.
+///
+/// Injectors are observation tools, not thread-safe shared state: attach one
+/// injector to one context on one thread.
+class FaultInjector {
+ public:
+  /// Observe-only: counts probes (and records them when recording is on) but
+  /// never fires.
+  FaultInjector() = default;
+
+  /// Fires `code` at exactly the `nth` probe seen (1-based; 0 never fires).
+  /// kInternal models an arbitrary internal failure, kDeadlineExceeded /
+  /// kResourceExhausted model the governance layer tripping at that point.
+  static FaultInjector FireAtNthProbe(std::uint64_t nth,
+                                      StatusCode code = StatusCode::kInternal);
+
+  /// Fires `code` independently at each probe with probability `p`, from a
+  /// deterministic seeded stream.
+  static FaultInjector FireWithProbability(std::uint64_t seed, double p,
+                                           StatusCode code =
+                                               StatusCode::kInternal);
+
+  /// Consults the injector at a probe point. Returns OK (and counts the
+  /// probe) or the injected fault, whose message carries the probe name and
+  /// ordinal so test failures pinpoint the firing site.
+  Status Probe(std::string_view probe_point);
+
+  /// Total probes seen so far (fired or not).
+  std::uint64_t probes_seen() const { return probes_; }
+  /// How many probes fired a fault.
+  std::uint64_t faults_fired() const { return fired_; }
+
+  /// When on, every probe name is appended to recorded_probes() in order —
+  /// lets tests enumerate the probe points a scenario traverses.
+  void set_recording(bool on) { recording_ = on; }
+  const std::vector<std::string>& recorded_probes() const { return log_; }
+
+  /// Resets counters and the recording (keeps the firing configuration), so
+  /// one injector can govern several sequential runs.
+  void Reset();
+
+ private:
+  std::uint64_t probes_ = 0;
+  std::uint64_t fired_ = 0;
+  // Count-triggered mode.
+  std::uint64_t fire_at_ = 0;
+  // Seeded mode.
+  double probability_ = 0.0;
+  std::uint64_t rng_state_ = 0;
+  bool seeded_ = false;
+  StatusCode code_ = StatusCode::kInternal;
+  bool recording_ = false;
+  std::vector<std::string> log_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_FAULT_INJECTION_H_

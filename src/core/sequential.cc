@@ -7,13 +7,18 @@ namespace setrec {
 
 namespace {
 
-/// Runs one enumeration; nullopt encodes "undefined" (footnote 2).
-std::optional<Instance> RunEnumeration(const UpdateMethod& method,
-                                       const Instance& instance,
-                                       std::span<const Receiver> sequence) {
-  Result<Instance> r = ApplySequence(method, instance, sequence);
-  if (!r.ok()) return std::nullopt;
-  return std::move(r).value();
+/// Runs one enumeration; nullopt encodes "undefined" (footnote 2). Errors
+/// from the governance layer are not "undefined" — they mean the outcome was
+/// not computed — and propagate instead.
+Result<std::optional<Instance>> RunEnumeration(
+    const UpdateMethod& method, const Instance& instance,
+    std::span<const Receiver> sequence, ExecContext& ctx) {
+  Result<Instance> r = ApplySequence(method, instance, sequence, ctx);
+  if (!r.ok()) {
+    if (IsGovernanceError(r.status())) return r.status();
+    return std::optional<Instance>();
+  }
+  return std::optional<Instance>(std::move(r).value());
 }
 
 bool SameOutcome(const std::optional<Instance>& a,
@@ -26,9 +31,11 @@ bool SameOutcome(const std::optional<Instance>& a,
 
 Result<Instance> ApplySequence(const UpdateMethod& method,
                                const Instance& instance,
-                               std::span<const Receiver> sequence) {
+                               std::span<const Receiver> sequence,
+                               ExecContext& ctx) {
   Instance current = instance;
   for (const Receiver& t : sequence) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sequential/receiver"));
     if (!t.IsValidOver(method.signature(), current)) {
       return Status::FailedPrecondition(
           "sequence is undefined: receiver not valid over intermediate "
@@ -49,11 +56,17 @@ std::vector<Receiver> CanonicalReceiverSet(
 
 Result<OrderIndependenceOutcome> OrderIndependentOn(
     const UpdateMethod& method, const Instance& instance,
-    std::span<const Receiver> receivers, std::size_t max_set_size) {
+    std::span<const Receiver> receivers, ExecContext& ctx,
+    std::size_t max_set_size) {
   std::vector<Receiver> set = CanonicalReceiverSet(receivers);
-  if (set.size() > max_set_size) {
-    return Status::InvalidArgument(
-        "receiver set too large for exhaustive permutation test");
+  if (set.size() > max_set_size && !ctx.has_step_budget() &&
+      !ctx.has_deadline()) {
+    return Status::ResourceExhausted(
+        "receiver set of size " + std::to_string(set.size()) +
+        " exceeds the exhaustive permutation guard (" +
+        std::to_string(max_set_size) +
+        "); pass an ExecContext with a step budget or deadline to attempt "
+        "it anyway");
   }
 
   OrderIndependenceOutcome outcome;
@@ -64,10 +77,12 @@ Result<OrderIndependenceOutcome> OrderIndependentOn(
   std::vector<Receiver> first_order;
   bool have_first = false;
   do {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sequential/permutation"));
     std::vector<Receiver> order;
     order.reserve(set.size());
     for (std::size_t i : perm) order.push_back(set[i]);
-    std::optional<Instance> result = RunEnumeration(method, instance, order);
+    SETREC_ASSIGN_OR_RETURN(std::optional<Instance> result,
+                            RunEnumeration(method, instance, order, ctx));
     if (!have_first) {
       first = result;
       first_order = order;
@@ -89,15 +104,18 @@ Result<OrderIndependenceOutcome> OrderIndependentOn(
 
 Result<OrderIndependenceOutcome> PairwiseOrderIndependentOn(
     const UpdateMethod& method, const Instance& instance,
-    std::span<const Receiver> receivers) {
+    std::span<const Receiver> receivers, ExecContext& ctx) {
   std::vector<Receiver> set = CanonicalReceiverSet(receivers);
   OrderIndependenceOutcome outcome;
   for (std::size_t i = 0; i < set.size(); ++i) {
     for (std::size_t j = i + 1; j < set.size(); ++j) {
+      SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sequential/pair"));
       std::vector<Receiver> ab = {set[i], set[j]};
       std::vector<Receiver> ba = {set[j], set[i]};
-      std::optional<Instance> rab = RunEnumeration(method, instance, ab);
-      std::optional<Instance> rba = RunEnumeration(method, instance, ba);
+      SETREC_ASSIGN_OR_RETURN(std::optional<Instance> rab,
+                              RunEnumeration(method, instance, ab, ctx));
+      SETREC_ASSIGN_OR_RETURN(std::optional<Instance> rba,
+                              RunEnumeration(method, instance, ba, ctx));
       if (!SameOutcome(rab, rba)) {
         outcome.order_independent = false;
         outcome.witness_a = std::move(ab);
@@ -115,18 +133,19 @@ Result<OrderIndependenceOutcome> PairwiseOrderIndependentOn(
 Result<Instance> SequentialApply(const UpdateMethod& method,
                                  const Instance& instance,
                                  std::span<const Receiver> receivers,
-                                 bool verify_order_independence) {
+                                 bool verify_order_independence,
+                                 ExecContext& ctx) {
   std::vector<Receiver> set = CanonicalReceiverSet(receivers);
   if (verify_order_independence) {
     SETREC_ASSIGN_OR_RETURN(OrderIndependenceOutcome outcome,
-                            OrderIndependentOn(method, instance, set));
+                            OrderIndependentOn(method, instance, set, ctx));
     if (!outcome.order_independent) {
       return Status::FailedPrecondition(
           "method is not order independent on this receiver set; "
           "M_seq is ill-defined");
     }
   }
-  return ApplySequence(method, instance, set);
+  return ApplySequence(method, instance, set, ctx);
 }
 
 }  // namespace setrec

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/instance.h"
 #include "core/receiver.h"
 #include "core/status.h"
@@ -15,10 +16,11 @@ namespace setrec {
 /// Applies M to a *sequence* of distinct receivers: M(I, t1 ... tn) =
 /// M(M(I, t1), t2, ..., tn) (Section 3). The value is undefined (an error
 /// status is returned) as soon as some ti is not a receiver over the evolving
-/// instance or M itself fails.
+/// instance or M itself fails. `ctx` governs the per-receiver loop.
 Result<Instance> ApplySequence(const UpdateMethod& method,
                                const Instance& instance,
-                               std::span<const Receiver> sequence);
+                               std::span<const Receiver> sequence,
+                               ExecContext& ctx = ExecContext::Default());
 
 /// Outcome of testing Definition 3.1 on a concrete pair (I, T).
 struct OrderIndependenceOutcome {
@@ -40,11 +42,20 @@ struct OrderIndependenceOutcome {
 
 /// Tests whether `method` is order independent on (instance, receivers) by
 /// exhaustively enumerating all |T|! orders (Definition 3.1). Receivers are
-/// de-duplicated first (T is a set). Fails with InvalidArgument when |T| >
-/// `max_set_size` — use PairwiseOrderIndependentOn for larger sets.
+/// de-duplicated first (T is a set).
+///
+/// The |T|! enumeration is governed by `ctx`: every enumerated order is a
+/// checkpoint, so a step budget or deadline turns a runaway test into a
+/// clean kResourceExhausted / kDeadlineExceeded. `max_set_size` is the
+/// fallback guard for permissive contexts — when |T| exceeds it and `ctx`
+/// carries neither a step budget nor a deadline, the test refuses up front
+/// with kResourceExhausted (the uniform "needs a bigger budget" signal)
+/// instead of hanging; with a limited context, sets of any size are
+/// attempted and the context decides how far they get.
 Result<OrderIndependenceOutcome> OrderIndependentOn(
     const UpdateMethod& method, const Instance& instance,
-    std::span<const Receiver> receivers, std::size_t max_set_size = 7);
+    std::span<const Receiver> receivers,
+    ExecContext& ctx = ExecContext::Default(), std::size_t max_set_size = 7);
 
 /// The Lemma 3.3 test: checks M(M(I,t),t') = M(M(I,t'),t) for every
 /// unordered pair {t, t'} from `receivers`. For testing *global* order
@@ -53,7 +64,8 @@ Result<OrderIndependenceOutcome> OrderIndependentOn(
 /// full test above remains the ground truth for a single pair (I, T).
 Result<OrderIndependenceOutcome> PairwiseOrderIndependentOn(
     const UpdateMethod& method, const Instance& instance,
-    std::span<const Receiver> receivers);
+    std::span<const Receiver> receivers,
+    ExecContext& ctx = ExecContext::Default());
 
 /// Sequential application M_seq(I, T) (Definition 3.1): picks an arbitrary
 /// (here: sorted) enumeration of T. When `verify_order_independence` is set,
@@ -62,7 +74,8 @@ Result<OrderIndependenceOutcome> PairwiseOrderIndependentOn(
 Result<Instance> SequentialApply(const UpdateMethod& method,
                                  const Instance& instance,
                                  std::span<const Receiver> receivers,
-                                 bool verify_order_independence = false);
+                                 bool verify_order_independence = false,
+                                 ExecContext& ctx = ExecContext::Default());
 
 /// Deduplicates and sorts a receiver list into a canonical set enumeration.
 std::vector<Receiver> CanonicalReceiverSet(std::span<const Receiver> receivers);

@@ -23,6 +23,14 @@ enum class StatusCode {
   kDiverges,
   kUnimplemented,
   kInternal,
+  // Resource-governance codes (see core/exec_context.h). A computation that
+  // ran out of its cooperative budget reports one of these instead of
+  // hanging; they are the only retryable codes — retrying with a larger
+  // budget or later deadline can succeed, whereas the codes above are
+  // deterministic properties of the input.
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -44,6 +52,12 @@ inline const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -78,10 +92,27 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True for budget/deadline failures that a caller may retry with a larger
+  /// budget or later deadline. Cancellation is deliberately *not* retryable:
+  /// the caller asked for the abort and auto-retry would defeat it.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders as "Code: message" (or "OK").
   std::string ToString() const {
@@ -154,6 +185,14 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// True for statuses produced by the resource-governance layer (budget,
+/// deadline, cancellation). Callers that tolerate *semantic* failures (e.g.
+/// "this enumeration is undefined") must still propagate these: they mean
+/// "the answer was not computed", not "the answer is negative".
+inline bool IsGovernanceError(const Status& s) {
+  return s.IsRetryable() || s.code() == StatusCode::kCancelled;
+}
 
 /// Propagates a non-OK status out of the current function.
 #define SETREC_RETURN_IF_ERROR(expr)            \

@@ -5,6 +5,15 @@
 
 namespace setrec {
 
+namespace {
+
+/// Arity of a product/join output, for per-tuple memory accounting.
+std::size_t out_arity(const Relation& l, const Relation& r) {
+  return l.scheme().arity() + r.scheme().arity();
+}
+
+}  // namespace
+
 const Catalog& Evaluator::DatabaseCatalog() {
   if (!catalog_.has_value()) {
     catalog_.emplace();
@@ -86,9 +95,14 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
       }
       SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
                               RelationScheme::Make(std::move(attrs)));
+      const std::uint64_t tuple_bytes =
+          static_cast<std::uint64_t>(out_arity(l, r)) * sizeof(ObjectId);
       Relation out(std::move(scheme));
       for (const Tuple& lt : l) {
         for (const Tuple& rt : r) {
+          SETREC_RETURN_IF_ERROR(ctx_->ChargeRows(1, "evaluator/product-row"));
+          SETREC_RETURN_IF_ERROR(
+              ctx_->ChargeMemory(tuple_bytes, "evaluator/product-row"));
           SETREC_RETURN_IF_ERROR(out.Insert(lt.Concat(rt)));
         }
       }
@@ -251,12 +265,17 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
   left_key.reserve(join_keys.size());
   for (const auto& [l, r] : join_keys) left_key.push_back(l);
 
+  const std::uint64_t tuple_bytes =
+      static_cast<std::uint64_t>(out_arity(left, right)) * sizeof(ObjectId);
   Relation out(std::move(scheme));
   for (const Tuple& lt : left) {
     if (!passes_local(lt, local_left)) continue;
     auto it = index.find(lt.Project(left_key));
     if (it == index.end()) continue;
     for (const Tuple* rt : it->second) {
+      SETREC_RETURN_IF_ERROR(ctx_->ChargeRows(1, "evaluator/join-row"));
+      SETREC_RETURN_IF_ERROR(
+          ctx_->ChargeMemory(tuple_bytes, "evaluator/join-row"));
       bool ok = true;
       for (const Resolved& c : cross) {
         const ObjectId va = c.a_left ? lt.at(c.ia) : rt->at(c.ia);
@@ -272,8 +291,9 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
   return out;
 }
 
-Result<Relation> Evaluate(const ExprPtr& expr, const Database& database) {
-  Evaluator evaluator(&database);
+Result<Relation> Evaluate(const ExprPtr& expr, const Database& database,
+                          ExecContext& ctx) {
+  Evaluator evaluator(&database, ctx);
   return evaluator.Eval(expr);
 }
 

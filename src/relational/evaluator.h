@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/exec_context.h"
 #include "relational/expression.h"
 #include "relational/relation.h"
 
@@ -14,9 +15,16 @@ namespace setrec {
 /// (as produced by the Theorem 5.6 substitution and the par(E) rewriting)
 /// evaluate each shared subexpression once. An Evaluator is bound to one
 /// database snapshot; create a fresh one after any mutation.
+///
+/// Evaluation is governed by `ctx`: every join/product output row is charged
+/// against the row budget and every materialized tuple against the memory
+/// cap, so a runaway Cartesian product fails fast with kResourceExhausted
+/// instead of exhausting the machine.
 class Evaluator {
  public:
-  explicit Evaluator(const Database* database) : database_(database) {}
+  explicit Evaluator(const Database* database,
+                     ExecContext& ctx = ExecContext::Default())
+      : database_(database), ctx_(&ctx) {}
 
   /// Evaluates `expr`. Scheme checks are performed on the fly against the
   /// actual relations, so a standalone catalog is not required here.
@@ -39,12 +47,14 @@ class Evaluator {
   const Catalog& DatabaseCatalog();
 
   const Database* database_;
+  ExecContext* ctx_;
   std::optional<Catalog> catalog_;
   std::unordered_map<const Expr*, Relation> cache_;
 };
 
 /// One-shot convenience wrapper.
-Result<Relation> Evaluate(const ExprPtr& expr, const Database& database);
+Result<Relation> Evaluate(const ExprPtr& expr, const Database& database,
+                          ExecContext& ctx = ExecContext::Default());
 
 }  // namespace setrec
 

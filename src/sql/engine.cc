@@ -9,13 +9,15 @@ namespace setrec {
 
 Result<Instance> CursorDelete(const Instance& instance, ClassId cls,
                               const RowPredicate& pred,
-                              std::span<const ObjectId> order) {
+                              std::span<const ObjectId> order,
+                              ExecContext& ctx) {
   std::vector<ObjectId> rows(order.begin(), order.end());
   if (rows.empty()) {
     rows.assign(instance.objects(cls).begin(), instance.objects(cls).end());
   }
   Instance current = instance;
   for (ObjectId row : rows) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sql/cursor-delete/row"));
     if (!current.HasObject(row)) continue;  // already deleted by a cascade
     SETREC_ASSIGN_OR_RETURN(bool doomed, pred(current, row));
     if (doomed) SETREC_RETURN_IF_ERROR(current.RemoveObject(row));
@@ -24,21 +26,44 @@ Result<Instance> CursorDelete(const Instance& instance, ClassId cls,
 }
 
 Result<Instance> SetOrientedDelete(const Instance& instance, ClassId cls,
-                                   const RowPredicate& pred) {
+                                   const RowPredicate& pred,
+                                   ExecContext& ctx) {
+  Instance out = instance;
+  SETREC_RETURN_IF_ERROR(SetOrientedDeleteInPlace(out, cls, pred, ctx));
+  return out;
+}
+
+Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
+                                const RowPredicate& pred, ExecContext& ctx) {
+  // Phase one: identify every doomed row against the input state. No
+  // mutation has happened yet, so errors here need no rollback.
   std::vector<ObjectId> doomed;
   for (ObjectId row : instance.objects(cls)) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sql/delete/scan"));
     SETREC_ASSIGN_OR_RETURN(bool d, pred(instance, row));
     if (d) doomed.push_back(row);
   }
-  Instance out = instance;
-  for (ObjectId row : doomed) SETREC_RETURN_IF_ERROR(out.RemoveObject(row));
-  return out;
+  // Phase two: remove them all together, all-or-nothing.
+  Instance snapshot = instance;
+  Status applied = [&]() -> Status {
+    for (ObjectId row : doomed) {
+      SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sql/delete/row"));
+      SETREC_RETURN_IF_ERROR(instance.RemoveObject(row));
+    }
+    return Status::OK();
+  }();
+  if (!applied.ok()) {
+    instance = std::move(snapshot);
+    return applied;
+  }
+  return Status::OK();
 }
 
 Result<CursorOrderReport> TestCursorDeleteOrders(const Instance& instance,
                                                  ClassId cls,
                                                  const RowPredicate& pred,
-                                                 std::size_t max_rows) {
+                                                 std::size_t max_rows,
+                                                 ExecContext& ctx) {
   std::vector<ObjectId> rows(instance.objects(cls).begin(),
                              instance.objects(cls).end());
   if (rows.size() > max_rows) {
@@ -49,11 +74,12 @@ Result<CursorOrderReport> TestCursorDeleteOrders(const Instance& instance,
   std::vector<std::size_t> perm(rows.size());
   std::iota(perm.begin(), perm.end(), 0);
   do {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sql/cursor-delete/permutation"));
     std::vector<ObjectId> order;
     order.reserve(rows.size());
     for (std::size_t i : perm) order.push_back(rows[i]);
     SETREC_ASSIGN_OR_RETURN(Instance outcome,
-                            CursorDelete(instance, cls, pred, order));
+                            CursorDelete(instance, cls, pred, order, ctx));
     if (!report.first.has_value()) {
       report.first = std::move(outcome);
     } else if (!(*report.first == outcome)) {
@@ -91,8 +117,9 @@ RowPredicate ManagerSalaryInFire(const PayrollSchema& schema) {
 
 Result<Instance> CursorUpdate(const AlgebraicUpdateMethod& method,
                               const Instance& instance,
-                              std::span<const Receiver> order) {
-  return ApplySequence(method, instance, order);
+                              std::span<const Receiver> order,
+                              ExecContext& ctx) {
+  return ApplySequence(method, instance, order, ctx);
 }
 
 Result<std::unique_ptr<AlgebraicUpdateMethod>> MakeAssignArgMethod(
@@ -109,21 +136,63 @@ Result<std::unique_ptr<AlgebraicUpdateMethod>> MakeAssignArgMethod(
 
 Result<Instance> SetOrientedUpdate(const Instance& instance,
                                    PropertyId property,
-                                   const ExprPtr& receiver_query) {
+                                   const ExprPtr& receiver_query,
+                                   ExecContext& ctx) {
   const Schema* schema = &instance.schema();
   SETREC_ASSIGN_OR_RETURN(std::unique_ptr<AlgebraicUpdateMethod> assign,
                           MakeAssignArgMethod(schema, property));
   // Phase one: compute the receiver set against the input instance.
   SETREC_ASSIGN_OR_RETURN(
       std::vector<Receiver> receivers,
-      ReceiversFromQuery(receiver_query, instance, assign->signature()));
+      ReceiversFromQuery(receiver_query, instance, assign->signature(), ctx));
   if (!IsKeySet(receivers)) {
     return Status::FailedPrecondition(
         "set-oriented update would assign two values to one row; the "
         "receiver query must produce a key set");
   }
   // Phase two: apply the trivial key-order independent update.
-  return ApplySequence(*assign, instance, receivers);
+  return ApplySequence(*assign, instance, receivers, ctx);
+}
+
+Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
+                                const ExprPtr& receiver_query,
+                                ExecContext& ctx) {
+  const Schema* schema = &instance.schema();
+  SETREC_ASSIGN_OR_RETURN(std::unique_ptr<AlgebraicUpdateMethod> assign,
+                          MakeAssignArgMethod(schema, property));
+  // Phase one: compute the receiver key set against the input state. No
+  // mutation has happened yet, so errors here need no rollback.
+  SETREC_ASSIGN_OR_RETURN(
+      std::vector<Receiver> receivers,
+      ReceiversFromQuery(receiver_query, instance, assign->signature(), ctx));
+  if (!IsKeySet(receivers)) {
+    return Status::FailedPrecondition(
+        "set-oriented update would assign two values to one row; the "
+        "receiver query must produce a key set");
+  }
+  // Phase two: rewrite the a-edges row by row, all-or-nothing. Because the
+  // receiver set is a key set, "a := arg1" amounts to replacing each
+  // receiving row's a-edges by the single queried target.
+  Instance snapshot = instance;
+  Status applied = [&]() -> Status {
+    for (const Receiver& t : receivers) {
+      SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sql/update/receiver"));
+      if (!t.IsValidOver(assign->signature(), instance)) {
+        return Status::FailedPrecondition(
+            "receiver not valid over the instance");
+      }
+      const ObjectId row = t.receiving_object();
+      SETREC_RETURN_IF_ERROR(instance.ClearEdgesFrom(row, property));
+      SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sql/update/edge"));
+      SETREC_RETURN_IF_ERROR(instance.AddEdge(row, property, t.object_at(1)));
+    }
+    return Status::OK();
+  }();
+  if (!applied.ok()) {
+    instance = std::move(snapshot);
+    return applied;
+  }
+  return Status::OK();
 }
 
 }  // namespace setrec

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "algebraic/method_library.h"
+#include "core/exec_context.h"
 #include "core/instance.h"
 
 namespace setrec {
@@ -21,13 +22,24 @@ using RowPredicate =
 /// inspecting the next row.
 Result<Instance> CursorDelete(const Instance& instance, ClassId cls,
                               const RowPredicate& pred,
-                              std::span<const ObjectId> order = {});
+                              std::span<const ObjectId> order = {},
+                              ExecContext& ctx = ExecContext::Default());
 
 /// Set-oriented DELETE: first identifies every row satisfying `pred` against
 /// the *input* instance, then removes them all together — the two-phase
 /// semantics of the standalone SQL statement.
 Result<Instance> SetOrientedDelete(const Instance& instance, ClassId cls,
-                                   const RowPredicate& pred);
+                                   const RowPredicate& pred,
+                                   ExecContext& ctx = ExecContext::Default());
+
+/// In-place set-oriented DELETE with all-or-nothing semantics: snapshots the
+/// instance, removes the doomed rows incrementally, and restores the
+/// snapshot on ANY failure (governance, injected fault, or structural
+/// error), so a failed statement leaves `instance` bit-identical to its
+/// pre-statement state.
+Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
+                                const RowPredicate& pred,
+                                ExecContext& ctx = ExecContext::Default());
 
 /// Runs CursorDelete under every permutation of the rows (bounded by
 /// `max_rows`!) and reports whether all outcomes agree; when they do not,
@@ -37,10 +49,9 @@ struct CursorOrderReport {
   std::optional<Instance> first;
   std::optional<Instance> disagreement;
 };
-Result<CursorOrderReport> TestCursorDeleteOrders(const Instance& instance,
-                                                 ClassId cls,
-                                                 const RowPredicate& pred,
-                                                 std::size_t max_rows = 6);
+Result<CursorOrderReport> TestCursorDeleteOrders(
+    const Instance& instance, ClassId cls, const RowPredicate& pred,
+    std::size_t max_rows = 6, ExecContext& ctx = ExecContext::Default());
 
 /// Section 7 predicates over the payroll tables.
 /// "Salary in table Fire" — used by the correct cursor delete.
@@ -55,7 +66,8 @@ RowPredicate ManagerSalaryInFire(const PayrollSchema& schema);
 /// this with the library methods).
 Result<Instance> CursorUpdate(const AlgebraicUpdateMethod& method,
                               const Instance& instance,
-                              std::span<const Receiver> order);
+                              std::span<const Receiver> order,
+                              ExecContext& ctx = ExecContext::Default());
 
 /// The trivial modification update "a := arg1" of type [C, B] that underlies
 /// every set-oriented UPDATE statement (Section 7): key-order independent by
@@ -69,7 +81,18 @@ Result<std::unique_ptr<AlgebraicUpdateMethod>> MakeAssignArgMethod(
 /// class of `property`).
 Result<Instance> SetOrientedUpdate(const Instance& instance,
                                    PropertyId property,
-                                   const ExprPtr& receiver_query);
+                                   const ExprPtr& receiver_query,
+                                   ExecContext& ctx = ExecContext::Default());
+
+/// In-place set-oriented UPDATE with all-or-nothing semantics: computes the
+/// receiver key set (phase one), snapshots the instance, and applies the
+/// edge rewrites incrementally (phase two). On ANY failure — a governance
+/// stop, an injected fault at any probe point, or a structural error — the
+/// snapshot is restored before the error returns, so `instance` is
+/// bit-identical to its pre-statement state.
+Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
+                                const ExprPtr& receiver_query,
+                                ExecContext& ctx = ExecContext::Default());
 
 }  // namespace setrec
 

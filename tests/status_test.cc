@@ -1,0 +1,155 @@
+// Tests for the Status/Result error-handling vocabulary: code/name/ToString
+// round trips (including the resource-governance codes), retryability
+// classification, Result<T> move semantics, and the single-evaluation
+// guarantee of SETREC_ASSIGN_OR_RETURN.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace setrec {
+namespace {
+
+TEST(StatusTest, FactoriesProduceTheirCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const std::vector<Case> cases = {
+      {Status::OK(), StatusCode::kOk, "OK"},
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::Diverges("m"), StatusCode::kDiverges, "Diverges"},
+      {Status::Unimplemented("m"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+      {Status::Internal("m"), StatusCode::kInternal, "Internal"},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
+      {Status::Cancelled("m"), StatusCode::kCancelled, "Cancelled"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_STREQ(StatusCodeName(c.status.code()), c.name);
+    if (c.status.ok()) {
+      EXPECT_EQ(c.status.ToString(), "OK");
+      EXPECT_TRUE(c.status.message().empty());
+    } else {
+      EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+      EXPECT_EQ(c.status.message(), "m");
+    }
+  }
+}
+
+TEST(StatusTest, OnlyBudgetAndDeadlineAreRetryable) {
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsRetryable());
+  // Cancellation is deliberate; auto-retry would defeat it.
+  EXPECT_FALSE(Status::Cancelled("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::Diverges("x").IsRetryable());
+}
+
+TEST(StatusTest, GovernanceErrorsAreTheThreeNewCodes) {
+  EXPECT_TRUE(IsGovernanceError(Status::ResourceExhausted("x")));
+  EXPECT_TRUE(IsGovernanceError(Status::DeadlineExceeded("x")));
+  EXPECT_TRUE(IsGovernanceError(Status::Cancelled("x")));
+  EXPECT_FALSE(IsGovernanceError(Status::OK()));
+  EXPECT_FALSE(IsGovernanceError(Status::FailedPrecondition("x")));
+  EXPECT_FALSE(IsGovernanceError(Status::Internal("x")));
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(ResultTest, HoldsMoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(42));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 42);
+  // Rvalue unwrap moves the payload out.
+  std::unique_ptr<int> owned = std::move(r).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 42);
+}
+
+TEST(ResultTest, ErrorCarriesTheStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, MovingTheValueOutDoesNotCopy) {
+  std::vector<int> big(1000, 7);
+  const int* data = big.data();
+  Result<std::vector<int>> r(std::move(big));
+  std::vector<int> out = std::move(r).value();
+  // The buffer travelled through the Result unchanged (no reallocation).
+  EXPECT_EQ(out.data(), data);
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+// -- SETREC_ASSIGN_OR_RETURN -------------------------------------------------
+
+int g_evaluations = 0;
+
+Result<int> CountingSource(bool fail) {
+  ++g_evaluations;
+  if (fail) return Status::ResourceExhausted("budget");
+  return g_evaluations;
+}
+
+Status AssignOnce(bool fail, int* out) {
+  SETREC_ASSIGN_OR_RETURN(int value, CountingSource(fail));
+  *out = value;
+  return Status::OK();
+}
+
+TEST(AssignOrReturnTest, EvaluatesTheExpressionExactlyOnce) {
+  g_evaluations = 0;
+  int out = 0;
+  ASSERT_TRUE(AssignOnce(/*fail=*/false, &out).ok());
+  EXPECT_EQ(g_evaluations, 1);
+  EXPECT_EQ(out, 1);
+}
+
+TEST(AssignOrReturnTest, PropagatesErrorsWithoutAssigning) {
+  g_evaluations = 0;
+  int out = -1;
+  Status s = AssignOnce(/*fail=*/true, &out);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(g_evaluations, 1);
+  EXPECT_EQ(out, -1);  // lhs untouched on the error path
+}
+
+TEST(AssignOrReturnTest, WorksWithMoveOnlyPayloads) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(9);
+  };
+  auto use = [&]() -> Status {
+    SETREC_ASSIGN_OR_RETURN(std::unique_ptr<int> p, make());
+    return p && *p == 9 ? Status::OK() : Status::Internal("wrong payload");
+  };
+  EXPECT_TRUE(use().ok());
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,238 @@
+// Robustness property tests for the text front-end, complementing
+// text_test.cc: print→parse→print fixed points for every printer, a curated
+// corpus of near-miss malformed inputs that must produce parse errors (never
+// crashes), and deterministic mutation/truncation fuzzing of VALID texts —
+// the inputs most likely to reach deep parser states before failing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algebraic/method_library.h"
+#include "core/instance_generator.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace setrec {
+namespace {
+
+constexpr const char kDrinkersText[] = R"(
+schema {
+  class D; class Ba; class Be;
+  property f : D -> Ba;
+  property l : D -> Be;
+  property s : Ba -> Be;
+}
+)";
+
+constexpr const char kInstanceText[] = R"(
+instance {
+  object D(1); object D(2);
+  object Ba(1); object Ba(2); object Ba(3);
+  object Be(7);
+  edge D(1) f Ba(1);
+  edge D(1) f Ba(2);
+  edge D(2) l Be(7);
+  edge Ba(3) s Be(7);
+}
+)";
+
+// -- Fixed points ------------------------------------------------------------
+
+TEST(PrintParseFixedPointTest, Schema) {
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  const std::string text = SchemaToText(*schema);
+  auto round = std::move(ParseSchema(text)).value();
+  EXPECT_EQ(SchemaToText(*round), text);
+}
+
+TEST(PrintParseFixedPointTest, Instance) {
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  Instance instance =
+      std::move(ParseInstance(kInstanceText, schema.get())).value();
+  const std::string text = InstanceToText(instance);
+  Instance round = std::move(ParseInstance(text, schema.get())).value();
+  EXPECT_EQ(round, instance);
+  EXPECT_EQ(InstanceToText(round), text);
+}
+
+TEST(PrintParseFixedPointTest, EveryLibraryMethodIncludingNonPositive) {
+  // text_test covers the positive drinkers methods; here the whole library,
+  // including the non-positive parity gadget (difference operators must
+  // survive the trip too).
+  DrinkersSchema ds = std::move(MakeDrinkersSchema()).value();
+  PairSchema pair = std::move(MakePairSchema()).value();
+  PayrollSchema pay = std::move(MakePayrollSchema()).value();
+  struct Entry {
+    const Schema* schema;
+    std::unique_ptr<AlgebraicUpdateMethod> method;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({&ds.schema, std::move(MakeClearBars(ds)).value()});
+  entries.push_back({&ds.schema, std::move(MakeAllBars(ds)).value()});
+  entries.push_back(
+      {&pair.schema, std::move(MakeConditionalDeleteMethod(pair)).value()});
+  entries.push_back(
+      {&pair.schema, std::move(MakeCopyExtendMethod(pair)).value()});
+  entries.push_back({&pair.schema, std::move(MakeParityMethod(pair)).value()});
+  entries.push_back(
+      {&pay.schema, std::move(MakeSalaryFromNewSal(pay)).value()});
+  entries.push_back(
+      {&pay.schema, std::move(MakeSalaryFromManagersNewSal(pay)).value()});
+  for (const Entry& e : entries) {
+    const std::string text = MethodToText(*e.method);
+    auto round = std::move(ParseMethod(text, e.schema)).value();
+    EXPECT_EQ(MethodToText(*round), text) << e.method->name();
+  }
+}
+
+// -- Curated malformed inputs ------------------------------------------------
+
+TEST(MalformedInputTest, SchemaNearMisses) {
+  const std::vector<std::string> inputs = {
+      "",
+      "schema",
+      "schema {",
+      "schema { class }",
+      "schema { class D",
+      "schema { class D; class D; }",
+      "schema { property f : D -> Ba; }",   // undeclared classes
+      "schema { class D; property : D -> D; }",
+      "schema { class D; property f : D <- D; }",
+      "schema { class D; property f : D -> D }",  // missing semicolon
+      "schema { class D; } trailing",
+  };
+  for (const std::string& input : inputs) {
+    Result<std::unique_ptr<Schema>> r = ParseSchema(input);
+    EXPECT_FALSE(r.ok()) << "accepted: " << input;
+  }
+}
+
+TEST(MalformedInputTest, InstanceNearMisses) {
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  const std::vector<std::string> inputs = {
+      "instance",
+      "instance {",
+      "instance { object }",
+      "instance { object D; }",         // missing key
+      "instance { object D(); }",
+      "instance { object D(x); }",      // non-numeric key
+      "instance { object Nope(1); }",   // unknown class
+      "instance { edge D(1) f Ba(1); }",  // dangling endpoints
+      "instance { object D(1); object Be(1); edge D(1) f Be(1); }",  // type
+      "instance { object D(1) object D(2); }",  // missing semicolon
+  };
+  for (const std::string& input : inputs) {
+    Result<Instance> r = ParseInstance(input, schema.get());
+    EXPECT_FALSE(r.ok()) << "accepted: " << input;
+  }
+}
+
+TEST(MalformedInputTest, ExpressionNearMisses) {
+  const std::vector<std::string> inputs = {
+      "",
+      "union(",
+      "union(Df)",
+      "union(Df, Dl, Bas)",
+      "project(Df)",              // missing attribute list
+      "project[f(Df)",
+      "rename[a -> ](Df)",
+      "rename[a](Df)",
+      "select[a = ](Df)",
+      "select[a < b](Df)",        // unsupported comparator
+      "join[a = b](Df)",          // join needs two children
+      "diff(Df, Dl) extra",
+      "(((((Df",
+  };
+  for (const std::string& input : inputs) {
+    Result<ExprPtr> r = ParseExpression(input);
+    EXPECT_FALSE(r.ok()) << "accepted: " << input;
+  }
+}
+
+TEST(MalformedInputTest, MethodNearMisses) {
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  const std::vector<std::string> inputs = {
+      "method",
+      "method m",
+      "method m [] { }",                       // empty signature
+      "method m [Nope] { }",                   // unknown class
+      "method m [D] { f := ; }",
+      "method m [D] { f = arg1; }",            // wrong assignment token
+      "method m [D] { nope := rename[arg1 -> nope](arg1); }",
+      "method m [D] { s := rename[arg1 -> s](arg1); }",  // not a D property
+      "method m [D] { f := rename[arg1 -> f](arg1) }",   // missing semicolon
+      "method m [D] { f := rename[arg9 -> f](arg9); }",  // out-of-range arg
+  };
+  for (const std::string& input : inputs) {
+    Result<std::unique_ptr<AlgebraicUpdateMethod>> r =
+        ParseMethod(input, schema.get());
+    EXPECT_FALSE(r.ok()) << "accepted: " << input;
+  }
+}
+
+// -- Mutation fuzzing of valid texts -----------------------------------------
+
+/// Deterministically corrupts `text`: flips one character, or truncates at a
+/// random point, or duplicates a random chunk — the classic "almost valid"
+/// shapes that exercise deep parser states.
+std::string Corrupt(const std::string& text, SplitMix64& rng) {
+  if (text.empty()) return text;
+  std::string out = text;
+  switch (rng.UniformInt(3)) {
+    case 0: {  // flip
+      const std::size_t i = rng.UniformInt(out.size());
+      out[i] = static_cast<char>("(){};:=->$9aZ "[rng.UniformInt(14)]);
+      return out;
+    }
+    case 1:  // truncate
+      return out.substr(0, rng.UniformInt(out.size()));
+    default: {  // duplicate a chunk in place
+      const std::size_t i = rng.UniformInt(out.size());
+      const std::size_t len = 1 + rng.UniformInt(8);
+      return out.insert(i, out.substr(i, len));
+    }
+  }
+}
+
+class MutationFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationFuzzTest, CorruptedValidTextsNeverCrashAnyParser) {
+  SplitMix64 rng(GetParam() * 0x9e3779b9ULL + 1);
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  DrinkersSchema ds = std::move(MakeDrinkersSchema()).value();
+  const std::vector<std::string> seeds = {
+      kDrinkersText,
+      kInstanceText,
+      "union(project[f](join[self = D](self, Df)), rename[arg1 -> f](arg1))",
+      MethodToText(*std::move(MakeAddBar(ds)).value()),
+      MethodToText(*std::move(MakeDeleteBar(ds)).value()),
+  };
+  for (int round = 0; round < 40; ++round) {
+    std::string input = seeds[rng.UniformInt(seeds.size())];
+    const int corruptions = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int c = 0; c < corruptions; ++c) input = Corrupt(input, rng);
+    // Every parser must return — error or value — and an accepted
+    // expression must still round trip through the printer.
+    Result<std::unique_ptr<Schema>> s = ParseSchema(input);
+    Result<Instance> inst = ParseInstance(input, schema.get());
+    Result<std::unique_ptr<AlgebraicUpdateMethod>> m =
+        ParseMethod(input, &ds.schema);
+    Result<ExprPtr> e = ParseExpression(input);
+    if (e.ok()) {
+      ExprPtr again = std::move(ParseExpression(ExprToText(**e))).value();
+      EXPECT_EQ(ExprToText(**e), ExprToText(*again));
+    }
+    if (s.ok()) {
+      auto again = std::move(ParseSchema(SchemaToText(**s))).value();
+      EXPECT_EQ(SchemaToText(**s), SchemaToText(*again));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace setrec
