@@ -1,13 +1,21 @@
 #include "core/fault_injection.h"
 
+#include <cmath>
+
 namespace setrec {
 
 namespace {
 
-/// SplitMix64 step (same generator as core/instance_generator.h, duplicated
-/// here to keep the core fault layer free of the generator header).
-std::uint64_t NextRandom(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+/// SplitMix64 increment (golden-ratio gamma) and output mix. The same
+/// generator as core/instance_generator.h, duplicated here to keep the core
+/// fault layer free of the generator header. The state advance is a single
+/// fetch_add, so concurrent probes draw distinct, deterministic stream
+/// elements (the set of draws for N probes is seed-determined; the
+/// per-thread interleaving is not, which is the best any shared stream can
+/// offer).
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t Mix(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
@@ -24,12 +32,47 @@ Status MakeFault(StatusCode code, std::string_view probe,
       return Status::ResourceExhausted(std::move(msg));
     case StatusCode::kCancelled:
       return Status::Cancelled(std::move(msg));
+    case StatusCode::kCorruptedLog:
+      return Status::CorruptedLog(std::move(msg));
     default:
       return Status::Internal(std::move(msg));
   }
 }
 
+/// Maps a probability to a 64-bit comparison threshold: fire iff a SplitMix64
+/// draw is < threshold. Pure integer compare — bit-identical on every
+/// platform for a fixed seed.
+std::uint64_t ProbabilityThreshold(double p) {
+  if (!(p > 0.0)) return 0;  // also maps NaN to "never"
+  if (p >= 1.0) return ~0ULL;
+  const double scaled = std::ldexp(p, 64);  // p * 2^64, exact scaling
+  if (scaled >= 18446744073709551616.0) return ~0ULL;  // 2^64
+  return static_cast<std::uint64_t>(scaled);
+}
+
 }  // namespace
+
+void FaultInjector::MoveFrom(FaultInjector& other) {
+  probes_.store(other.probes_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  fired_.store(other.fired_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  storage_ops_.store(other.storage_ops_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  storage_fired_.store(other.storage_fired_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  fire_at_ = other.fire_at_;
+  rng_state_.store(other.rng_state_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  threshold_ = other.threshold_;
+  seeded_ = other.seeded_;
+  code_ = other.code_;
+  storage_plan_ = other.storage_plan_;
+  storage_fire_at_ = other.storage_fire_at_;
+  recording_ = other.recording_;
+  std::lock_guard<std::mutex> lock(other.log_mu_);
+  log_ = std::move(other.log_);
+}
 
 FaultInjector FaultInjector::FireAtNthProbe(std::uint64_t nth,
                                             StatusCode code) {
@@ -43,30 +86,78 @@ FaultInjector FaultInjector::FireWithProbability(std::uint64_t seed, double p,
                                                  StatusCode code) {
   FaultInjector out;
   out.seeded_ = true;
-  out.rng_state_ = seed;
-  out.probability_ = p;
+  out.rng_state_.store(seed, std::memory_order_relaxed);
+  out.threshold_ = ProbabilityThreshold(p);
   out.code_ = code;
   return out;
 }
 
+FaultInjector FaultInjector::TornWriteAt(std::uint64_t nth,
+                                         std::uint64_t byte_offset) {
+  FaultInjector out;
+  out.storage_fire_at_ = nth;
+  out.storage_plan_ = {StorageFaultKind::kTornWrite, byte_offset, 0};
+  return out;
+}
+
+FaultInjector FaultInjector::PartialFsyncAt(std::uint64_t nth) {
+  FaultInjector out;
+  out.storage_fire_at_ = nth;
+  out.storage_plan_ = {StorageFaultKind::kPartialFsync, 0, 0};
+  return out;
+}
+
+FaultInjector FaultInjector::BitFlipAt(std::uint64_t nth,
+                                       std::uint64_t byte_offset,
+                                       std::uint8_t bit_mask) {
+  FaultInjector out;
+  out.storage_fire_at_ = nth;
+  out.storage_plan_ = {StorageFaultKind::kBitFlip, byte_offset,
+                       bit_mask == 0 ? std::uint8_t{0x01} : bit_mask};
+  return out;
+}
+
 Status FaultInjector::Probe(std::string_view probe_point) {
-  ++probes_;
-  if (recording_) log_.emplace_back(probe_point);
+  const std::uint64_t ordinal =
+      probes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (recording_) {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.emplace_back(probe_point);
+  }
   bool fire = false;
-  if (fire_at_ != 0 && probes_ == fire_at_) fire = true;
-  if (seeded_) {
-    const double draw =
-        static_cast<double>(NextRandom(rng_state_) >> 11) * 0x1.0p-53;
-    if (draw < probability_) fire = true;
+  if (fire_at_ != 0 && ordinal == fire_at_) fire = true;
+  if (seeded_ && threshold_ != 0) {
+    const std::uint64_t state =
+        rng_state_.fetch_add(kGamma, std::memory_order_relaxed) + kGamma;
+    const std::uint64_t draw = Mix(state);
+    if (threshold_ == ~0ULL || draw < threshold_) fire = true;
   }
   if (!fire) return Status::OK();
-  ++fired_;
-  return MakeFault(code_, probe_point, probes_);
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return MakeFault(code_, probe_point, ordinal);
+}
+
+StorageFaultPlan FaultInjector::StorageProbe(std::string_view probe_point) {
+  const std::uint64_t ordinal =
+      storage_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (recording_) {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.emplace_back(std::string(probe_point));
+  }
+  if (storage_fire_at_ == 0 || ordinal != storage_fire_at_ ||
+      storage_plan_.kind == StorageFaultKind::kNone) {
+    return StorageFaultPlan{};
+  }
+  storage_fired_.fetch_add(1, std::memory_order_relaxed);
+  return storage_plan_;
 }
 
 void FaultInjector::Reset() {
-  probes_ = 0;
-  fired_ = 0;
+  probes_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  storage_ops_.store(0, std::memory_order_relaxed);
+  storage_fired_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(log_mu_);
   log_.clear();
 }
 

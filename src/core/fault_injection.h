@@ -1,7 +1,9 @@
 #ifndef SETREC_CORE_FAULT_INJECTION_H_
 #define SETREC_CORE_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,7 +12,32 @@
 
 namespace setrec {
 
-/// Deterministic fault-injection harness for the resource-governed kernels.
+/// What a storage probe asked the WAL writer to do to the bytes it is about
+/// to persist. Unlike exec-probe faults (which unwind through Status), a
+/// storage fault corrupts the medium itself, and the *reader* must cope.
+enum class StorageFaultKind : std::uint8_t {
+  kNone = 0,
+  /// Persist only the first `byte_offset` bytes of the write, then behave as
+  /// a crash: the writer reports an error and refuses further appends.
+  kTornWrite,
+  /// The fsync fails and the unsynced tail is dropped from the medium
+  /// (simulating lost page cache on power failure).
+  kPartialFsync,
+  /// XOR `bit_mask` into the byte at `byte_offset` of the write and then
+  /// persist it *successfully* — silent medium corruption that only the
+  /// checksum on the read path can detect.
+  kBitFlip,
+};
+
+/// A concrete storage-fault instruction returned by StorageProbe.
+struct StorageFaultPlan {
+  StorageFaultKind kind = StorageFaultKind::kNone;
+  std::uint64_t byte_offset = 0;
+  std::uint8_t bit_mask = 0;
+};
+
+/// Deterministic fault-injection harness for the resource-governed kernels
+/// and the durability layer.
 ///
 /// Every cooperative check inside the library (ExecContext::CheckPoint and
 /// the row/memory charge calls) names a *probe point* — a stable string like
@@ -25,15 +52,35 @@ namespace setrec {
 ///     mutation observable).
 ///   * seeded — fire independently at each probe with a fixed probability,
 ///     driven by a SplitMix64 stream, so soak tests are reproducible from
-///     the seed.
+///     the seed. Determinism is guaranteed across platforms: the decision is
+///     a raw 64-bit integer threshold comparison against SplitMix64 output
+///     (no std::rand, no distribution types with unspecified algorithms).
 ///
-/// Injectors are observation tools, not thread-safe shared state: attach one
-/// injector to one context on one thread.
+/// The durability layer consults a second family of probes: the WAL writer
+/// calls StorageProbe() before every physical append/fsync, and the injector
+/// may answer with a StorageFaultPlan (torn write at byte N, partial fsync,
+/// bit-flip corruption) that the writer applies to the bytes on their way to
+/// the medium — see store/wal.h.
+///
+/// Probe and storage-op counting is atomic, so one injector may be shared
+/// between a foreground commit path and a background checkpoint thread.
+/// recorded_probes() is mutex-guarded; the firing configuration itself is
+/// immutable after construction.
 class FaultInjector {
  public:
   /// Observe-only: counts probes (and records them when recording is on) but
   /// never fires.
   FaultInjector() = default;
+
+  /// Counters are atomics, so the injector is movable (for factory returns)
+  /// but not copyable.
+  FaultInjector(FaultInjector&& other) noexcept { MoveFrom(other); }
+  FaultInjector& operator=(FaultInjector&& other) noexcept {
+    if (this != &other) MoveFrom(other);
+    return *this;
+  }
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Fires `code` at exactly the `nth` probe seen (1-based; 0 never fires).
   /// kInternal models an arbitrary internal failure, kDeadlineExceeded /
@@ -47,36 +94,81 @@ class FaultInjector {
                                            StatusCode code =
                                                StatusCode::kInternal);
 
+  // -- Storage-fault factories (consulted by the WAL writer) -----------------
+
+  /// The `nth` storage operation (1-based append/fsync) persists only the
+  /// first `byte_offset` bytes of its write and then behaves as a crash.
+  static FaultInjector TornWriteAt(std::uint64_t nth,
+                                   std::uint64_t byte_offset);
+
+  /// The `nth` storage operation's fsync fails, dropping the unsynced tail
+  /// from the medium.
+  static FaultInjector PartialFsyncAt(std::uint64_t nth);
+
+  /// The `nth` storage operation silently XORs `bit_mask` into the byte at
+  /// `byte_offset` of its write before persisting it.
+  static FaultInjector BitFlipAt(std::uint64_t nth, std::uint64_t byte_offset,
+                                 std::uint8_t bit_mask = 0x01);
+
   /// Consults the injector at a probe point. Returns OK (and counts the
   /// probe) or the injected fault, whose message carries the probe name and
   /// ordinal so test failures pinpoint the firing site.
   Status Probe(std::string_view probe_point);
 
+  /// Consults the injector before a physical storage operation (a WAL append
+  /// or fsync). Returns the fault to apply to the bytes, or kNone. Counted
+  /// separately from exec probes.
+  StorageFaultPlan StorageProbe(std::string_view probe_point);
+
   /// Total probes seen so far (fired or not).
-  std::uint64_t probes_seen() const { return probes_; }
+  std::uint64_t probes_seen() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
   /// How many probes fired a fault.
-  std::uint64_t faults_fired() const { return fired_; }
+  std::uint64_t faults_fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  /// Total storage operations consulted so far.
+  std::uint64_t storage_ops_seen() const {
+    return storage_ops_.load(std::memory_order_relaxed);
+  }
+  /// How many storage operations received a non-kNone plan.
+  std::uint64_t storage_faults_fired() const {
+    return storage_fired_.load(std::memory_order_relaxed);
+  }
 
   /// When on, every probe name is appended to recorded_probes() in order —
   /// lets tests enumerate the probe points a scenario traverses.
   void set_recording(bool on) { recording_ = on; }
-  const std::vector<std::string>& recorded_probes() const { return log_; }
+  std::vector<std::string> recorded_probes() const {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    return log_;
+  }
 
   /// Resets counters and the recording (keeps the firing configuration), so
   /// one injector can govern several sequential runs.
   void Reset();
 
  private:
-  std::uint64_t probes_ = 0;
-  std::uint64_t fired_ = 0;
+  void MoveFrom(FaultInjector& other);
+
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<std::uint64_t> storage_ops_{0};
+  std::atomic<std::uint64_t> storage_fired_{0};
   // Count-triggered mode.
   std::uint64_t fire_at_ = 0;
-  // Seeded mode.
-  double probability_ = 0.0;
-  std::uint64_t rng_state_ = 0;
+  // Seeded mode: fire iff SplitMix64 output < threshold (0 = never; the
+  // all-ones threshold means always).
+  std::atomic<std::uint64_t> rng_state_{0};
+  std::uint64_t threshold_ = 0;
   bool seeded_ = false;
   StatusCode code_ = StatusCode::kInternal;
+  // Storage-fault mode.
+  StorageFaultPlan storage_plan_;
+  std::uint64_t storage_fire_at_ = 0;
   bool recording_ = false;
+  mutable std::mutex log_mu_;
   std::vector<std::string> log_;
 };
 

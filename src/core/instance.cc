@@ -1,6 +1,10 @@
 #include "core/instance.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
+#include <iterator>
+#include <tuple>
 
 namespace setrec {
 
@@ -146,6 +150,60 @@ std::vector<Edge> Instance::AllEdges() const {
     }
   }
   return out;
+}
+
+namespace {
+
+/// AllEdges() emits edges sorted by (property, source, target); Edge's
+/// built-in ordering is (source, property, target). set_difference needs the
+/// comparator that matches the emitted order.
+struct EmittedEdgeOrder {
+  bool operator()(const Edge& a, const Edge& b) const {
+    return std::tie(a.property, a.source, a.target) <
+           std::tie(b.property, b.source, b.target);
+  }
+};
+
+template <typename T, typename Cmp = std::less<T>>
+void SortedDifference(const std::vector<T>& a, const std::vector<T>& b,
+                      std::vector<T>& out, Cmp cmp = Cmp{}) {
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out), cmp);
+}
+
+}  // namespace
+
+InstanceDelta DiffInstances(const Instance& before, const Instance& after) {
+  InstanceDelta delta;
+  const std::vector<ObjectId> before_objects = before.AllObjects();
+  const std::vector<ObjectId> after_objects = after.AllObjects();
+  SortedDifference(before_objects, after_objects, delta.removed_objects);
+  SortedDifference(after_objects, before_objects, delta.added_objects);
+  const std::vector<Edge> before_edges = before.AllEdges();
+  const std::vector<Edge> after_edges = after.AllEdges();
+  SortedDifference(before_edges, after_edges, delta.removed_edges,
+                   EmittedEdgeOrder{});
+  SortedDifference(after_edges, before_edges, delta.added_edges,
+                   EmittedEdgeOrder{});
+  return delta;
+}
+
+Status ApplyDelta(Instance& instance, const InstanceDelta& delta) {
+  // Removals first (edges before objects, though RemoveObject would cascade
+  // anyway), then additions (objects before the edges that need them).
+  for (const Edge& e : delta.removed_edges) {
+    SETREC_RETURN_IF_ERROR(instance.RemoveEdge(e.source, e.property, e.target));
+  }
+  for (ObjectId o : delta.removed_objects) {
+    SETREC_RETURN_IF_ERROR(instance.RemoveObject(o));
+  }
+  for (ObjectId o : delta.added_objects) {
+    SETREC_RETURN_IF_ERROR(instance.AddObject(o));
+  }
+  for (const Edge& e : delta.added_edges) {
+    SETREC_RETURN_IF_ERROR(instance.AddEdge(e));
+  }
+  return Status::OK();
 }
 
 bool Instance::IsSubInstanceOf(const Instance& other) const {

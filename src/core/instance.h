@@ -102,6 +102,40 @@ class Instance {
   std::map<PropertyId, std::set<std::pair<ObjectId, ObjectId>>> edges_;
 };
 
+/// The item-set difference between two instances over the same schema: the
+/// physical redo record of a committed statement. Applying a delta to the
+/// "before" instance reproduces the "after" instance exactly, which is what
+/// the durability layer (store/) persists per commit and replays on
+/// recovery. All four vectors are sorted (the order AllObjects/AllEdges
+/// produce), making deltas canonical: equal state changes print identically.
+struct InstanceDelta {
+  std::vector<ObjectId> removed_objects;
+  std::vector<ObjectId> added_objects;
+  std::vector<Edge> removed_edges;
+  std::vector<Edge> added_edges;
+
+  bool empty() const {
+    return removed_objects.empty() && added_objects.empty() &&
+           removed_edges.empty() && added_edges.empty();
+  }
+  std::size_t size() const {
+    return removed_objects.size() + added_objects.size() +
+           removed_edges.size() + added_edges.size();
+  }
+
+  friend bool operator==(const InstanceDelta&, const InstanceDelta&) = default;
+};
+
+/// Computes the canonical delta taking `before` to `after`. Both instances
+/// must be over the same schema.
+InstanceDelta DiffInstances(const Instance& before, const Instance& after);
+
+/// Applies a delta in redo order (remove edges, remove objects, add objects,
+/// add edges). Fails atomically-in-effect only when the delta does not fit
+/// the instance (e.g. an added edge's endpoint is absent) — callers that
+/// need all-or-nothing semantics snapshot first, as the SQL engine does.
+Status ApplyDelta(Instance& instance, const InstanceDelta& delta);
+
 }  // namespace setrec
 
 #endif  // SETREC_CORE_INSTANCE_H_

@@ -31,6 +31,11 @@ enum class StatusCode {
   kResourceExhausted,
   kDeadlineExceeded,
   kCancelled,
+  // Storage-layer code (see store/wal.h). A persisted log or snapshot failed
+  // its integrity checks (bad CRC, short record, sequence break). Not
+  // retryable: the bytes on disk will not improve; recovery instead replays
+  // the longest valid prefix and reports what was dropped.
+  kCorruptedLog,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -58,6 +63,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kCorruptedLog:
+      return "CorruptedLog";
   }
   return "Unknown";
 }
@@ -100,6 +107,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status CorruptedLog(std::string msg) {
+    return Status(StatusCode::kCorruptedLog, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

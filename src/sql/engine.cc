@@ -34,7 +34,8 @@ Result<Instance> SetOrientedDelete(const Instance& instance, ClassId cls,
 }
 
 Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
-                                const RowPredicate& pred, ExecContext& ctx) {
+                                const RowPredicate& pred, ExecContext& ctx,
+                                const CommitHook& commit_hook) {
   // Phase one: identify every doomed row against the input state. No
   // mutation has happened yet, so errors here need no rollback.
   std::vector<ObjectId> doomed;
@@ -43,13 +44,16 @@ Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
     SETREC_ASSIGN_OR_RETURN(bool d, pred(instance, row));
     if (d) doomed.push_back(row);
   }
-  // Phase two: remove them all together, all-or-nothing.
+  // Phase two: remove them all together, all-or-nothing. The commit hook is
+  // part of the statement: a veto (e.g. a WAL write failure) unwinds exactly
+  // like an in-memory fault.
   Instance snapshot = instance;
   Status applied = [&]() -> Status {
     for (ObjectId row : doomed) {
       SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sql/delete/row"));
       SETREC_RETURN_IF_ERROR(instance.RemoveObject(row));
     }
+    if (commit_hook) SETREC_RETURN_IF_ERROR(commit_hook(snapshot, instance));
     return Status::OK();
   }();
   if (!applied.ok()) {
@@ -155,8 +159,8 @@ Result<Instance> SetOrientedUpdate(const Instance& instance,
 }
 
 Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
-                                const ExprPtr& receiver_query,
-                                ExecContext& ctx) {
+                                const ExprPtr& receiver_query, ExecContext& ctx,
+                                const CommitHook& commit_hook) {
   const Schema* schema = &instance.schema();
   SETREC_ASSIGN_OR_RETURN(std::unique_ptr<AlgebraicUpdateMethod> assign,
                           MakeAssignArgMethod(schema, property));
@@ -186,6 +190,7 @@ Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
       SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sql/update/edge"));
       SETREC_RETURN_IF_ERROR(instance.AddEdge(row, property, t.object_at(1)));
     }
+    if (commit_hook) SETREC_RETURN_IF_ERROR(commit_hook(snapshot, instance));
     return Status::OK();
   }();
   if (!applied.ok()) {

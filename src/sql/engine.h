@@ -16,6 +16,17 @@ namespace setrec {
 using RowPredicate =
     std::function<Result<bool>(const Instance&, ObjectId row)>;
 
+/// A commit hook for the in-place statements: invoked exactly once, after
+/// the statement's in-memory application succeeded, with the pre-statement
+/// and post-statement states. Returning non-OK *vetoes* the commit — the
+/// statement restores the pre-state snapshot and propagates the hook's
+/// error. This is the durability layer's interposition point: the hook
+/// persists the statement's delta to the write-ahead log, and a storage
+/// failure there aborts the statement as if it had never run (store/
+/// durable_store.h). An empty hook commits unconditionally.
+using CommitHook =
+    std::function<Status(const Instance& before, const Instance& after)>;
+
 /// Cursor-based DELETE (Section 7): visits the rows of `cls` in `order`
 /// (default: sorted), re-evaluates `pred` against the evolving instance and
 /// removes a satisfying row (with its incident edges) immediately, before
@@ -39,7 +50,8 @@ Result<Instance> SetOrientedDelete(const Instance& instance, ClassId cls,
 /// pre-statement state.
 Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
                                 const RowPredicate& pred,
-                                ExecContext& ctx = ExecContext::Default());
+                                ExecContext& ctx = ExecContext::Default(),
+                                const CommitHook& commit_hook = {});
 
 /// Runs CursorDelete under every permutation of the rows (bounded by
 /// `max_rows`!) and reports whether all outcomes agree; when they do not,
@@ -92,7 +104,8 @@ Result<Instance> SetOrientedUpdate(const Instance& instance,
 /// bit-identical to its pre-statement state.
 Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
                                 const ExprPtr& receiver_query,
-                                ExecContext& ctx = ExecContext::Default());
+                                ExecContext& ctx = ExecContext::Default(),
+                                const CommitHook& commit_hook = {});
 
 }  // namespace setrec
 

@@ -1,0 +1,274 @@
+#include "store/durable_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "store/snapshot.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace setrec {
+
+namespace {
+
+constexpr const char* kWalFileName = "wal.log";
+
+std::string WalPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / kWalFileName).string();
+}
+
+std::string SnapshotPath(const std::string& dir, std::uint64_t sequence) {
+  char name[64];
+  std::snprintf(name, sizeof name, "snapshot-%020" PRIu64 ".snap", sequence);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+/// Snapshot files present in `dir` with the sequence parsed from the name,
+/// newest first. Files that do not match the naming scheme are ignored.
+std::vector<std::pair<std::uint64_t, std::string>> ListSnapshots(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t sequence = 0;
+    if (std::sscanf(name.c_str(), "snapshot-%" SCNu64 ".snap", &sequence) ==
+        1) {
+      out.emplace_back(sequence, entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+}  // namespace
+
+DurableStore::DurableStore(std::string dir, const Schema* schema,
+                           DurableStoreOptions options)
+    : dir_(std::move(dir)),
+      schema_(schema),
+      options_(options),
+      instance_(schema) {}
+
+DurableStore::~DurableStore() = default;
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    const std::string& dir, const Schema* schema, DurableStoreOptions options,
+    RecoveryReport* report) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create store directory '" + dir +
+                            "': " + ec.message());
+  }
+  std::unique_ptr<DurableStore> store(
+      new DurableStore(dir, schema, options));
+  RecoveryReport local_report;
+  RecoveryReport& rep = report != nullptr ? *report : local_report;
+  rep = RecoveryReport{};
+
+  // 1. Newest snapshot that validates; corrupt ones are passed over (and
+  //    counted) so one bad checkpoint never blocks recovery.
+  for (const auto& [sequence, path] : ListSnapshots(dir)) {
+    Result<SnapshotData> snapshot = ReadSnapshot(path, schema);
+    if (snapshot.ok()) {
+      store->instance_ = std::move(snapshot->instance);
+      rep.snapshot_loaded = true;
+      rep.snapshot_sequence = snapshot->sequence;
+      break;
+    }
+    ++rep.snapshots_skipped;
+  }
+  std::uint64_t last_sequence = rep.snapshot_sequence;
+
+  // 2. Replay the longest valid WAL prefix on top of the snapshot.
+  SETREC_ASSIGN_OR_RETURN(WalReplay replay, ReadWal(WalPath(dir)));
+  rep.torn_tail = replay.torn_tail;
+  rep.detail = replay.tail_reason;
+  std::uint64_t writer_valid_bytes = replay.valid_bytes;
+  for (std::size_t i = 0; i < replay.records.size(); ++i) {
+    const WalRecord& record = replay.records[i];
+    if (record.sequence <= rep.snapshot_sequence) {
+      ++rep.skipped_records;  // crash between snapshot publish and truncate
+      continue;
+    }
+    if (record.sequence != last_sequence + 1) {
+      // The log resumes past the snapshot's coverage: the intervening
+      // records were truncated away and this snapshot cannot bridge them.
+      // Recover what the snapshot proves and drop the rest, loudly.
+      rep.torn_tail = true;
+      rep.detail = "sequence gap after snapshot";
+      writer_valid_bytes = i == 0 ? 0 : replay.record_ends[i - 1];
+      break;
+    }
+    Result<InstanceDelta> delta = ParseDelta(record.payload, schema);
+    Status applied = delta.ok() ? ApplyDelta(store->instance_, *delta)
+                                : delta.status();
+    if (!applied.ok()) {
+      // CRC-valid but semantically unusable (wrong schema, foreign file):
+      // same contract as a torn tail — stop at the last good record.
+      rep.torn_tail = true;
+      rep.detail = "unreplayable record: " + applied.ToString();
+      writer_valid_bytes = i == 0 ? 0 : replay.record_ends[i - 1];
+      break;
+    }
+    last_sequence = record.sequence;
+    ++rep.replayed_records;
+  }
+  rep.dropped_bytes = replay.total_bytes - writer_valid_bytes;
+  rep.last_sequence = last_sequence;
+
+  // 3. Position the writer after the last good record.
+  SETREC_ASSIGN_OR_RETURN(
+      store->wal_, WalWriter::Open(WalPath(dir), writer_valid_bytes,
+                                   last_sequence + 1, options.injector));
+  return store;
+}
+
+Status DurableStore::Commit(const Statement& statement) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked(statement);
+}
+
+Status DurableStore::CommitLocked(const Statement& statement) {
+  if (wal_.broken()) {
+    return Status::FailedPrecondition(
+        "store hit a storage fault; reopen to recover");
+  }
+  const CommitHook hook = [this](const Instance& before,
+                                 const Instance& after) -> Status {
+    const InstanceDelta delta = DiffInstances(before, after);
+    if (delta.empty()) return Status::OK();  // no-op statement, no record
+    SETREC_RETURN_IF_ERROR(
+        wal_.Append(DeltaToText(delta, *schema_)).status());
+    return wal_.Sync();
+  };
+  RetrySchedule schedule(options_.retry);
+  for (;;) {
+    ExecContext ctx(options_.limits);
+    if (options_.injector != nullptr) {
+      ctx.set_fault_injector(options_.injector);
+    }
+    Status status = statement(instance_, ctx, hook);
+    if (status.ok()) break;
+    // A storage fault is a simulated crash: never retried, store poisoned.
+    if (wal_.broken()) return status;
+    if (!schedule.ShouldRetry(status)) return status;
+    const std::chrono::nanoseconds delay = schedule.NextDelay();
+    if (delay > std::chrono::nanoseconds::zero()) {
+      std::this_thread::sleep_for(delay);
+    }
+  }
+  ++commits_since_checkpoint_;
+  if (options_.snapshot_every_n_commits != 0 &&
+      commits_since_checkpoint_ >= options_.snapshot_every_n_commits) {
+    return CheckpointLocked();
+  }
+  return Status::OK();
+}
+
+Status DurableStore::Update(PropertyId property,
+                            const ExprPtr& receiver_query) {
+  return Commit([&](Instance& instance, ExecContext& ctx,
+                    const CommitHook& commit) {
+    return SetOrientedUpdateInPlace(instance, property, receiver_query, ctx,
+                                    commit);
+  });
+}
+
+Status DurableStore::Delete(ClassId cls, const RowPredicate& pred) {
+  return Commit(
+      [&](Instance& instance, ExecContext& ctx, const CommitHook& commit) {
+        return SetOrientedDeleteInPlace(instance, cls, pred, ctx, commit);
+      });
+}
+
+Status DurableStore::ApplyCursorUpdate(const AlgebraicUpdateMethod& method,
+                                       std::span<const Receiver> order) {
+  return Commit([&](Instance& instance, ExecContext& ctx,
+                    const CommitHook& commit) -> Status {
+    SETREC_ASSIGN_OR_RETURN(Instance after,
+                            CursorUpdate(method, instance, order, ctx));
+    SETREC_RETURN_IF_ERROR(commit(instance, after));
+    instance = std::move(after);
+    return Status::OK();
+  });
+}
+
+Status DurableStore::ApplyCursorDelete(ClassId cls, const RowPredicate& pred,
+                                       std::span<const ObjectId> order) {
+  return Commit([&](Instance& instance, ExecContext& ctx,
+                    const CommitHook& commit) -> Status {
+    SETREC_ASSIGN_OR_RETURN(Instance after,
+                            CursorDelete(instance, cls, pred, order, ctx));
+    SETREC_RETURN_IF_ERROR(commit(instance, after));
+    instance = std::move(after);
+    return Status::OK();
+  });
+}
+
+Status DurableStore::Mutate(
+    const std::function<Status(Instance&, ExecContext&)>& body) {
+  return Commit([&](Instance& instance, ExecContext& ctx,
+                    const CommitHook& commit) -> Status {
+    Instance before = instance;
+    Status status = body(instance, ctx);
+    if (status.ok()) status = commit(before, instance);
+    if (!status.ok()) {
+      instance = std::move(before);
+      return status;
+    }
+    return Status::OK();
+  });
+}
+
+Status DurableStore::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status DurableStore::CheckpointLocked() {
+  if (wal_.broken()) {
+    return Status::FailedPrecondition(
+        "store hit a storage fault; reopen to recover");
+  }
+  const std::uint64_t sequence = wal_.next_sequence() - 1;
+  SETREC_RETURN_IF_ERROR(
+      WriteSnapshot(SnapshotPath(dir_, sequence), instance_, sequence));
+  commits_since_checkpoint_ = 0;
+  if (!options_.truncate_wal_on_checkpoint) return Status::OK();
+  // The snapshot now covers every logged record: start a fresh WAL, then
+  // prune snapshots made redundant by the new one.
+  SETREC_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(WalPath(dir_), 0, sequence + 1,
+                            options_.injector));
+  const auto snapshots = ListSnapshots(dir_);
+  for (std::size_t i = options_.keep_snapshots; i < snapshots.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(snapshots[i].second, ec);
+  }
+  return Status::OK();
+}
+
+Instance DurableStore::SnapshotState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instance_;
+}
+
+std::uint64_t DurableStore::last_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.next_sequence() - 1;
+}
+
+bool DurableStore::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.broken();
+}
+
+}  // namespace setrec

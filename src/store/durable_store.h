@@ -1,0 +1,168 @@
+#ifndef SETREC_STORE_DURABLE_STORE_H_
+#define SETREC_STORE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "core/exec_context.h"
+#include "core/instance.h"
+#include "sql/engine.h"
+#include "store/retry.h"
+#include "store/wal.h"
+
+namespace setrec {
+
+/// What Open() recovered and what it had to drop. "Recovered exactly the
+/// last committed state" is the durability contract; this report is the
+/// audit trail proving which commits that covers.
+struct RecoveryReport {
+  /// True when a valid snapshot seeded recovery (else: empty instance).
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_sequence = 0;
+  /// Snapshot files that failed validation and were passed over.
+  std::uint32_t snapshots_skipped = 0;
+  /// WAL records applied on top of the snapshot.
+  std::uint64_t replayed_records = 0;
+  /// Valid records at or below the snapshot sequence (already covered).
+  std::uint64_t skipped_records = 0;
+  /// Bytes of WAL dropped as a torn tail or trailing corruption.
+  std::uint64_t dropped_bytes = 0;
+  bool torn_tail = false;
+  /// Why replay stopped early, when it did ("bad crc", "short record", ...).
+  std::string detail;
+  /// Highest sequence in the recovered state; the next commit is stamped
+  /// last_sequence + 1.
+  std::uint64_t last_sequence = 0;
+};
+
+struct DurableStoreOptions {
+  /// Take a checkpoint automatically after this many effective commits
+  /// (0 = only explicit Checkpoint() calls).
+  std::uint64_t snapshot_every_n_commits = 0;
+  /// Truncate the WAL after a successful checkpoint. Turning this off keeps
+  /// the full log, so recovery stays possible even if every snapshot file is
+  /// lost — the crash-recovery tests use it to exercise that fallback.
+  bool truncate_wal_on_checkpoint = true;
+  /// Snapshot files retained after a checkpoint (older ones are pruned).
+  std::uint32_t keep_snapshots = 2;
+  /// Per-attempt resource budget for statements (default: permissive).
+  ExecContext::Limits limits;
+  /// Backoff for statements that failed with a retryable governance code.
+  RetryPolicy retry;
+  /// Consulted at every exec probe point *and* every WAL append/fsync
+  /// (storage faults). Must outlive the store.
+  FaultInjector* injector = nullptr;
+};
+
+/// A crash-consistent wrapper around Instance: every committed SQL-engine
+/// statement is persisted as a checksummed WAL record (the statement's
+/// canonical InstanceDelta in text form) before it is acknowledged, and
+/// periodic snapshots bound replay time. Open() recovers the newest valid
+/// snapshot plus the longest valid WAL prefix, tolerating a torn tail.
+///
+/// Commit protocol (per statement):
+///   1. run the statement in memory — the engine's all-or-nothing snapshot
+///      semantics apply, governed by a fresh ExecContext per attempt;
+///   2. through the engine's CommitHook, append diff(before, after) to the
+///      WAL and fsync — only then is the commit acknowledged;
+///   3. a hook failure (torn write, failed fsync) vetoes the statement: the
+///      in-memory state rolls back to the pre-statement instance and the
+///      store refuses further commits until reopened, exactly as if the
+///      process had died at the fault.
+/// Retryable governance failures (kResourceExhausted, kDeadlineExceeded) are
+/// retried per the RetryPolicy with deterministic backoff; semantic errors,
+/// cancellation, and storage faults are not.
+///
+/// All public methods are serialized by an internal mutex, so a background
+/// thread may call Checkpoint() while another commits (the FaultInjector's
+/// atomic counters make a shared injector safe too).
+class DurableStore {
+ public:
+  /// A statement body: mutate the instance under `ctx`, calling `commit`
+  /// exactly once with (before, after) on success, and leaving the instance
+  /// at `before` on any failure. The engine's *InPlace statements have this
+  /// exact shape.
+  using Statement =
+      std::function<Status(Instance&, ExecContext&, const CommitHook&)>;
+
+  /// Opens (creating or recovering) the store in directory `dir`. When
+  /// `report` is non-null it receives the recovery audit trail.
+  static Result<std::unique_ptr<DurableStore>> Open(
+      const std::string& dir, const Schema* schema,
+      DurableStoreOptions options = {}, RecoveryReport* report = nullptr);
+
+  ~DurableStore();
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  // -- Committed statements ---------------------------------------------------
+
+  /// Set-oriented UPDATE (Section 7), durably committed.
+  Status Update(PropertyId property, const ExprPtr& receiver_query);
+
+  /// Set-oriented DELETE, durably committed.
+  Status Delete(ClassId cls, const RowPredicate& pred);
+
+  /// Cursor UPDATE: sequential application of `method` in `order`.
+  Status ApplyCursorUpdate(const AlgebraicUpdateMethod& method,
+                           std::span<const Receiver> order);
+
+  /// Cursor DELETE in `order` (default: sorted rows of `cls`).
+  Status ApplyCursorDelete(ClassId cls, const RowPredicate& pred,
+                           std::span<const ObjectId> order = {});
+
+  /// Arbitrary mutation as one committed statement: `body` edits the
+  /// instance; on any failure the pre-statement state is restored; on
+  /// success the delta is logged and fsynced before Mutate returns OK.
+  Status Mutate(const std::function<Status(Instance&, ExecContext&)>& body);
+
+  /// Runs a caller-shaped statement through the commit protocol.
+  Status Commit(const Statement& statement);
+
+  // -- Checkpoints ------------------------------------------------------------
+
+  /// Writes a snapshot at the current sequence and (per options) truncates
+  /// the WAL and prunes old snapshots. Safe to call from another thread.
+  Status Checkpoint();
+
+  // -- Observers --------------------------------------------------------------
+
+  /// Copy of the current committed state (taken under the store mutex).
+  Instance SnapshotState() const;
+
+  /// Borrowed view for single-threaded use; not synchronized against a
+  /// concurrent Checkpoint/Commit from another thread.
+  const Instance& instance() const { return instance_; }
+
+  /// Sequence of the last acknowledged commit (0 = none ever).
+  std::uint64_t last_sequence() const;
+
+  /// True after a storage fault: commits are refused until the directory is
+  /// reopened (recovered).
+  bool broken() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurableStore(std::string dir, const Schema* schema,
+               DurableStoreOptions options);
+
+  Status CheckpointLocked();
+  Status CommitLocked(const Statement& statement);
+
+  const std::string dir_;
+  const Schema* schema_;
+  DurableStoreOptions options_;
+  mutable std::mutex mu_;
+  Instance instance_;
+  WalWriter wal_;
+  std::uint64_t commits_since_checkpoint_ = 0;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_STORE_DURABLE_STORE_H_

@@ -1,0 +1,48 @@
+#include "store/retry.h"
+
+namespace setrec {
+
+namespace {
+
+/// SplitMix64 (the library-wide deterministic generator).
+std::uint64_t NextRandom(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RetrySchedule::RetrySchedule(const RetryPolicy& policy)
+    : policy_(policy),
+      current_base_(policy.base_delay),
+      rng_state_(policy.jitter_seed) {}
+
+bool RetrySchedule::ShouldRetry(const Status& status) {
+  if (!status.IsRetryable()) return false;
+  if (attempts_used_ >= policy_.max_attempts) return false;
+  ++attempts_used_;
+  return true;
+}
+
+std::chrono::nanoseconds RetrySchedule::NextDelay() {
+  std::chrono::nanoseconds base = current_base_;
+  if (base > policy_.max_delay) base = policy_.max_delay;
+  // Advance the exponential base for the next round, saturating at the cap
+  // (and against overflow of the multiplication).
+  const double grown =
+      static_cast<double>(current_base_.count()) * policy_.multiplier;
+  current_base_ = grown >= static_cast<double>(policy_.max_delay.count())
+                      ? policy_.max_delay
+                      : std::chrono::nanoseconds(
+                            static_cast<std::chrono::nanoseconds::rep>(grown));
+  // Jitter into [base/2, base): full determinism from the seed, while
+  // keeping at least half the backoff so retries cannot stampede.
+  const double u =
+      static_cast<double>(NextRandom(rng_state_) >> 11) * 0x1.0p-53;
+  return std::chrono::nanoseconds(static_cast<std::chrono::nanoseconds::rep>(
+      static_cast<double>(base.count()) * (0.5 + u / 2.0)));
+}
+
+}  // namespace setrec

@@ -1,0 +1,59 @@
+#ifndef SETREC_STORE_RETRY_H_
+#define SETREC_STORE_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace setrec {
+
+/// Bounded exponential backoff with deterministic seeded jitter.
+///
+/// The durable store retries statements that failed with a *retryable*
+/// governance code (Status::IsRetryable: kResourceExhausted or
+/// kDeadlineExceeded) — a transiently exhausted ExecContext should not abort
+/// a commit. Everything else (semantic errors, cancellation, corruption,
+/// storage faults) fails immediately.
+///
+/// Delays are fully determined by the policy and the seed: attempt k waits
+///   min(max_delay, base_delay * multiplier^(k-1)) * (1/2 + u_k/2)
+/// where u_k in [0, 1) is drawn from a SplitMix64 stream — no global RNG, no
+/// distribution types with unspecified output, so schedules are reproducible
+/// bit-for-bit across platforms.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retrying.
+  std::uint32_t max_attempts = 1;
+  std::chrono::nanoseconds base_delay{0};
+  std::chrono::nanoseconds max_delay{std::chrono::milliseconds(100)};
+  double multiplier = 2.0;
+  std::uint64_t jitter_seed = 0;
+};
+
+/// The mutable iteration state for one governed operation: consult
+/// ShouldRetry after each failure; when it grants a retry, wait NextDelay()
+/// (the store sleeps it; tests use base_delay zero and just record it).
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy);
+
+  /// True when `status` is retryable and attempts remain; consumes one
+  /// attempt when granting.
+  bool ShouldRetry(const Status& status);
+
+  /// The backoff before the upcoming attempt. Advances the jitter stream, so
+  /// call once per granted retry.
+  std::chrono::nanoseconds NextDelay();
+
+  std::uint32_t attempts_used() const { return attempts_used_; }
+
+ private:
+  RetryPolicy policy_;
+  std::uint32_t attempts_used_ = 1;  // the initial attempt
+  std::chrono::nanoseconds current_base_;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_STORE_RETRY_H_

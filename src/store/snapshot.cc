@@ -1,0 +1,107 @@
+#include "store/snapshot.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "store/wal.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace setrec {
+
+namespace {
+
+std::string HeaderLine(std::uint64_t sequence, const std::string& body) {
+  char header[128];
+  std::snprintf(header, sizeof header,
+                "setrec-snapshot v1 seq=%" PRIu64 " len=%zu crc=%08x\n",
+                sequence, body.size(), Crc32(body));
+  return header;
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& path, const Instance& instance,
+                     std::uint64_t sequence) {
+  const std::string body = InstanceToText(instance);
+  const std::string header = HeaderLine(sequence, body);
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot create snapshot '" + tmp_path +
+                            "': " + std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+      std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote) {
+    return Status::Internal("cannot write snapshot '" + tmp_path +
+                            "': " + std::strerror(errno));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return Status::Internal("cannot publish snapshot '" + path +
+                            "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<SnapshotData> ReadSnapshot(const std::string& path,
+                                  const Schema* schema) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot at '" + path + "'");
+    }
+    return Status::Internal("cannot open snapshot '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("cannot read snapshot '" + path + "'");
+  }
+
+  const std::size_t newline = bytes.find('\n');
+  if (newline == std::string::npos) {
+    return Status::CorruptedLog("snapshot '" + path + "': missing header");
+  }
+  std::uint64_t sequence = 0;
+  std::size_t len = 0;
+  unsigned crc = 0;
+  if (std::sscanf(bytes.c_str(),
+                  "setrec-snapshot v1 seq=%" SCNu64 " len=%zu crc=%08x",
+                  &sequence, &len, &crc) != 3) {
+    return Status::CorruptedLog("snapshot '" + path + "': bad header");
+  }
+  const std::string_view body =
+      std::string_view(bytes).substr(newline + 1);
+  if (body.size() != len) {
+    return Status::CorruptedLog(
+        "snapshot '" + path + "': body is " + std::to_string(body.size()) +
+        " bytes, header says " + std::to_string(len));
+  }
+  if (Crc32(body) != crc) {
+    return Status::CorruptedLog("snapshot '" + path + "': bad crc");
+  }
+  Result<Instance> instance = ParseInstance(body, schema);
+  if (!instance.ok()) {
+    return Status::CorruptedLog("snapshot '" + path + "': body unparsable: " +
+                                instance.status().ToString());
+  }
+  return SnapshotData{std::move(instance).value(), sequence};
+}
+
+}  // namespace setrec

@@ -1,0 +1,40 @@
+#ifndef SETREC_STORE_SNAPSHOT_H_
+#define SETREC_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/instance.h"
+#include "core/status.h"
+
+namespace setrec {
+
+/// Full-instance checkpoints. A snapshot file is a one-line header followed
+/// by the text-format instance (text/printer.h):
+///
+///   setrec-snapshot v1 seq=<u64> len=<bytes> crc=<hex8>
+///   instance { ... }
+///
+/// `len` and `crc` cover the body, so a torn or bit-rotted snapshot is
+/// detected (kCorruptedLog) and recovery falls back to an older snapshot or
+/// to an empty instance plus full WAL replay. Snapshots are written to a
+/// temporary file, fsynced, and renamed into place — a crash mid-write never
+/// clobbers the previous snapshot.
+
+struct SnapshotData {
+  Instance instance;
+  /// The WAL sequence this snapshot covers: replay resumes at sequence + 1.
+  std::uint64_t sequence = 0;
+};
+
+Status WriteSnapshot(const std::string& path, const Instance& instance,
+                     std::uint64_t sequence);
+
+/// Reads and validates a snapshot. Header/length/CRC defects and body parse
+/// failures return kCorruptedLog; a missing file returns kNotFound.
+Result<SnapshotData> ReadSnapshot(const std::string& path,
+                                  const Schema* schema);
+
+}  // namespace setrec
+
+#endif  // SETREC_STORE_SNAPSHOT_H_

@@ -1,0 +1,278 @@
+#include "store/wal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace setrec {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 16;
+/// Sanity cap on a single payload: a length field larger than this is
+/// treated as corruption, not an allocation request.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t GetU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+std::uint64_t GetU64(const char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         static_cast<std::uint64_t>(GetU32(p + 4)) << 32;
+}
+
+/// CRC over the sequence (in its little-endian wire form) then the payload,
+/// so both are integrity-protected by one checksum.
+std::uint32_t RecordCrc(std::uint64_t sequence, std::string_view payload) {
+  std::string seq_bytes;
+  seq_bytes.reserve(8);
+  PutU64(seq_bytes, sequence);
+  return Crc32(payload, Crc32(seq_bytes));
+}
+
+std::string EncodeRecord(std::uint64_t sequence, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, RecordCrc(sequence, payload));
+  PutU64(out, sequence);
+  out.append(payload);
+  return out;
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrcTable();
+  crc = ~crc;
+  for (char ch : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+Result<WalReplay> ReadWal(const std::string& path) {
+  WalReplay replay;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return replay;  // no log yet: empty replay
+    return IoError("cannot open WAL", path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return IoError("cannot read WAL", path);
+
+  replay.total_bytes = bytes.size();
+  std::uint64_t offset = 0;
+  auto stop = [&](const char* reason) {
+    replay.torn_tail = true;
+    replay.tail_reason = reason;
+  };
+  while (offset < bytes.size()) {
+    const std::uint64_t remaining = bytes.size() - offset;
+    if (remaining < kHeaderBytes) {
+      stop("short header");
+      break;
+    }
+    const char* header = bytes.data() + offset;
+    const std::uint32_t length = GetU32(header);
+    const std::uint32_t crc = GetU32(header + 4);
+    const std::uint64_t sequence = GetU64(header + 8);
+    if (length > kMaxPayloadBytes || length > remaining - kHeaderBytes) {
+      stop("short record");
+      break;
+    }
+    std::string_view payload(bytes.data() + offset + kHeaderBytes, length);
+    if (RecordCrc(sequence, payload) != crc) {
+      stop("bad crc");
+      break;
+    }
+    if (!replay.records.empty() &&
+        sequence != replay.records.back().sequence + 1) {
+      stop("sequence break");
+      break;
+    }
+    offset += kHeaderBytes + length;
+    replay.records.push_back(WalRecord{sequence, std::string(payload)});
+    replay.record_ends.push_back(offset);
+    replay.valid_bytes = offset;
+  }
+  return replay;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+WalWriter::WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  file_ = std::exchange(other.file_, nullptr);
+  path_ = std::move(other.path_);
+  next_sequence_ = other.next_sequence_;
+  synced_bytes_ = other.synced_bytes_;
+  written_bytes_ = other.written_bytes_;
+  injector_ = std::exchange(other.injector_, nullptr);
+  broken_ = other.broken_;
+  return *this;
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path,
+                                  std::uint64_t valid_bytes,
+                                  std::uint64_t next_sequence,
+                                  FaultInjector* injector) {
+  // Drop any torn tail before appending: new records must start at the end
+  // of the last good one.
+  std::error_code ec;
+  const std::uint64_t existing =
+      std::filesystem::exists(path, ec)
+          ? static_cast<std::uint64_t>(std::filesystem::file_size(path, ec))
+          : 0;
+  if (existing > valid_bytes) {
+    std::filesystem::resize_file(path, valid_bytes, ec);
+    if (ec) {
+      return Status::Internal("cannot truncate WAL '" + path +
+                              "': " + ec.message());
+    }
+  }
+  WalWriter w;
+  w.file_ = std::fopen(path.c_str(), "ab");
+  if (w.file_ == nullptr) return IoError("cannot open WAL for append", path);
+  w.path_ = path;
+  w.next_sequence_ = next_sequence;
+  w.synced_bytes_ = valid_bytes;
+  w.written_bytes_ = valid_bytes;
+  w.injector_ = injector;
+  return w;
+}
+
+Result<std::uint64_t> WalWriter::Append(std::string_view payload) {
+  if (file_ == nullptr || broken_) {
+    return Status::FailedPrecondition(
+        "WAL writer is closed or broken; reopen the store to recover");
+  }
+  std::string record = EncodeRecord(next_sequence_, payload);
+  std::size_t persist = record.size();
+  bool tear = false;
+  if (injector_ != nullptr) {
+    const StorageFaultPlan plan = injector_->StorageProbe("wal/append");
+    switch (plan.kind) {
+      case StorageFaultKind::kNone:
+        break;
+      case StorageFaultKind::kTornWrite:
+        persist = static_cast<std::size_t>(
+            plan.byte_offset < record.size() ? plan.byte_offset
+                                             : record.size());
+        tear = true;
+        break;
+      case StorageFaultKind::kBitFlip:
+        record[plan.byte_offset % record.size()] ^=
+            static_cast<char>(plan.bit_mask);
+        break;
+      case StorageFaultKind::kPartialFsync:
+        // A sync-time fault requested on an append: treat the append as the
+        // crash point with nothing persisted.
+        persist = 0;
+        tear = true;
+        break;
+    }
+  }
+  if (persist > 0 &&
+      std::fwrite(record.data(), 1, persist, file_) != persist) {
+    broken_ = true;
+    return IoError("WAL append failed", path_);
+  }
+  if (tear) {
+    // The torn bytes must actually reach the medium (the recovery test reads
+    // them back), but the writer is dead from here on.
+    std::fflush(file_);
+    broken_ = true;
+    return Status::Internal("injected torn write: " +
+                            std::to_string(persist) + " of " +
+                            std::to_string(record.size()) +
+                            " bytes persisted");
+  }
+  written_bytes_ += record.size();
+  return next_sequence_++;
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr || broken_) {
+    return Status::FailedPrecondition(
+        "WAL writer is closed or broken; reopen the store to recover");
+  }
+  if (injector_ != nullptr) {
+    const StorageFaultPlan plan = injector_->StorageProbe("wal/sync");
+    if (plan.kind == StorageFaultKind::kPartialFsync) {
+      // The unsynced tail never reached the medium: drop it and die.
+      std::fflush(file_);
+      broken_ = true;
+      std::error_code ec;
+      std::filesystem::resize_file(path_, synced_bytes_, ec);
+      return Status::Internal(
+          "injected partial fsync: unsynced tail dropped at byte " +
+          std::to_string(synced_bytes_));
+    }
+  }
+  if (std::fflush(file_) != 0) {
+    broken_ = true;
+    return IoError("WAL flush failed", path_);
+  }
+  if (fsync(fileno(file_)) != 0) {
+    broken_ = true;
+    return IoError("WAL fsync failed", path_);
+  }
+  synced_bytes_ = written_bytes_;
+  return Status::OK();
+}
+
+}  // namespace setrec

@@ -1,0 +1,115 @@
+#ifndef SETREC_STORE_WAL_H_
+#define SETREC_STORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fault_injection.h"
+#include "core/status.h"
+
+namespace setrec {
+
+/// Checksummed, length-prefixed, monotonically-sequenced write-ahead log.
+///
+/// On-disk record layout (little-endian, 16-byte header + payload):
+///
+///   u32 payload length | u32 CRC-32 over (sequence ‖ payload) | u64 sequence
+///   | payload bytes
+///
+/// Sequences are strictly consecutive within a file. The *reader* is the
+/// crash-consistency workhorse: any defect — a short header, a payload that
+/// runs past end-of-file, a CRC mismatch, a sequence break — terminates
+/// replay at the end of the last good record (the longest valid prefix)
+/// instead of failing, and the replay report says exactly how many bytes
+/// were dropped and why. This is what makes a torn tail (a record half
+/// written when the process died) a recoverable, reportable event rather
+/// than data loss of the whole log.
+///
+/// The *writer* consults an optional FaultInjector before every physical
+/// append and fsync (probe points "wal/append", "wal/sync"), letting tests
+/// tear a write at any byte, drop an unsynced tail, or flip a bit — see
+/// StorageFaultKind. After a torn write or failed sync the writer is broken:
+/// further operations refuse, as the process would be dead at that point.
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected), seedable for chaining.
+std::uint32_t Crc32(std::string_view data, std::uint32_t crc = 0);
+
+struct WalRecord {
+  std::uint64_t sequence = 0;
+  std::string payload;
+};
+
+/// Outcome of scanning a WAL file.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// Byte offsets one-past-the-end of each good record (parallel to
+  /// `records`) — the commit points a torn-tail test truncates between.
+  std::vector<std::uint64_t> record_ends;
+  /// File size and the prefix of it that held valid records.
+  std::uint64_t total_bytes = 0;
+  std::uint64_t valid_bytes = 0;
+  /// True when trailing bytes were dropped; `tail_reason` says why replay
+  /// stopped ("short header", "short record", "bad crc", "sequence break").
+  bool torn_tail = false;
+  std::string tail_reason;
+
+  std::uint64_t dropped_bytes() const { return total_bytes - valid_bytes; }
+};
+
+/// Scans `path`, returning every record of the longest valid prefix. A
+/// missing file is an empty (OK) replay; only an unreadable file is an
+/// error. Never fails on corrupt content — corruption truncates the replay
+/// and is reported in the result.
+Result<WalReplay> ReadWal(const std::string& path);
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, first truncating it to `valid_bytes` (the
+  /// longest valid prefix found by ReadWal) so a torn tail is never appended
+  /// after. The first Append is stamped `next_sequence`.
+  static Result<WalWriter> Open(const std::string& path,
+                                std::uint64_t valid_bytes,
+                                std::uint64_t next_sequence,
+                                FaultInjector* injector = nullptr);
+
+  /// Encodes and appends one record, consuming the next sequence number.
+  /// Returns the sequence stamped on the record. Not yet durable — call
+  /// Sync() to make it so.
+  Result<std::uint64_t> Append(std::string_view payload);
+
+  /// Flushes and fsyncs everything appended so far. Durability point: a
+  /// commit is acknowledged only after its record's Sync succeeded.
+  Status Sync();
+
+  std::uint64_t next_sequence() const { return next_sequence_; }
+  /// True after a storage fault; the writer refuses further work and the
+  /// store must be reopened (recovered) to continue.
+  bool broken() const { return broken_; }
+
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t next_sequence_ = 1;
+  /// Bytes known durable (synced); a partial-fsync fault truncates back to
+  /// this offset, modeling lost page cache.
+  std::uint64_t synced_bytes_ = 0;
+  std::uint64_t written_bytes_ = 0;
+  FaultInjector* injector_ = nullptr;
+  bool broken_ = false;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_STORE_WAL_H_

@@ -157,7 +157,13 @@ class Parser {
   bool AtKeyword(std::string_view word) const {
     return At(TokenKind::kIdentifier) && Peek().text == word;
   }
-  Token Take() { return tokens_[pos_++]; }
+  /// Never advances past the sentinel kEnd token, so Peek() stays valid no
+  /// matter how a caller mixes Take/Expect on truncated input.
+  Token Take() {
+    Token t = tokens_[pos_];
+    if (t.kind != TokenKind::kEnd) ++pos_;
+    return t;
+  }
 
   Status Error(const std::string& what) const {
     const Token& t = Peek();
@@ -192,13 +198,39 @@ class Parser {
     return Take().text;
   }
 
+  /// Overflow-checked: a literal that does not fit uint32 is a parse error,
+  /// not an exception or a silent wrap (std::stoul throws on huge input).
   Result<std::uint32_t> Integer() {
-    SETREC_ASSIGN_OR_RETURN(Token t, Expect(TokenKind::kInteger));
-    return static_cast<std::uint32_t>(std::stoul(t.text));
+    if (!At(TokenKind::kInteger)) {
+      return Error("expected integer");
+    }
+    Token t = Take();
+    std::uint64_t value = 0;
+    for (char c : t.text) {
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (value > 0xffffffffULL) {
+        return Status::InvalidArgument(
+            "integer literal out of range at " + std::to_string(t.line) +
+            ":" + std::to_string(t.column));
+      }
+    }
+    return static_cast<std::uint32_t>(value);
   }
 
-  /// expr (see header grammar).
+  /// expr (see header grammar). Nesting depth is bounded so adversarial or
+  /// corrupted input degrades to a typed error instead of exhausting the
+  /// call stack.
   Result<ExprPtr> Expression() {
+    if (++depth_ > kMaxExpressionDepth) {
+      --depth_;
+      return Error("expression nesting exceeds depth limit");
+    }
+    Result<ExprPtr> out = ExpressionImpl();
+    --depth_;
+    return out;
+  }
+
+  Result<ExprPtr> ExpressionImpl() {
     SETREC_ASSIGN_OR_RETURN(std::string head, Identifier("expression"));
     if (head == "union" || head == "diff" || head == "product") {
       SETREC_RETURN_IF_ERROR(Expect(TokenKind::kLParen).status());
@@ -282,8 +314,13 @@ class Parser {
   }
 
  private:
+  /// Deep enough for any printed expression we emit; shallow enough that the
+  /// recursive-descent parser cannot blow the stack on hostile input.
+  static constexpr int kMaxExpressionDepth = 200;
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
@@ -349,6 +386,44 @@ Result<Instance> ParseInstance(std::string_view text, const Schema* schema) {
   p.Take();  // }
   SETREC_RETURN_IF_ERROR(p.Expect(TokenKind::kEnd).status());
   return instance;
+}
+
+Result<InstanceDelta> ParseDelta(std::string_view text, const Schema* schema) {
+  SETREC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  SETREC_RETURN_IF_ERROR(p.ExpectKeyword("delta"));
+  SETREC_RETURN_IF_ERROR(p.Expect(TokenKind::kLBrace).status());
+  InstanceDelta delta;
+  while (!p.At(TokenKind::kRBrace)) {
+    bool add;
+    if (p.AtKeyword("add")) {
+      add = true;
+    } else if (p.AtKeyword("del")) {
+      add = false;
+    } else {
+      return p.Error("expected 'add' or 'del'");
+    }
+    p.Take();
+    if (p.AtKeyword("object")) {
+      p.Take();
+      SETREC_ASSIGN_OR_RETURN(ObjectId o, p.Object(*schema));
+      (add ? delta.added_objects : delta.removed_objects).push_back(o);
+    } else if (p.AtKeyword("edge")) {
+      p.Take();
+      SETREC_ASSIGN_OR_RETURN(ObjectId src, p.Object(*schema));
+      SETREC_ASSIGN_OR_RETURN(std::string prop, p.Identifier("property name"));
+      SETREC_ASSIGN_OR_RETURN(PropertyId property, schema->FindProperty(prop));
+      SETREC_ASSIGN_OR_RETURN(ObjectId dst, p.Object(*schema));
+      (add ? delta.added_edges : delta.removed_edges)
+          .push_back(Edge{src, property, dst});
+    } else {
+      return p.Error("expected 'object' or 'edge'");
+    }
+    SETREC_RETURN_IF_ERROR(p.Expect(TokenKind::kSemicolon).status());
+  }
+  p.Take();  // }
+  SETREC_RETURN_IF_ERROR(p.Expect(TokenKind::kEnd).status());
+  return delta;
 }
 
 Result<ExprPtr> ParseExpression(std::string_view text) {

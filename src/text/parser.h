@@ -57,6 +57,13 @@ Result<ExprPtr> ParseExpression(std::string_view text);
 Result<std::unique_ptr<AlgebraicUpdateMethod>> ParseMethod(
     std::string_view text, const Schema* schema);
 
+/// Parses a `delta { add|del object|edge ...; }` block over `schema` (the
+/// WAL record payload format, see DeltaToText). Statements are collected in
+/// the order written; the delta is *not* applied. Every malformed or
+/// truncated input returns a typed error — recovery replay depends on this
+/// never crashing or hanging.
+Result<InstanceDelta> ParseDelta(std::string_view text, const Schema* schema);
+
 }  // namespace setrec
 
 #endif  // SETREC_TEXT_PARSER_H_

@@ -94,6 +94,30 @@ std::string InstanceToText(const Instance& instance) {
   return out.str();
 }
 
+std::string DeltaToText(const InstanceDelta& delta, const Schema& schema) {
+  std::ostringstream out;
+  out << "delta {\n";
+  auto print_edge = [&](const char* verb, const Edge& e) {
+    out << "  " << verb << " edge ";
+    PrintObject(schema, e.source, out);
+    out << " " << schema.property(e.property).name << " ";
+    PrintObject(schema, e.target, out);
+    out << ";\n";
+  };
+  auto print_object = [&](const char* verb, ObjectId o) {
+    out << "  " << verb << " object ";
+    PrintObject(schema, o, out);
+    out << ";\n";
+  };
+  // Redo order: del edges, del objects, add objects, add edges.
+  for (const Edge& e : delta.removed_edges) print_edge("del", e);
+  for (ObjectId o : delta.removed_objects) print_object("del", o);
+  for (ObjectId o : delta.added_objects) print_object("add", o);
+  for (const Edge& e : delta.added_edges) print_edge("add", e);
+  out << "}\n";
+  return out.str();
+}
+
 std::string ExprToText(const Expr& expr) {
   std::ostringstream out;
   PrintExpr(expr, out);

@@ -22,6 +22,19 @@ std::string InstanceToText(const Instance& instance);
 std::string ExprToText(const Expr& expr);
 std::string MethodToText(const AlgebraicUpdateMethod& method);
 
+/// Canonical text form of an instance delta (WAL record payloads, see
+/// store/wal.h). Statements appear in redo order:
+///
+///   delta {
+///     del edge D(1) f Ba(2);
+///     del object Ba(2);
+///     add object Ba(3);
+///     add edge D(1) f Ba(3);
+///   }
+///
+/// ParseDelta(DeltaToText(d, s), &s) reproduces d exactly.
+std::string DeltaToText(const InstanceDelta& delta, const Schema& schema);
+
 }  // namespace setrec
 
 #endif  // SETREC_TEXT_PRINTER_H_

@@ -1,0 +1,955 @@
+// Tests for the durability subsystem (store/): the checksummed WAL, the
+// snapshot/checkpoint files, the retry schedule, and DurableStore's
+// crash-consistency contract. The acceptance core is the recovery matrix:
+// a commit killed at EVERY exec probe point, torn at EVERY byte of its WAL
+// record, or hit by a partial fsync / silent bit flip, must recover to
+// exactly the pre-statement or post-statement instance — never a hybrid —
+// with the torn-tail cases recovering the longest valid prefix.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault_injection.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/status.h"
+#include "relational/builder.h"
+#include "sql/engine.h"
+#include "sql/table.h"
+#include "store/durable_store.h"
+#include "store/retry.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+#include "text/printer.h"
+
+namespace setrec {
+namespace {
+
+// -- Filesystem helpers ------------------------------------------------------
+
+/// A fresh, empty directory unique to the running test (and `tag`, for tests
+/// that need several stores).
+std::string MakeTempDir(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "setrec_store_test" /
+      (std::string(info->test_suite_name()) + "." + info->name() + "." + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string WalFile(const std::string& dir) {
+  return (std::filesystem::path(dir) / "wal.log").string();
+}
+
+// -- CRC ---------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVectorsAndChains) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Chaining is equivalent to one pass over the concatenation.
+  EXPECT_EQ(Crc32("6789", Crc32("12345")), Crc32("123456789"));
+  // Any single-bit flip changes the checksum.
+  std::string data = "the quick brown fox";
+  const std::uint32_t clean = Crc32(data);
+  data[5] ^= 0x10;
+  EXPECT_NE(Crc32(data), clean);
+}
+
+// -- WAL reader/writer -------------------------------------------------------
+
+const std::vector<std::string> kPayloads = {"alpha", "beta payload",
+                                            "gamma gamma gamma"};
+
+/// Writes kPayloads as records 1..3 and returns the pristine replay.
+WalReplay WriteThreeRecords(const std::string& path) {
+  WalWriter writer = std::move(WalWriter::Open(path, 0, 1)).value();
+  for (const std::string& p : kPayloads) {
+    EXPECT_TRUE(writer.Append(p).ok());
+  }
+  EXPECT_TRUE(writer.Sync().ok());
+  writer.Close();
+  return std::move(ReadWal(path)).value();
+}
+
+TEST(WalTest, RoundTripAndMissingFile) {
+  const std::string dir = MakeTempDir("wal");
+  const WalReplay replay = WriteThreeRecords(WalFile(dir));
+  ASSERT_EQ(replay.records.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(replay.records[i].sequence, i + 1);
+    EXPECT_EQ(replay.records[i].payload, kPayloads[i]);
+  }
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.valid_bytes, replay.total_bytes);
+  EXPECT_EQ(replay.dropped_bytes(), 0u);
+  EXPECT_EQ(replay.record_ends.size(), 3u);
+  EXPECT_EQ(replay.record_ends.back(), replay.total_bytes);
+
+  // A missing file is an empty OK replay, not an error.
+  Result<WalReplay> missing = ReadWal(WalFile(dir) + ".nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->records.empty());
+  EXPECT_FALSE(missing->torn_tail);
+}
+
+TEST(WalTest, TruncationAtEveryByteRecoversTheLongestValidPrefix) {
+  const std::string dir = MakeTempDir("wal");
+  const WalReplay pristine = WriteThreeRecords(WalFile(dir));
+  const std::string bytes = ReadFileBytes(WalFile(dir));
+  ASSERT_EQ(bytes.size(), pristine.total_bytes);
+
+  const std::string torn_path = WalFile(dir) + ".torn";
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    WriteFileBytes(torn_path, bytes.substr(0, len));
+    Result<WalReplay> r = ReadWal(torn_path);
+    ASSERT_TRUE(r.ok()) << "len " << len;
+    // Expected: every record that ends at or before the cut survives.
+    std::size_t expect = 0;
+    while (expect < pristine.record_ends.size() &&
+           pristine.record_ends[expect] <= len) {
+      ++expect;
+    }
+    const std::uint64_t expect_valid =
+        expect == 0 ? 0 : pristine.record_ends[expect - 1];
+    EXPECT_EQ(r->records.size(), expect) << "len " << len;
+    EXPECT_EQ(r->valid_bytes, expect_valid) << "len " << len;
+    EXPECT_EQ(r->torn_tail, len != expect_valid) << "len " << len;
+    EXPECT_EQ(r->dropped_bytes(), len - expect_valid) << "len " << len;
+    if (r->torn_tail) {
+      EXPECT_TRUE(r->tail_reason == "short header" ||
+                  r->tail_reason == "short record")
+          << "len " << len << ": " << r->tail_reason;
+    }
+  }
+}
+
+TEST(WalTest, BitFlipAnywhereDropsTheRecordAndItsSuffix) {
+  const std::string dir = MakeTempDir("wal");
+  const WalReplay pristine = WriteThreeRecords(WalFile(dir));
+  const std::string bytes = ReadFileBytes(WalFile(dir));
+
+  const std::string flipped_path = WalFile(dir) + ".flipped";
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupted = bytes;
+    corrupted[pos] ^= 0x01;
+    WriteFileBytes(flipped_path, corrupted);
+    Result<WalReplay> r = ReadWal(flipped_path);
+    ASSERT_TRUE(r.ok()) << "pos " << pos;
+    // The record containing the flipped byte — and everything after it — is
+    // dropped; everything before it survives untouched.
+    std::size_t victim = 0;
+    while (pristine.record_ends[victim] <= pos) ++victim;
+    EXPECT_EQ(r->records.size(), victim) << "pos " << pos;
+    EXPECT_TRUE(r->torn_tail) << "pos " << pos;
+    for (std::size_t i = 0; i < r->records.size(); ++i) {
+      EXPECT_EQ(r->records[i].payload, kPayloads[i]) << "pos " << pos;
+    }
+  }
+}
+
+TEST(WalTest, SequenceBreakTerminatesReplay) {
+  const std::string dir = MakeTempDir("wal");
+  const std::string path = WalFile(dir);
+  {
+    WalWriter w = std::move(WalWriter::Open(path, 0, 1)).value();
+    ASSERT_TRUE(w.Append("one").ok());
+    ASSERT_TRUE(w.Sync().ok());
+  }
+  {
+    // A second writer stamped with a gap: record sequences 1 then 7.
+    const std::uint64_t end =
+        std::filesystem::file_size(std::filesystem::path(path));
+    WalWriter w = std::move(WalWriter::Open(path, end, 7)).value();
+    ASSERT_TRUE(w.Append("seven").ok());
+    ASSERT_TRUE(w.Sync().ok());
+  }
+  const WalReplay r = std::move(ReadWal(path)).value();
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].payload, "one");
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.tail_reason, "sequence break");
+  EXPECT_GT(r.dropped_bytes(), 0u);
+}
+
+TEST(WalTest, ReopenTruncatesTheTornTailBeforeAppending) {
+  const std::string dir = MakeTempDir("wal");
+  const std::string path = WalFile(dir);
+  const WalReplay pristine = WriteThreeRecords(path);
+  // Tear the file mid-record-3.
+  const std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, pristine.record_ends[1] + 5));
+
+  const WalReplay torn = std::move(ReadWal(path)).value();
+  ASSERT_EQ(torn.records.size(), 2u);
+  ASSERT_TRUE(torn.torn_tail);
+
+  // Reopening at the valid prefix drops the tail; the next append continues
+  // the sequence cleanly.
+  WalWriter w = std::move(WalWriter::Open(path, torn.valid_bytes,
+                                          torn.records.back().sequence + 1))
+                    .value();
+  Result<std::uint64_t> seq = w.Append("delta");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 3u);
+  ASSERT_TRUE(w.Sync().ok());
+  w.Close();
+
+  const WalReplay healed = std::move(ReadWal(path)).value();
+  ASSERT_EQ(healed.records.size(), 3u);
+  EXPECT_FALSE(healed.torn_tail);
+  EXPECT_EQ(healed.records[2].payload, "delta");
+}
+
+// -- WAL writer under injected storage faults --------------------------------
+
+TEST(WalWriterFaultTest, TornWritePersistsThePrefixAndBreaksTheWriter) {
+  const std::string dir = MakeTempDir("wal");
+  const std::string path = WalFile(dir);
+  FaultInjector inj = FaultInjector::TornWriteAt(1, 7);
+  WalWriter w = std::move(WalWriter::Open(path, 0, 1, &inj)).value();
+  Result<std::uint64_t> r = w.Append("doomed payload");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(w.broken());
+  EXPECT_EQ(inj.storage_ops_seen(), 1u);
+  EXPECT_EQ(inj.storage_faults_fired(), 1u);
+  // The writer is poisoned: every further operation refuses.
+  EXPECT_EQ(w.Append("more").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(w.Sync().code(), StatusCode::kFailedPrecondition);
+  w.Close();
+  // Exactly the torn prefix reached the medium; replay drops it as a tail.
+  EXPECT_EQ(ReadFileBytes(path).size(), 7u);
+  const WalReplay replay = std::move(ReadWal(path)).value();
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.tail_reason, "short header");
+}
+
+TEST(WalWriterFaultTest, PartialFsyncDropsTheUnsyncedTail) {
+  const std::string dir = MakeTempDir("wal");
+  const std::string path = WalFile(dir);
+  // Ops: append(1)=1, sync=2, append(2)=3, sync=4 <- fires.
+  FaultInjector inj = FaultInjector::PartialFsyncAt(4);
+  WalWriter w = std::move(WalWriter::Open(path, 0, 1, &inj)).value();
+  ASSERT_TRUE(w.Append("first").ok());
+  ASSERT_TRUE(w.Sync().ok());
+  ASSERT_TRUE(w.Append("second").ok());
+  Status s = w.Sync();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(w.broken());
+  w.Close();
+  // Record 1 was synced and survives; record 2 never reached the medium.
+  const WalReplay replay = std::move(ReadWal(path)).value();
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].payload, "first");
+  EXPECT_FALSE(replay.torn_tail);  // truncation fell exactly on a boundary
+}
+
+TEST(WalWriterFaultTest, BitFlipSucceedsSilentlyAndOnlyTheReaderDetects) {
+  const std::string dir = MakeTempDir("wal");
+  const std::string path = WalFile(dir);
+  FaultInjector inj = FaultInjector::BitFlipAt(1, 20, 0x04);
+  WalWriter w = std::move(WalWriter::Open(path, 0, 1, &inj)).value();
+  // The write path reports success — the corruption is silent.
+  ASSERT_TRUE(w.Append("payload under the flip").ok());
+  ASSERT_TRUE(w.Sync().ok());
+  EXPECT_FALSE(w.broken());
+  w.Close();
+  const WalReplay replay = std::move(ReadWal(path)).value();
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.tail_reason, "bad crc");
+}
+
+// -- Snapshots ---------------------------------------------------------------
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = schema_.AddClass("A").value();
+    b_ = schema_.AddClass("B").value();
+    f_ = schema_.AddProperty("f", a_, b_).value();
+  }
+
+  Instance MakeInstance() const {
+    Instance inst(&schema_);
+    EXPECT_TRUE(inst.AddObject(ObjectId(a_, 1)).ok());
+    EXPECT_TRUE(inst.AddObject(ObjectId(a_, 2)).ok());
+    EXPECT_TRUE(inst.AddObject(ObjectId(b_, 5)).ok());
+    EXPECT_TRUE(inst.AddEdge(ObjectId(a_, 1), f_, ObjectId(b_, 5)).ok());
+    return inst;
+  }
+
+  Schema schema_;
+  ClassId a_ = 0, b_ = 0;
+  PropertyId f_ = 0;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesInstanceAndSequence) {
+  const std::string dir = MakeTempDir("snap");
+  const std::string path = (std::filesystem::path(dir) / "s.snap").string();
+  const Instance inst = MakeInstance();
+  ASSERT_TRUE(WriteSnapshot(path, inst, 7).ok());
+  Result<SnapshotData> r = ReadSnapshot(path, &schema_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->sequence, 7u);
+  EXPECT_TRUE(r->instance == inst);
+}
+
+TEST_F(SnapshotTest, MissingIsNotFoundAndEveryDefectIsCorruptedLog) {
+  const std::string dir = MakeTempDir("snap");
+  const std::string path = (std::filesystem::path(dir) / "s.snap").string();
+  EXPECT_EQ(ReadSnapshot(path, &schema_).status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(WriteSnapshot(path, MakeInstance(), 7).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  // Bit rot anywhere in the body.
+  std::string flipped = bytes;
+  flipped[bytes.size() - 3] ^= 0x01;
+  WriteFileBytes(path, flipped);
+  EXPECT_EQ(ReadSnapshot(path, &schema_).status().code(),
+            StatusCode::kCorruptedLog);
+
+  // A torn (truncated) snapshot.
+  WriteFileBytes(path, bytes.substr(0, bytes.size() / 2));
+  EXPECT_EQ(ReadSnapshot(path, &schema_).status().code(),
+            StatusCode::kCorruptedLog);
+
+  // A foreign file.
+  WriteFileBytes(path, "not a snapshot at all\n");
+  EXPECT_EQ(ReadSnapshot(path, &schema_).status().code(),
+            StatusCode::kCorruptedLog);
+
+  // The intact bytes still read back fine.
+  WriteFileBytes(path, bytes);
+  EXPECT_TRUE(ReadSnapshot(path, &schema_).ok());
+}
+
+// -- Retry schedule ----------------------------------------------------------
+
+TEST(RetryScheduleTest, OnlyRetryableCodesAreRetried) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  for (const Status& s :
+       {Status::Internal("x"), Status::InvalidArgument("x"),
+        Status::Cancelled("x"), Status::CorruptedLog("x"),
+        Status::FailedPrecondition("x")}) {
+    RetrySchedule schedule(policy);
+    EXPECT_FALSE(schedule.ShouldRetry(s)) << s.ToString();
+  }
+  for (const Status& s :
+       {Status::ResourceExhausted("x"), Status::DeadlineExceeded("x")}) {
+    RetrySchedule schedule(policy);
+    EXPECT_TRUE(schedule.ShouldRetry(s)) << s.ToString();
+  }
+}
+
+TEST(RetryScheduleTest, ConsumesAttemptsAndStops) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetrySchedule schedule(policy);
+  const Status transient = Status::ResourceExhausted("budget");
+  EXPECT_TRUE(schedule.ShouldRetry(transient));   // attempt 2 granted
+  EXPECT_TRUE(schedule.ShouldRetry(transient));   // attempt 3 granted
+  EXPECT_FALSE(schedule.ShouldRetry(transient));  // out of attempts
+  EXPECT_EQ(schedule.attempts_used(), 3u);
+
+  RetryPolicy once;
+  once.max_attempts = 1;
+  RetrySchedule none(once);
+  EXPECT_FALSE(none.ShouldRetry(transient));
+}
+
+TEST(RetryScheduleTest, DelaysAreDeterministicBoundedAndJittered) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(8);
+  policy.multiplier = 2.0;
+  policy.jitter_seed = 42;
+
+  auto delays = [&policy] {
+    RetrySchedule schedule(policy);
+    std::vector<std::chrono::nanoseconds> out;
+    for (int i = 0; i < 9; ++i) out.push_back(schedule.NextDelay());
+    return out;
+  };
+  const auto a = delays();
+  EXPECT_EQ(a, delays());  // bit-identical for a fixed seed
+
+  // Attempt k's uncapped base is 1ms * 2^(k-1), capped at 8ms; jitter keeps
+  // the delay within [base/2, base).
+  std::int64_t base_ns = 1'000'000;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_GE(a[k].count(), base_ns / 2) << "attempt " << k;
+    EXPECT_LT(a[k].count(), base_ns) << "attempt " << k;
+    base_ns = std::min<std::int64_t>(base_ns * 2, 8'000'000);
+  }
+
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  RetrySchedule different(other);
+  std::vector<std::chrono::nanoseconds> b;
+  for (int i = 0; i < 9; ++i) b.push_back(different.NextDelay());
+  EXPECT_NE(a, b);  // the seed actually feeds the jitter
+}
+
+// -- DurableStore: the simple A/B/f workload ---------------------------------
+
+class DurableStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = schema_.AddClass("A").value();
+    b_ = schema_.AddClass("B").value();
+    f_ = schema_.AddProperty("f", a_, b_).value();
+    // Expected states: states_[k] is the instance after step k; states_[0]
+    // is empty. Every step has a non-empty delta.
+    Instance state(&schema_);
+    states_.push_back(state);
+    for (std::uint32_t k = 1; k <= kSteps; ++k) {
+      ASSERT_TRUE(ApplyStep(state, k).ok());
+      states_.push_back(state);
+    }
+  }
+
+  /// One deterministic commit's worth of mutation: adds an A/B pair and an
+  /// edge, retires the previous A object (cascading its edge).
+  Status ApplyStep(Instance& inst, std::uint32_t k) const {
+    SETREC_RETURN_IF_ERROR(inst.AddObject(ObjectId(a_, k)));
+    SETREC_RETURN_IF_ERROR(inst.AddObject(ObjectId(b_, k % 3)));
+    SETREC_RETURN_IF_ERROR(
+        inst.AddEdge(ObjectId(a_, k), f_, ObjectId(b_, k % 3)));
+    if (k > 1) {
+      SETREC_RETURN_IF_ERROR(inst.RemoveObject(ObjectId(a_, k - 1)));
+    }
+    return Status::OK();
+  }
+
+  /// Commits step k through the store's Mutate statement.
+  Status CommitStep(DurableStore& store, std::uint32_t k) const {
+    return store.Mutate([this, k](Instance& inst, ExecContext&) {
+      return ApplyStep(inst, k);
+    });
+  }
+
+  /// Runs steps 1..upto against a freshly opened store in `dir`.
+  std::unique_ptr<DurableStore> OpenAndRun(const std::string& dir,
+                                           std::uint32_t upto,
+                                           DurableStoreOptions options = {}) {
+    auto store =
+        std::move(DurableStore::Open(dir, &schema_, options)).value();
+    for (std::uint32_t k = 1; k <= upto; ++k) {
+      EXPECT_TRUE(CommitStep(*store, k).ok()) << "step " << k;
+    }
+    return store;
+  }
+
+  /// Reopens `dir` with no injector and returns the recovered state.
+  Instance Recover(const std::string& dir, RecoveryReport* report = nullptr) {
+    auto store =
+        std::move(DurableStore::Open(dir, &schema_, {}, report)).value();
+    return store->SnapshotState();
+  }
+
+  static constexpr std::uint32_t kSteps = 5;
+
+  Schema schema_;
+  ClassId a_ = 0, b_ = 0;
+  PropertyId f_ = 0;
+  std::vector<Instance> states_;
+};
+
+TEST_F(DurableStoreTest, CommitsReplayExactlyOnRecovery) {
+  const std::string dir = MakeTempDir("store");
+  {
+    auto store = OpenAndRun(dir, kSteps);
+    EXPECT_TRUE(store->instance() == states_[kSteps]);
+    EXPECT_EQ(store->last_sequence(), kSteps);
+    EXPECT_FALSE(store->broken());
+  }
+  RecoveryReport report;
+  const Instance recovered = Recover(dir, &report);
+  EXPECT_TRUE(recovered == states_[kSteps]);
+  EXPECT_FALSE(report.snapshot_loaded);
+  EXPECT_EQ(report.replayed_records, kSteps);
+  EXPECT_EQ(report.last_sequence, kSteps);
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_EQ(report.dropped_bytes, 0u);
+}
+
+TEST_F(DurableStoreTest, NoOpAndFailedStatementsLeaveNoRecord) {
+  const std::string dir = MakeTempDir("store");
+  auto store = OpenAndRun(dir, 2);
+  const std::uint64_t seq = store->last_sequence();
+
+  // A statement that changes nothing is acknowledged without a record.
+  EXPECT_TRUE(
+      store->Mutate([](Instance&, ExecContext&) { return Status::OK(); })
+          .ok());
+  EXPECT_EQ(store->last_sequence(), seq);
+
+  // A failing statement neither logs nor mutates.
+  Status s = store->Mutate([this](Instance& inst, ExecContext&) {
+    (void)inst.AddObject(ObjectId(a_, 99));
+    return Status::Internal("deliberate");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(store->last_sequence(), seq);
+  EXPECT_TRUE(store->instance() == states_[2]);
+  store.reset();
+  EXPECT_TRUE(Recover(dir) == states_[2]);
+}
+
+TEST_F(DurableStoreTest, AutoCheckpointTruncatesTheWalAndPrunesSnapshots) {
+  const std::string dir = MakeTempDir("store");
+  DurableStoreOptions options;
+  options.snapshot_every_n_commits = 2;
+  options.keep_snapshots = 2;
+  { auto store = OpenAndRun(dir, kSteps, options); }
+
+  // Checkpoints fired after commits 2 and 4; the WAL holds only record 5.
+  const WalReplay replay = std::move(ReadWal(WalFile(dir))).value();
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].sequence, kSteps);
+
+  std::size_t snapshot_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    snapshot_files +=
+        entry.path().extension() == ".snap" ? std::size_t{1} : 0;
+  }
+  EXPECT_EQ(snapshot_files, 2u);  // keep_snapshots honored
+
+  RecoveryReport report;
+  EXPECT_TRUE(Recover(dir, &report) == states_[kSteps]);
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(report.snapshot_sequence, 4u);
+  EXPECT_EQ(report.replayed_records, 1u);
+  EXPECT_EQ(report.last_sequence, kSteps);
+}
+
+TEST_F(DurableStoreTest, RecoveryFallsBackAcrossCorruptAndMissingSnapshots) {
+  const std::string dir = MakeTempDir("store");
+  DurableStoreOptions options;
+  // Keep the full log so older snapshots (and even no snapshot) can still
+  // bridge to the present.
+  options.truncate_wal_on_checkpoint = false;
+  options.snapshot_every_n_commits = 2;
+  options.keep_snapshots = 99;
+  { auto store = OpenAndRun(dir, kSteps, options); }
+
+  std::vector<std::string> snapshots;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".snap") {
+      snapshots.push_back(entry.path().string());
+    }
+  }
+  ASSERT_EQ(snapshots.size(), 2u);  // after commits 2 and 4
+
+  // Corrupt the newest snapshot: recovery skips it, uses the older one, and
+  // still lands on the final state via the longer replay.
+  std::sort(snapshots.begin(), snapshots.end());
+  const std::string newest = snapshots.back();
+  std::string bytes = ReadFileBytes(newest);
+  bytes[bytes.size() / 2] ^= 0x01;
+  WriteFileBytes(newest, bytes);
+
+  RecoveryReport report;
+  EXPECT_TRUE(Recover(dir, &report) == states_[kSteps]);
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(report.snapshots_skipped, 1u);
+  EXPECT_EQ(report.snapshot_sequence, 2u);
+  EXPECT_EQ(report.replayed_records, kSteps - 2);
+
+  // Destroy every snapshot: recovery degrades to empty + full replay.
+  for (const std::string& path : snapshots) {
+    std::filesystem::remove(path);
+  }
+  RecoveryReport bare;
+  EXPECT_TRUE(Recover(dir, &bare) == states_[kSteps]);
+  EXPECT_FALSE(bare.snapshot_loaded);
+  EXPECT_EQ(bare.replayed_records, kSteps);
+}
+
+TEST_F(DurableStoreTest, ExplicitCheckpointSurvivesRecovery) {
+  const std::string dir = MakeTempDir("store");
+  {
+    auto store = OpenAndRun(dir, 3);
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(CommitStep(*store, 4).ok());
+  }
+  RecoveryReport report;
+  EXPECT_TRUE(Recover(dir, &report) == states_[4]);
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(report.snapshot_sequence, 3u);
+  EXPECT_EQ(report.replayed_records, 1u);
+}
+
+// -- The recovery matrix (acceptance) ----------------------------------------
+
+/// Truncating the WAL at EVERY byte yields exactly states_[r], where r is
+/// the number of whole records below the cut — commit boundaries and only
+/// commit boundaries are the recoverable states (never a hybrid).
+TEST_F(DurableStoreTest, RecoveryMatrixTornTailAtEveryByte) {
+  const std::string dir = MakeTempDir("full");
+  { auto store = OpenAndRun(dir, kSteps); }
+  const WalReplay pristine = std::move(ReadWal(WalFile(dir))).value();
+  ASSERT_EQ(pristine.records.size(), kSteps);
+  const std::string bytes = ReadFileBytes(WalFile(dir));
+
+  const std::string torn_dir = MakeTempDir("torn");
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    std::filesystem::remove_all(torn_dir);
+    std::filesystem::create_directories(torn_dir);
+    WriteFileBytes(WalFile(torn_dir), bytes.substr(0, len));
+
+    std::size_t r = 0;
+    while (r < pristine.record_ends.size() &&
+           pristine.record_ends[r] <= len) {
+      ++r;
+    }
+    RecoveryReport report;
+    const Instance recovered = Recover(torn_dir, &report);
+    EXPECT_TRUE(recovered == states_[r])
+        << "cut at byte " << len << " recovered a state that is neither the "
+        << "pre- nor the post-commit instance of record " << r + 1;
+    EXPECT_EQ(report.replayed_records, r) << "cut at byte " << len;
+    const std::uint64_t valid = r == 0 ? 0 : pristine.record_ends[r - 1];
+    EXPECT_EQ(report.torn_tail, len != valid) << "cut at byte " << len;
+    EXPECT_EQ(report.dropped_bytes, len - valid) << "cut at byte " << len;
+  }
+}
+
+/// Kills the final commit by tearing its WAL record at EVERY byte offset.
+/// The in-memory state must roll back to the pre-statement instance, the
+/// store must refuse further commits, and recovery must return exactly the
+/// pre-statement state.
+TEST_F(DurableStoreTest, RecoveryMatrixTornWriteAtEveryOffsetOfTheCommit) {
+  // The record the final commit writes: 16-byte header + the delta text.
+  const std::string payload =
+      DeltaToText(DiffInstances(states_[kSteps - 1], states_[kSteps]),
+                  schema_);
+  const std::size_t record_size = 16 + payload.size();
+  // Storage ops consumed by the first kSteps-1 commits: append + sync each.
+  const std::uint64_t ops_before = 2 * (kSteps - 1);
+
+  for (std::size_t offset = 0; offset <= record_size; ++offset) {
+    const std::string dir = MakeTempDir("o" + std::to_string(offset));
+    FaultInjector inj = FaultInjector::TornWriteAt(ops_before + 1, offset);
+    DurableStoreOptions options;
+    options.injector = &inj;
+    auto store = OpenAndRun(dir, kSteps - 1, options);
+    ASSERT_TRUE(store->instance() == states_[kSteps - 1]);
+
+    Status s = CommitStep(*store, kSteps);
+    ASSERT_FALSE(s.ok()) << "offset " << offset;
+    // The engine restored the pre-statement snapshot; the store is poisoned.
+    EXPECT_TRUE(store->instance() == states_[kSteps - 1])
+        << "offset " << offset;
+    EXPECT_TRUE(store->broken()) << "offset " << offset;
+    EXPECT_EQ(CommitStep(*store, kSteps).code(),
+              StatusCode::kFailedPrecondition)
+        << "offset " << offset;
+    store.reset();
+
+    RecoveryReport report;
+    const Instance recovered = Recover(dir, &report);
+    if (offset == record_size) {
+      // The "crash after the write, before the ack" corner: the record is
+      // fully durable, so recovery surfaces the unacknowledged commit —
+      // still exactly a statement boundary, never a hybrid.
+      EXPECT_TRUE(recovered == states_[kSteps]) << "offset " << offset;
+      EXPECT_EQ(report.replayed_records, kSteps);
+      EXPECT_FALSE(report.torn_tail);
+    } else {
+      EXPECT_TRUE(recovered == states_[kSteps - 1])
+          << "offset " << offset << ": recovery returned a torn hybrid";
+      EXPECT_EQ(report.replayed_records, kSteps - 1) << "offset " << offset;
+      // A zero-byte tear leaves the file exactly at the previous boundary.
+      EXPECT_EQ(report.torn_tail, offset != 0) << "offset " << offset;
+      EXPECT_EQ(report.dropped_bytes, offset) << "offset " << offset;
+    }
+  }
+}
+
+TEST_F(DurableStoreTest, RecoveryMatrixPartialFsyncVetoesTheCommit) {
+  const std::string dir = MakeTempDir("store");
+  // The final commit's sync is storage op 2*(kSteps-1) + 2.
+  FaultInjector inj = FaultInjector::PartialFsyncAt(2 * (kSteps - 1) + 2);
+  DurableStoreOptions options;
+  options.injector = &inj;
+  auto store = OpenAndRun(dir, kSteps - 1, options);
+
+  Status s = CommitStep(*store, kSteps);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(store->instance() == states_[kSteps - 1]);
+  EXPECT_TRUE(store->broken());
+  store.reset();
+
+  RecoveryReport report;
+  EXPECT_TRUE(Recover(dir, &report) == states_[kSteps - 1]);
+  EXPECT_EQ(report.replayed_records, kSteps - 1);
+  EXPECT_FALSE(report.torn_tail);  // the dropped tail was a whole record
+}
+
+/// A bit flip is the one storage fault the writer cannot see: the commit IS
+/// acknowledged, and only recovery discovers (via the CRC) that the medium
+/// lied. The recovered state is the pre-statement instance and the report
+/// says bytes were dropped — the audit trail for the lost ack.
+TEST_F(DurableStoreTest, RecoveryMatrixBitFlipLosesTheAckedCommitDetectably) {
+  const std::string dir = MakeTempDir("store");
+  FaultInjector inj =
+      FaultInjector::BitFlipAt(2 * (kSteps - 1) + 1, /*byte_offset=*/20);
+  DurableStoreOptions options;
+  options.injector = &inj;
+  auto store = OpenAndRun(dir, kSteps - 1, options);
+
+  // The final commit succeeds from the writer's point of view.
+  ASSERT_TRUE(CommitStep(*store, kSteps).ok());
+  EXPECT_TRUE(store->instance() == states_[kSteps]);
+  EXPECT_FALSE(store->broken());
+  store.reset();
+
+  RecoveryReport report;
+  EXPECT_TRUE(Recover(dir, &report) == states_[kSteps - 1]);
+  EXPECT_EQ(report.replayed_records, kSteps - 1);
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.detail, "bad crc");
+  EXPECT_GT(report.dropped_bytes, 0u);
+}
+
+// -- DurableStore over the SQL engine (payroll workload) ---------------------
+
+class DurablePayrollTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ps_ = std::move(MakePayrollSchema()).value(); }
+
+  /// The Section 7 receiver query "select EmpId, New from Employee, NewSal
+  /// where Salary = Old".
+  ExprPtr SalaryUpdateQuery() const {
+    return ra::Project(
+        ra::JoinEq(ra::Rel("EmpSalary"),
+                   ra::Project(ra::JoinEq(ra::Rel("NSOld"),
+                                          ra::Rename(ra::Rel("NSNew"), "NS",
+                                                     "NS2"),
+                                          "NS", "NS2"),
+                               {"Old", "New"}),
+                   "Salary", "Old"),
+        {"Emp", "New"});
+  }
+
+  Instance BuildDb() const {
+    std::vector<EmployeeRow> employees = {
+        {1, 100, std::nullopt}, {2, 200, std::nullopt}, {3, 100, std::nullopt}};
+    std::vector<NewSalRow> raises = {{100, 150}, {200, 250}};
+    return std::move(BuildPayrollInstance(ps_, employees, {{100, 300}}, raises))
+        .value();
+  }
+
+  /// Seeds a fresh store with the payroll tables (commit 1).
+  Status Seed(DurableStore& store) const {
+    const Instance db = BuildDb();
+    return store.Mutate([&db](Instance& inst, ExecContext&) {
+      inst = db;
+      return Status::OK();
+    });
+  }
+
+  PayrollSchema ps_;
+};
+
+TEST_F(DurablePayrollTest, SetOrientedStatementsCommitAndRecover) {
+  const std::string dir = MakeTempDir("payroll");
+  const Instance seeded = BuildDb();
+  Instance expected(&ps_.schema);
+  {
+    auto store =
+        std::move(DurableStore::Open(dir, &ps_.schema)).value();
+    ASSERT_TRUE(Seed(*store).ok());
+    ASSERT_TRUE(store->Update(ps_.salary, SalaryUpdateQuery()).ok());
+    // After the raise nobody's salary is in Fire anymore, so this DELETE is
+    // a committed no-op: acknowledged, but no WAL record written.
+    ASSERT_TRUE(store->Delete(ps_.emp, SalaryInFire(ps_)).ok());
+    expected = store->SnapshotState();
+    EXPECT_FALSE(expected == seeded);
+    EXPECT_EQ(store->last_sequence(), 2u);
+  }
+  RecoveryReport report;
+  auto recovered =
+      std::move(DurableStore::Open(dir, &ps_.schema, {}, &report)).value();
+  EXPECT_TRUE(recovered->instance() == expected);
+  EXPECT_EQ(report.replayed_records, 2u);
+
+  // The recovered salaries are the Section 7 raises.
+  auto salaries =
+      std::move(ReadSalaries(ps_, recovered->instance())).value();
+  ASSERT_EQ(salaries.size(), 3u);
+  EXPECT_EQ(salaries[0], (std::pair<std::uint32_t, std::uint32_t>{1, 150}));
+  EXPECT_EQ(salaries[1], (std::pair<std::uint32_t, std::uint32_t>{2, 250}));
+  EXPECT_EQ(salaries[2], (std::pair<std::uint32_t, std::uint32_t>{3, 150}));
+}
+
+/// The acceptance matrix over *exec* probe points: kill the UPDATE commit at
+/// every cooperative probe the statement traverses. Every kill must leave
+/// both the live store and a recovered reopen at exactly the pre-statement
+/// instance.
+TEST_F(DurablePayrollTest, CrashAtEveryExecProbeRecoversThePreStatementState) {
+  // Observe run: learn the probe ordinals the UPDATE spans.
+  std::uint64_t probes_before = 0, probes_after = 0;
+  Instance pre_statement(&ps_.schema);
+  Instance post_statement(&ps_.schema);
+  {
+    const std::string dir = MakeTempDir("observe");
+    FaultInjector observer;
+    DurableStoreOptions options;
+    options.injector = &observer;
+    auto store =
+        std::move(DurableStore::Open(dir, &ps_.schema, options)).value();
+    ASSERT_TRUE(Seed(*store).ok());
+    pre_statement = store->SnapshotState();
+    probes_before = observer.probes_seen();
+    ASSERT_TRUE(store->Update(ps_.salary, SalaryUpdateQuery()).ok());
+    probes_after = observer.probes_seen();
+    post_statement = store->SnapshotState();
+  }
+  ASSERT_GT(probes_after, probes_before);
+  ASSERT_FALSE(post_statement == pre_statement);
+
+  for (std::uint64_t k = probes_before + 1; k <= probes_after; ++k) {
+    const std::string dir = MakeTempDir("probe" + std::to_string(k));
+    FaultInjector inj = FaultInjector::FireAtNthProbe(k);
+    DurableStoreOptions options;
+    options.injector = &inj;
+    auto store =
+        std::move(DurableStore::Open(dir, &ps_.schema, options)).value();
+    ASSERT_TRUE(Seed(*store).ok()) << "probe " << k;
+
+    Status s = store->Update(ps_.salary, SalaryUpdateQuery());
+    ASSERT_FALSE(s.ok()) << "probe " << k;
+    EXPECT_EQ(s.code(), StatusCode::kInternal) << "probe " << k;
+    // An exec fault is not a storage fault: the store stays usable...
+    EXPECT_FALSE(store->broken()) << "probe " << k;
+    // ...and the live state rolled back to the pre-statement instance.
+    EXPECT_TRUE(store->SnapshotState() == pre_statement)
+        << "partial mutation survived a fault at probe " << k;
+    store.reset();
+
+    // Recovery agrees: nothing of the killed statement was logged.
+    auto reopened =
+        std::move(DurableStore::Open(dir, &ps_.schema)).value();
+    EXPECT_TRUE(reopened->instance() == pre_statement)
+        << "recovery leaked a torn hybrid at probe " << k;
+
+    // And the statement still works after recovery.
+    ASSERT_TRUE(reopened->Update(ps_.salary, SalaryUpdateQuery()).ok())
+        << "probe " << k;
+    EXPECT_TRUE(reopened->instance() == post_statement) << "probe " << k;
+  }
+}
+
+TEST_F(DurablePayrollTest, RetryableGovernanceFaultIsRetriedToSuccess) {
+  const std::string dir = MakeTempDir("retry");
+  // Fire a transient kResourceExhausted somewhere inside the UPDATE. The
+  // injector's counter keeps advancing across attempts, so the fault fires
+  // exactly once and the second attempt sails through.
+  FaultInjector inj =
+      FaultInjector::FireAtNthProbe(3, StatusCode::kResourceExhausted);
+  DurableStoreOptions options;
+  options.injector = &inj;
+  options.retry.max_attempts = 3;
+  options.retry.base_delay = std::chrono::nanoseconds(0);
+  options.retry.jitter_seed = 7;
+  auto store =
+      std::move(DurableStore::Open(dir, &ps_.schema, options)).value();
+  ASSERT_TRUE(Seed(*store).ok());
+
+  ASSERT_TRUE(store->Update(ps_.salary, SalaryUpdateQuery()).ok());
+  EXPECT_EQ(inj.faults_fired(), 1u);
+  const Instance committed = store->SnapshotState();
+  store.reset();
+  auto reopened = std::move(DurableStore::Open(dir, &ps_.schema)).value();
+  EXPECT_TRUE(reopened->instance() == committed);
+}
+
+TEST_F(DurablePayrollTest, RetryDisabledFailsOnTheTransientFault) {
+  const std::string dir = MakeTempDir("noretry");
+  FaultInjector inj =
+      FaultInjector::FireAtNthProbe(3, StatusCode::kResourceExhausted);
+  DurableStoreOptions options;
+  options.injector = &inj;  // default policy: max_attempts = 1
+  auto store =
+      std::move(DurableStore::Open(dir, &ps_.schema, options)).value();
+  ASSERT_TRUE(Seed(*store).ok());
+  const Instance seeded = store->SnapshotState();
+
+  Status s = store->Update(ps_.salary, SalaryUpdateQuery());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(store->SnapshotState() == seeded);
+}
+
+// -- Concurrency: commits racing a background checkpoint thread --------------
+
+TEST_F(DurableStoreTest, BackgroundCheckpointsRaceCommitsSafely) {
+  const std::string dir = MakeTempDir("race");
+  // A shared observe-only injector: its atomic counters are hammered from
+  // both threads (the commit path's exec context and the WAL writer).
+  FaultInjector observer;
+  DurableStoreOptions options;
+  options.injector = &observer;
+  options.keep_snapshots = 2;
+  auto store =
+      std::move(DurableStore::Open(dir, &schema_, options)).value();
+
+  constexpr std::uint32_t kCommits = 24;
+  Instance expected(&schema_);
+  for (std::uint32_t k = 1; k <= kCommits; ++k) {
+    ASSERT_TRUE(ApplyStep(expected, k).ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::thread checkpointer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      Status s = store->Checkpoint();
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+  });
+  for (std::uint32_t k = 1; k <= kCommits; ++k) {
+    ASSERT_TRUE(CommitStep(*store, k).ok()) << "step " << k;
+  }
+  done.store(true, std::memory_order_relaxed);
+  checkpointer.join();
+
+  EXPECT_TRUE(store->SnapshotState() == expected);
+  EXPECT_EQ(store->last_sequence(), kCommits);
+  store.reset();
+  EXPECT_TRUE(Recover(dir) == expected);
+}
+
+}  // namespace
+}  // namespace setrec

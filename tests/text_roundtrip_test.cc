@@ -234,5 +234,141 @@ TEST_P(MutationFuzzTest, CorruptedValidTextsNeverCrashAnyParser) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+// -- Exhaustive prefix truncation --------------------------------------------
+// Recovery replay (store/durable_store.cc) feeds WAL payloads to the parsers
+// and leans on this contract: EVERY prefix of a valid text yields either a
+// value or a typed error — never a crash, hang, or exception.
+
+constexpr const char kDeltaText[] = R"(
+delta {
+  del edge D(1) f Ba(2);
+  del object Ba(2);
+  add object Ba(3);
+  add edge D(1) f Ba(3);
+}
+)";
+
+TEST(PrefixTruncationTest, EveryPrefixOfEveryCorpusTextReturnsTyped) {
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  DrinkersSchema ds = std::move(MakeDrinkersSchema()).value();
+  const std::vector<std::string> corpus = {
+      kDrinkersText,
+      kInstanceText,
+      kDeltaText,
+      "union(project[f](join[self = D](self, Df)), rename[arg1 -> f](arg1))",
+      MethodToText(*std::move(MakeAddBar(ds)).value()),
+  };
+  for (const std::string& text : corpus) {
+    for (std::size_t len = 0; len <= text.size(); ++len) {
+      const std::string prefix = text.substr(0, len);
+      // Run EVERY parser over every prefix (not just the matching one):
+      // recovery cannot know what a corrupt payload was meant to be.
+      const Status statuses[] = {
+          ParseSchema(prefix).status(),
+          ParseInstance(prefix, schema.get()).status(),
+          ParseDelta(prefix, schema.get()).status(),
+          ParseExpression(prefix).status(),
+          ParseMethod(prefix, &ds.schema).status(),
+      };
+      for (const Status& s : statuses) {
+        if (!s.ok()) {
+          // A truncated identifier may also surface as "unknown class/
+          // property" (kNotFound); what must never appear is a crash or an
+          // untyped internal error.
+          EXPECT_TRUE(s.code() == StatusCode::kInvalidArgument ||
+                      s.code() == StatusCode::kNotFound)
+              << "prefix len " << len << " of: " << text << "\n"
+              << s.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ParserHardeningTest, IntegerOverflowIsATypedErrorNotAnException) {
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  for (const char* input :
+       {"instance { object D(99999999999999999999); }",
+        "instance { object D(4294967296); }",
+        "delta { add object D(18446744073709551617); }"}) {
+    Result<Instance> inst = ParseInstance(input, schema.get());
+    Result<InstanceDelta> delta = ParseDelta(input, schema.get());
+    EXPECT_FALSE(inst.ok()) << input;
+    EXPECT_FALSE(delta.ok()) << input;
+  }
+  // Max uint32 itself is representable.
+  EXPECT_TRUE(ParseInstance("instance { object D(4294967295); }",
+                            schema.get())
+                  .ok());
+}
+
+TEST(ParserHardeningTest, DeepNestingDegradesToATypedError) {
+  // 5000 nested unions would overflow the recursive-descent stack without
+  // the depth limit; with it, parsing returns InvalidArgument.
+  std::string text;
+  for (int i = 0; i < 5000; ++i) text += "union(";
+  text += "R, R";
+  for (int i = 0; i < 5000; ++i) text += ")";
+  Result<ExprPtr> r = ParseExpression(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("depth"), std::string::npos);
+}
+
+// -- Delta print/parse round trip --------------------------------------------
+
+TEST(DeltaRoundTripTest, DiffApplyPrintParseAreExact) {
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  Instance before =
+      std::move(ParseInstance(kInstanceText, schema.get())).value();
+  Instance after = before;
+  // A representative mutation: cascade-removing an object, dropping an edge,
+  // adding an object and an edge.
+  ASSERT_TRUE(after.RemoveObject(
+                       ObjectId(schema->FindClass("Ba").value(), 1))
+                  .ok());
+  ASSERT_TRUE(
+      after.AddObject(ObjectId(schema->FindClass("Be").value(), 9)).ok());
+  ASSERT_TRUE(after
+                  .AddEdge(ObjectId(schema->FindClass("D").value(), 2),
+                           schema->FindProperty("l").value(),
+                           ObjectId(schema->FindClass("Be").value(), 9))
+                  .ok());
+
+  const InstanceDelta delta = DiffInstances(before, after);
+  EXPECT_FALSE(delta.empty());
+
+  // Apply reproduces `after` exactly.
+  Instance replay = before;
+  ASSERT_TRUE(ApplyDelta(replay, delta).ok());
+  EXPECT_EQ(replay, after);
+
+  // Text round trip is exact, and the reparsed delta replays identically.
+  const std::string text = DeltaToText(delta, *schema);
+  InstanceDelta round = std::move(ParseDelta(text, schema.get())).value();
+  EXPECT_EQ(round, delta);
+  Instance replay2 = before;
+  ASSERT_TRUE(ApplyDelta(replay2, round).ok());
+  EXPECT_EQ(replay2, after);
+
+  // Identity diff is empty and prints an empty block.
+  EXPECT_TRUE(DiffInstances(after, after).empty());
+}
+
+TEST(DeltaRoundTripTest, DeltaNearMissesAreRejected) {
+  auto schema = std::move(ParseSchema(kDrinkersText)).value();
+  for (const char* input : {
+           "delta { put object D(1); }",       // unknown verb
+           "delta { add D(1); }",              // missing item kind
+           "delta { add object Nope(1); }",    // unknown class
+           "delta { add edge D(1) nope Ba(1); }",  // unknown property
+           "delta { add object D(1) }",        // missing semicolon
+           "delta { add object D(1); } trailing",
+           "instance { object D(1); }",        // wrong block keyword
+       }) {
+    EXPECT_FALSE(ParseDelta(input, schema.get()).ok()) << input;
+  }
+}
+
 }  // namespace
 }  // namespace setrec
