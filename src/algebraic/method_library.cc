@@ -297,8 +297,10 @@ Result<std::vector<Receiver>> ReceiversFromQuery(
   }
   std::vector<Receiver> receivers;
   receivers.reserve(result.size());
-  for (const Tuple& t : result) {
-    receivers.push_back(Receiver::Unchecked(t.values()));
+  // Canonical order: the receiver list is fed to sequential application,
+  // whose result may depend on enumeration order.
+  for (const Tuple* t : result.SortedTuples()) {
+    receivers.push_back(Receiver::Unchecked(t->values()));
   }
   return receivers;
 }

@@ -1,7 +1,9 @@
 #include "algebraic/parallel.h"
 
+#include <algorithm>
 #include <map>
-#include <set>
+#include <utility>
+#include <vector>
 
 #include "core/sequential.h"
 #include "relational/builder.h"
@@ -123,9 +125,101 @@ Result<ExprPtr> ParTransform(const ExprPtr& expr,
   return Transform(expr, context, par_catalog);
 }
 
+namespace {
+
+/// Output of evaluating the par(E) pipelines over one receiver shard: for
+/// each statement, the receiving-object → result-objects map restricted to
+/// the shard's receivers.
+struct ShardResult {
+  Status status = Status::OK();
+  std::vector<std::map<ObjectId, std::vector<ObjectId>>> per_statement;
+};
+
+/// Evaluates every par(E) expression against `base` plus rec = `shard`.
+/// `base` is shared read-only across concurrent shards; the per-shard
+/// Database copy is shallow (relations behind shared storage), so the cost
+/// per shard is O(#relations), not O(instance).
+ShardResult EvalShard(const Database& base, const RelationScheme& rec_scheme,
+                      std::span<const Receiver> shard,
+                      std::span<const ExprPtr> par_exprs, ExecContext& ctx) {
+  ShardResult out;
+  out.status = ctx.CheckPoint("parallel/shard");
+  if (!out.status.ok()) return out;
+
+  Relation rec(rec_scheme);
+  rec.Reserve(shard.size());
+  for (const Receiver& t : shard) {
+    std::vector<ObjectId> values;
+    values.reserve(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      values.push_back(t.object_at(i));
+    }
+    out.status = rec.Insert(Tuple(std::move(values)));
+    if (!out.status.ok()) return out;
+  }
+  Database db = base;
+  db.Put(kRecRelation, std::move(rec));
+
+  Evaluator evaluator(&db, ctx);
+  out.per_statement.reserve(par_exprs.size());
+  for (const ExprPtr& par_expr : par_exprs) {
+    Result<Relation> r = evaluator.Eval(par_expr);
+    if (!r.ok()) {
+      out.status = r.status();
+      return out;
+    }
+    Result<std::size_t> self_idx = r->scheme().IndexOf(kSelfRelation);
+    if (!self_idx.ok()) {
+      out.status = self_idx.status();
+      return out;
+    }
+    if (r->scheme().arity() != 2) {
+      out.status = Status::Internal("par(E) must produce a binary relation");
+      return out;
+    }
+    const std::size_t value_idx = 1 - *self_idx;
+    std::map<ObjectId, std::vector<ObjectId>> targets;
+    for (const Tuple& t : *r) {
+      targets[t.at(*self_idx)].push_back(t.at(value_idx));
+    }
+    out.per_statement.push_back(std::move(targets));
+  }
+  return out;
+}
+
+/// Cuts the canonical receiver enumeration into at most `num_shards`
+/// contiguous [begin, end) ranges of roughly equal size, never separating
+/// receivers that share a receiving object: par(E) decomposes exactly along
+/// `self` slices, and a slice is the full set of rec tuples with that self
+/// value (receivers differing only in arguments interact through the
+/// π_{self,arg_i}(rec) leaves). Canonical order sorts by the full object
+/// vector, so same-self receivers are already adjacent.
+std::vector<std::pair<std::size_t, std::size_t>> ShardBoundaries(
+    std::span<const Receiver> set, std::size_t num_shards) {
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;
+  const std::size_t n = set.size();
+  if (n == 0) return bounds;
+  const std::size_t target =
+      std::max<std::size_t>(1, (n + num_shards - 1) / num_shards);
+  std::size_t begin = 0;
+  while (begin < n) {
+    std::size_t end = std::min(begin + target, n);
+    while (end < n &&
+           set[end].receiving_object() == set[end - 1].receiving_object()) {
+      ++end;
+    }
+    bounds.emplace_back(begin, end);
+    begin = end;
+  }
+  return bounds;
+}
+
+}  // namespace
+
 Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
                                const Instance& instance,
                                std::span<const Receiver> receivers,
+                               const ParallelOptions& options,
                                ExecContext& ctx) {
   const MethodContext& mctx = method.context();
   std::vector<Receiver> set = CanonicalReceiverSet(receivers);
@@ -139,59 +233,90 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
   SETREC_ASSIGN_OR_RETURN(Database db, EncodeInstance(instance));
   SETREC_ASSIGN_OR_RETURN(RelationScheme rec_scheme,
                           RecScheme(mctx.signature));
-  Relation rec(rec_scheme);
-  for (const Receiver& t : set) {
-    std::vector<ObjectId> values;
-    values.reserve(t.size());
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      values.push_back(t.object_at(i));
-    }
-    SETREC_RETURN_IF_ERROR(rec.Insert(Tuple(std::move(values))));
-  }
-  db.Put(kRecRelation, std::move(rec));
 
-  // Evaluate one par(E) per statement, all against the input snapshot.
-  Evaluator evaluator(&db, ctx);
-  struct StatementResult {
-    PropertyId property;
-    std::map<ObjectId, std::vector<ObjectId>> targets_by_receiver;
-  };
-  std::vector<StatementResult> results;
+  // Rewrite one par(E) per statement up front; the expression DAGs are
+  // immutable and shared read-only by all shards.
+  std::vector<ExprPtr> par_exprs;
+  par_exprs.reserve(method.statements().size());
   for (const UpdateStatement& s : method.statements()) {
     SETREC_RETURN_IF_ERROR(ctx.CheckPoint("parallel/statement"));
     SETREC_ASSIGN_OR_RETURN(ExprPtr par_expr, ParTransform(s.expression, mctx));
-    SETREC_ASSIGN_OR_RETURN(Relation r, evaluator.Eval(par_expr));
-    SETREC_ASSIGN_OR_RETURN(std::size_t self_idx,
-                            r.scheme().IndexOf(kSelfRelation));
-    if (r.scheme().arity() != 2) {
-      return Status::Internal("par(E) must produce a binary relation");
-    }
-    const std::size_t value_idx = 1 - self_idx;
-    StatementResult sr;
-    sr.property = s.property;
-    for (const Tuple& t : r) {
-      sr.targets_by_receiver[t.at(self_idx)].push_back(t.at(value_idx));
-    }
-    results.push_back(std::move(sr));
+    par_exprs.push_back(std::move(par_expr));
   }
 
-  Instance out = instance;
-  for (const StatementResult& sr : results) {
-    for (const Receiver& t : set) {
-      const ObjectId o0 = t.receiving_object();
-      SETREC_RETURN_IF_ERROR(out.ClearEdgesFrom(o0, sr.property));
+  const std::size_t requested = std::max<std::size_t>(1, options.num_workers);
+  const std::vector<std::pair<std::size_t, std::size_t>> bounds =
+      ShardBoundaries(set, requested);
+  std::vector<ShardResult> results(bounds.size());
+  if (bounds.size() <= 1) {
+    // Single shard: evaluate on the calling thread under `ctx` directly —
+    // this is exactly the classic sequential-runtime path.
+    if (!bounds.empty()) {
+      results[0] = EvalShard(
+          db, rec_scheme,
+          std::span<const Receiver>(set).subspan(
+              bounds[0].first, bounds[0].second - bounds[0].first),
+          par_exprs, ctx);
     }
+  } else {
+    std::vector<ExecContext> children;
+    children.reserve(bounds.size());
+    for (std::size_t s = 0; s < bounds.size(); ++s) {
+      children.push_back(ctx.Fork());
+    }
+    auto run_shard = [&](std::size_t s) {
+      results[s] = EvalShard(
+          db, rec_scheme,
+          std::span<const Receiver>(set).subspan(
+              bounds[s].first, bounds[s].second - bounds[s].first),
+          par_exprs, children[s]);
+    };
+    if (options.pool != nullptr) {
+      options.pool->ParallelFor(bounds.size(), run_shard);
+    } else {
+      ThreadPool transient(std::min(requested, bounds.size()));
+      transient.ParallelFor(bounds.size(), run_shard);
+    }
+  }
+  // Deterministic error reporting: the first failing shard in shard order
+  // wins (a shared tripped budget makes several shards fail; which ones is
+  // scheduling-dependent, but shard 0's view of it is not).
+  for (const ShardResult& r : results) {
+    SETREC_RETURN_IF_ERROR(r.status);
+  }
+
+  // Merge: shards partition the canonical enumeration contiguously, so
+  // iterating shards in order and receivers within each shard reproduces
+  // the canonical receiver order of the single-threaded path exactly.
+  Instance out = instance;
+  const std::span<const UpdateStatement> statements = method.statements();
+  for (std::size_t i = 0; i < statements.size(); ++i) {
+    const PropertyId property = statements[i].property;
     for (const Receiver& t : set) {
-      const ObjectId o0 = t.receiving_object();
-      auto it = sr.targets_by_receiver.find(o0);
-      if (it == sr.targets_by_receiver.end()) continue;
-      for (ObjectId target : it->second) {
-        SETREC_RETURN_IF_ERROR(ctx.CheckPoint("parallel/edge"));
-        SETREC_RETURN_IF_ERROR(out.AddEdge(o0, sr.property, target));
+      SETREC_RETURN_IF_ERROR(
+          out.ClearEdgesFrom(t.receiving_object(), property));
+    }
+    for (std::size_t s = 0; s < bounds.size(); ++s) {
+      const auto& targets = results[s].per_statement[i];
+      for (std::size_t k = bounds[s].first; k < bounds[s].second; ++k) {
+        const ObjectId o0 = set[k].receiving_object();
+        auto it = targets.find(o0);
+        if (it == targets.end()) continue;
+        for (ObjectId target : it->second) {
+          SETREC_RETURN_IF_ERROR(ctx.CheckPoint("parallel/edge"));
+          SETREC_RETURN_IF_ERROR(out.AddEdge(o0, property, target));
+        }
       }
     }
   }
   return out;
+}
+
+Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
+                               const Instance& instance,
+                               std::span<const Receiver> receivers,
+                               ExecContext& ctx) {
+  return ParallelApply(method, instance, receivers, ParallelOptions{}, ctx);
 }
 
 }  // namespace setrec

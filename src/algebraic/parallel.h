@@ -5,6 +5,7 @@
 
 #include "algebraic/algebraic_method.h"
 #include "core/exec_context.h"
+#include "core/thread_pool.h"
 
 namespace setrec {
 
@@ -33,6 +34,18 @@ Result<Catalog> ParCatalog(const MethodContext& context);
 /// not supported (and never needed — the attribute is reserved).
 Result<ExprPtr> ParTransform(const ExprPtr& expr, const MethodContext& context);
 
+/// Execution options for the multi-core parallel-application runtime.
+struct ParallelOptions {
+  /// Number of receiver shards evaluated concurrently. 1 (the default)
+  /// reproduces the classic path: one rec relation, one par(E) evaluation
+  /// per statement, on the calling thread.
+  std::size_t num_workers = 1;
+  /// Pool to run the shards on (borrowed, not owned). When null and
+  /// num_workers > 1, a transient pool of num_workers threads is spawned
+  /// for the call — attach a long-lived pool to amortize thread startup.
+  ThreadPool* pool = nullptr;
+};
+
 /// Parallel application M_par(I, T) (Definition 6.2): instantiates rec with
 /// the whole receiver set at once, evaluates one par(E) expression per
 /// statement, and replaces, for every receiving object occurring in T, its
@@ -40,6 +53,26 @@ Result<ExprPtr> ParTransform(const ExprPtr& expr, const MethodContext& context);
 /// over `instance`. Duplicate receivers are deduplicated (T is a set).
 /// The par(E) evaluations and the edge-replacement loops run under `ctx`
 /// (row/memory budgets apply to the joins the rewriting introduces).
+///
+/// With options.num_workers > 1, the receiver set is partitioned into
+/// contiguous shards of the canonical enumeration — never splitting
+/// receivers that share a receiving object — and the par(E) pipelines of
+/// the shards are evaluated concurrently, each charging a Fork() of `ctx`
+/// so budgets hold exactly across the fan-out. Every par(E) operator acts
+/// slice-wise on the reserved `self` attribute (leaves restrict rec by
+/// self, products join on self, projections retain self), so a shard
+/// computes exactly the self-slices of its receivers and the merged result
+/// is *identical* to the single-shard evaluation — results are
+/// deterministic and independent of worker count, which the determinism
+/// tests pin down bit-for-bit. Edge replacements are merged in canonical
+/// receiver order on the calling thread.
+Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
+                               const Instance& instance,
+                               std::span<const Receiver> receivers,
+                               const ParallelOptions& options,
+                               ExecContext& ctx = ExecContext::Default());
+
+/// Classic single-threaded entry point (options = 1 worker).
 Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
                                const Instance& instance,
                                std::span<const Receiver> receivers,

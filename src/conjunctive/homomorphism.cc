@@ -20,7 +20,11 @@ Status SearchValuations(
   if (query.trivially_false()) return Status::OK();
 
   std::vector<const Conjunct*> conjuncts;
-  std::vector<const Relation*> relations;
+  // Candidate tuples per conjunct, in canonical (sorted) order: relations
+  // iterate in hash order, but which satisfying valuation is *found first*
+  // must not depend on it — witnesses and counterexamples are reported to
+  // users and asserted by tests.
+  std::vector<std::vector<const Tuple*>> relations;
   std::vector<bool> covered(query.num_vars(), false);
   for (const Conjunct& c : query.conjuncts()) {
     SETREC_ASSIGN_OR_RETURN(const Relation* rel, database.Find(c.relation));
@@ -29,7 +33,7 @@ Status SearchValuations(
                                      c.relation);
     }
     conjuncts.push_back(&c);
-    relations.push_back(rel);
+    relations.push_back(rel->SortedTuples());
     for (VarId v : c.vars) covered[v] = true;
   }
   for (VarId v = 0; v < query.num_vars(); ++v) {
@@ -63,7 +67,8 @@ Status SearchValuations(
       return;
     }
     const Conjunct& c = *conjuncts[i];
-    for (const Tuple& t : *relations[i]) {
+    for (const Tuple* tp : relations[i]) {
+      const Tuple& t = *tp;
       // Try to unify c.vars with t.
       std::vector<std::pair<VarId, ObjectId>> newly_bound;
       bool ok = true;

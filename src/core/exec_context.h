@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
 #include "core/fault_injection.h"
 #include "core/status.h"
@@ -38,6 +39,17 @@ namespace setrec {
 /// between concurrently running computations. The cancellation flag is the
 /// one cross-thread channel: RequestCancel()/BindCancelFlag() are safe to
 /// use from another thread.
+///
+/// For fan-out, Fork() creates *child* contexts that charge the same
+/// budget: the first Fork migrates the parent's counters into shared atomic
+/// storage, and from then on parent and children all account against those
+/// atomics, so a step/row/byte cap is enforced exactly across every thread
+/// of a parallel computation (the thread whose charge crosses the cap is
+/// the one that trips). Cancellation is likewise pooled: RequestCancel on
+/// any member cancels the whole family, which is how one failing shard
+/// aborts its siblings promptly. Fork() itself must be called while no
+/// other thread is charging this context (i.e. before dispatching work);
+/// each child is then single-owner on its thread, like any context.
 class ExecContext {
  public:
   using Clock = std::chrono::steady_clock;
@@ -66,6 +78,26 @@ class ExecContext {
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
 
+  /// Move is supported so forked children can be stored in containers (one
+  /// slot per worker). The moved-from context must not be used again.
+  ExecContext(ExecContext&& other) noexcept
+      : limits_(other.limits_),
+        deadline_(other.deadline_),
+        steps_(other.steps_),
+        rows_(other.rows_),
+        memory_in_use_(other.memory_in_use_),
+        memory_high_water_(other.memory_high_water_),
+        deadline_countdown_(other.deadline_countdown_),
+        cancelled_(other.cancelled_.load(std::memory_order_relaxed)),
+        external_cancel_(other.external_cancel_),
+        injector_(other.injector_),
+        shared_(std::move(other.shared_)) {}
+
+  /// Creates a child context charging the same budget as this one (see the
+  /// class comment). The child shares limits, deadline, fault injector and
+  /// cancellation with its parent; counters become family-global.
+  ExecContext Fork();
+
   /// The shared permissive default, one per thread. Used as the default
   /// argument of every governed API. Do not attach limits or injectors to
   /// it — construct a local context instead.
@@ -88,7 +120,10 @@ class ExecContext {
   /// (periodically) the wall clock. `probe_point` is a stable name for the
   /// call site, used by fault injection and error messages.
   Status CheckPoint(const char* probe_point) {
-    ++steps_;
+    const std::uint64_t steps_now =
+        shared_ != nullptr
+            ? shared_->steps.fetch_add(1, std::memory_order_relaxed) + 1
+            : ++steps_;
     if (injector_ != nullptr) {
       Status injected = injector_->Probe(probe_point);
       if (!injected.ok()) return injected;
@@ -96,7 +131,7 @@ class ExecContext {
     if (cancel_requested()) {
       return Status::Cancelled(std::string("cancelled at ") + probe_point);
     }
-    if (limits_.max_steps != 0 && steps_ > limits_.max_steps) {
+    if (limits_.max_steps != 0 && steps_now > limits_.max_steps) {
       return Status::ResourceExhausted(
           std::string("step budget exhausted at ") + probe_point);
     }
@@ -116,8 +151,11 @@ class ExecContext {
 
   /// Accounts `rows` materialized tuples (also a checkpoint).
   Status ChargeRows(std::uint64_t rows, const char* probe_point) {
-    rows_ += rows;
-    if (limits_.max_rows != 0 && rows_ > limits_.max_rows) {
+    const std::uint64_t rows_now =
+        shared_ != nullptr
+            ? shared_->rows.fetch_add(rows, std::memory_order_relaxed) + rows
+            : (rows_ += rows);
+    if (limits_.max_rows != 0 && rows_now > limits_.max_rows) {
       return Status::ResourceExhausted(
           std::string("row budget exhausted at ") + probe_point);
     }
@@ -127,12 +165,24 @@ class ExecContext {
   /// Accounts `bytes` of cooperative memory and updates the high-water mark
   /// (also a checkpoint).
   Status ChargeMemory(std::uint64_t bytes, const char* probe_point) {
-    memory_in_use_ += bytes;
-    if (memory_in_use_ > memory_high_water_) {
-      memory_high_water_ = memory_in_use_;
+    std::uint64_t in_use;
+    if (shared_ != nullptr) {
+      in_use = shared_->memory_in_use.fetch_add(bytes,
+                                                std::memory_order_relaxed) +
+               bytes;
+      std::uint64_t hw =
+          shared_->memory_high_water.load(std::memory_order_relaxed);
+      while (hw < in_use &&
+             !shared_->memory_high_water.compare_exchange_weak(
+                 hw, in_use, std::memory_order_relaxed)) {
+      }
+    } else {
+      in_use = memory_in_use_ += bytes;
+      if (memory_in_use_ > memory_high_water_) {
+        memory_high_water_ = memory_in_use_;
+      }
     }
-    if (limits_.max_memory_bytes != 0 &&
-        memory_in_use_ > limits_.max_memory_bytes) {
+    if (limits_.max_memory_bytes != 0 && in_use > limits_.max_memory_bytes) {
       return Status::ResourceExhausted(
           std::string("memory high-water cap exceeded at ") + probe_point);
     }
@@ -141,14 +191,30 @@ class ExecContext {
 
   /// Returns previously charged bytes (high-water mark is kept).
   void ReleaseMemory(std::uint64_t bytes) {
+    if (shared_ != nullptr) {
+      std::uint64_t cur =
+          shared_->memory_in_use.load(std::memory_order_relaxed);
+      std::uint64_t next;
+      do {
+        next = bytes > cur ? 0 : cur - bytes;
+      } while (!shared_->memory_in_use.compare_exchange_weak(
+          cur, next, std::memory_order_relaxed));
+      return;
+    }
     memory_in_use_ = bytes > memory_in_use_ ? 0 : memory_in_use_ - bytes;
   }
 
   // -- Cancellation ----------------------------------------------------------
 
   /// Requests cooperative abort; the next CheckPoint returns kCancelled.
-  /// Safe to call from another thread.
-  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  /// Safe to call from another thread. On a forked family, cancels every
+  /// member (parent and all children).
+  void RequestCancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+    if (shared_ != nullptr) {
+      shared_->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
 
   /// Binds an external cancellation flag (e.g. owned by a server's request
   /// dispatcher); the context observes it in addition to RequestCancel().
@@ -156,6 +222,8 @@ class ExecContext {
 
   bool cancel_requested() const {
     return cancelled_.load(std::memory_order_relaxed) ||
+           (shared_ != nullptr &&
+            shared_->cancelled.load(std::memory_order_relaxed)) ||
            (external_cancel_ != nullptr &&
             external_cancel_->load(std::memory_order_relaxed));
   }
@@ -176,12 +244,47 @@ class ExecContext {
     return has_step_budget() || has_deadline() || limits_.max_rows != 0 ||
            limits_.max_memory_bytes != 0;
   }
-  std::uint64_t steps() const { return steps_; }
-  std::uint64_t rows() const { return rows_; }
-  std::uint64_t memory_in_use() const { return memory_in_use_; }
-  std::uint64_t memory_high_water() const { return memory_high_water_; }
+  /// Counters. After Fork() these are family-global (the shared atomics),
+  /// so a parent observes the combined work of all its children.
+  std::uint64_t steps() const {
+    return shared_ != nullptr ? shared_->steps.load(std::memory_order_relaxed)
+                              : steps_;
+  }
+  std::uint64_t rows() const {
+    return shared_ != nullptr ? shared_->rows.load(std::memory_order_relaxed)
+                              : rows_;
+  }
+  std::uint64_t memory_in_use() const {
+    return shared_ != nullptr
+               ? shared_->memory_in_use.load(std::memory_order_relaxed)
+               : memory_in_use_;
+  }
+  std::uint64_t memory_high_water() const {
+    return shared_ != nullptr
+               ? shared_->memory_high_water.load(std::memory_order_relaxed)
+               : memory_high_water_;
+  }
+  /// True once Fork() has been called (counters live in shared storage).
+  bool forked() const { return shared_ != nullptr; }
 
  private:
+  /// Budget state shared by a forked family: every charge lands here, so
+  /// caps hold across all threads of a fan-out combined.
+  struct SharedBudget {
+    std::atomic<std::uint64_t> steps{0};
+    std::atomic<std::uint64_t> rows{0};
+    std::atomic<std::uint64_t> memory_in_use{0};
+    std::atomic<std::uint64_t> memory_high_water{0};
+    std::atomic<bool> cancelled{false};
+  };
+
+  struct ForkTag {};
+  ExecContext(ForkTag, const ExecContext& parent)
+      : limits_(parent.limits_),
+        deadline_(parent.deadline_),
+        external_cancel_(parent.external_cancel_),
+        injector_(parent.injector_),
+        shared_(parent.shared_) {}
   /// The wall clock is read once per this many checkpoints: cheap enough to
   /// keep deadlines responsive, rare enough to keep checkpoints branch-only.
   static constexpr std::uint32_t kDeadlineCheckStride = 64;
@@ -196,6 +299,7 @@ class ExecContext {
   std::atomic<bool> cancelled_{false};
   const std::atomic<bool>* external_cancel_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  std::shared_ptr<SharedBudget> shared_;
 };
 
 }  // namespace setrec

@@ -1,7 +1,9 @@
 #include "relational/evaluator.h"
 
-#include <map>
+#include <algorithm>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 namespace setrec {
 
@@ -53,11 +55,13 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
       }
       Relation out(l.scheme());
       if (expr.op() == Expr::Op::kUnion) {
-        for (const Tuple& t : l) SETREC_RETURN_IF_ERROR(out.Insert(t));
-        for (const Tuple& t : r) SETREC_RETURN_IF_ERROR(out.Insert(t));
+        out.Reserve(l.size() + r.size());
+        for (const Tuple& t : l) out.InsertValidated(t);
+        for (const Tuple& t : r) out.InsertValidated(t);
       } else {
+        out.Reserve(l.size());
         for (const Tuple& t : l) {
-          if (!r.Contains(t)) SETREC_RETURN_IF_ERROR(out.Insert(t));
+          if (!r.Contains(t)) out.InsertValidated(t);
         }
       }
       return out;
@@ -103,7 +107,7 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
           SETREC_RETURN_IF_ERROR(ctx_->ChargeRows(1, "evaluator/product-row"));
           SETREC_RETURN_IF_ERROR(
               ctx_->ChargeMemory(tuple_bytes, "evaluator/product-row"));
-          SETREC_RETURN_IF_ERROR(out.Insert(lt.Concat(rt)));
+          out.InsertValidated(lt.Concat(rt));
         }
       }
       return out;
@@ -132,7 +136,7 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
       Relation out(c.scheme());
       for (const Tuple& t : c) {
         if ((t.at(ia) == t.at(ib)) == want_equal) {
-          SETREC_RETURN_IF_ERROR(out.Insert(t));
+          out.InsertValidated(t);
         }
       }
       return out;
@@ -154,8 +158,9 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
       SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
                               RelationScheme::Make(std::move(attrs)));
       Relation out(std::move(scheme));
+      out.Reserve(c.size());
       for (const Tuple& t : c) {
-        SETREC_RETURN_IF_ERROR(out.Insert(t.Project(indices)));
+        out.InsertValidated(t.Project(indices));
       }
       return out;
     }
@@ -172,7 +177,8 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
       SETREC_ASSIGN_OR_RETURN(RelationScheme scheme,
                               RelationScheme::Make(std::move(attrs)));
       Relation out(std::move(scheme));
-      for (const Tuple& t : c) SETREC_RETURN_IF_ERROR(out.Insert(t));
+      out.Reserve(c.size());
+      for (const Tuple& t : c) out.InsertValidated(t);
       return out;
     }
   }
@@ -252,7 +258,8 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
   };
 
   // Build the hash table on the right side, keyed by the join attributes.
-  std::map<Tuple, std::vector<const Tuple*>> index;
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+  index.reserve(right.size());
   std::vector<std::size_t> right_key;
   right_key.reserve(join_keys.size());
   for (const auto& [l, r] : join_keys) right_key.push_back(r);
@@ -267,15 +274,18 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
 
   const std::uint64_t tuple_bytes =
       static_cast<std::uint64_t>(out_arity(left, right)) * sizeof(ObjectId);
-  Relation out(std::move(scheme));
-  for (const Tuple& lt : left) {
-    if (!passes_local(lt, local_left)) continue;
+
+  // Probes one left tuple against the index, appending matches to `rows`
+  // and charging `ctx`. Shared by the sequential and partitioned paths.
+  auto probe_one = [&](const Tuple& lt, ExecContext& ctx,
+                       std::vector<Tuple>& rows) -> Status {
+    if (!passes_local(lt, local_left)) return Status::OK();
     auto it = index.find(lt.Project(left_key));
-    if (it == index.end()) continue;
+    if (it == index.end()) return Status::OK();
     for (const Tuple* rt : it->second) {
-      SETREC_RETURN_IF_ERROR(ctx_->ChargeRows(1, "evaluator/join-row"));
+      SETREC_RETURN_IF_ERROR(ctx.ChargeRows(1, "evaluator/join-row"));
       SETREC_RETURN_IF_ERROR(
-          ctx_->ChargeMemory(tuple_bytes, "evaluator/join-row"));
+          ctx.ChargeMemory(tuple_bytes, "evaluator/join-row"));
       bool ok = true;
       for (const Resolved& c : cross) {
         const ObjectId va = c.a_left ? lt.at(c.ia) : rt->at(c.ia);
@@ -285,8 +295,62 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
           break;
         }
       }
-      if (ok) SETREC_RETURN_IF_ERROR(out.Insert(lt.Concat(*rt)));
+      if (ok) rows.push_back(lt.Concat(*rt));
     }
+    return Status::OK();
+  };
+
+  Relation out(std::move(scheme));
+  const bool partitioned = pool_ != nullptr && pool_->num_workers() > 1 &&
+                           left.size() >= kParallelProbeThreshold &&
+                           !index.empty();
+  if (!partitioned) {
+    std::vector<Tuple> rows;
+    for (const Tuple& lt : left) {
+      rows.clear();
+      SETREC_RETURN_IF_ERROR(probe_one(lt, *ctx_, rows));
+      for (Tuple& t : rows) out.InsertValidated(std::move(t));
+    }
+    return out;
+  }
+
+  // Partitioned probe: split the probe side into one contiguous slice per
+  // worker, each charging a forked child of ctx_ (budgets stay globally
+  // exact), then merge slice outputs in slice order. The output is a set,
+  // so the merged relation is identical to the sequential probe's.
+  std::vector<const Tuple*> probes;
+  probes.reserve(left.size());
+  for (const Tuple& t : left) probes.push_back(&t);
+  const std::size_t num_parts =
+      std::min(pool_->num_workers(),
+               std::max<std::size_t>(1, probes.size() / 256));
+  const std::size_t per_part = (probes.size() + num_parts - 1) / num_parts;
+  struct Partition {
+    Status status = Status::OK();
+    std::vector<Tuple> rows;
+  };
+  std::vector<Partition> partitions(num_parts);
+  std::vector<ExecContext> children;
+  children.reserve(num_parts);
+  for (std::size_t p = 0; p < num_parts; ++p) children.push_back(ctx_->Fork());
+  pool_->ParallelFor(num_parts, [&](std::size_t p) {
+    Partition& part = partitions[p];
+    ExecContext& cctx = children[p];
+    const std::size_t begin = p * per_part;
+    const std::size_t end = std::min(begin + per_part, probes.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      part.status = probe_one(*probes[i], cctx, part.rows);
+      if (!part.status.ok()) return;
+      // No explicit sibling cancellation: a tripped budget/deadline lives
+      // in the shared state, so sibling partitions fail on their very next
+      // charge anyway, and the parent context stays usable afterwards.
+    }
+  });
+  for (const Partition& part : partitions) {
+    SETREC_RETURN_IF_ERROR(part.status);
+  }
+  for (Partition& part : partitions) {
+    for (Tuple& t : part.rows) out.InsertValidated(std::move(t));
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/exec_context.h"
+#include "core/thread_pool.h"
 #include "relational/expression.h"
 #include "relational/relation.h"
 
@@ -22,9 +23,21 @@ namespace setrec {
 /// instead of exhausting the machine.
 class Evaluator {
  public:
+  /// Joins whose probe side has at least this many tuples are probed in
+  /// parallel when a pool is attached (below it, partitioning overhead
+  /// dominates).
+  static constexpr std::size_t kParallelProbeThreshold = 1024;
+
+  /// `pool`, when given (and sized > 1), parallelizes the probe phase of
+  /// large hash joins: the probe side is partitioned across the workers,
+  /// each partition charges a Fork() of `ctx` (so row/memory budgets stay
+  /// exact globally), and partition outputs are merged in partition order —
+  /// the result is identical to the sequential probe. The pool is borrowed,
+  /// not owned.
   explicit Evaluator(const Database* database,
-                     ExecContext& ctx = ExecContext::Default())
-      : database_(database), ctx_(&ctx) {}
+                     ExecContext& ctx = ExecContext::Default(),
+                     ThreadPool* pool = nullptr)
+      : database_(database), ctx_(&ctx), pool_(pool) {}
 
   /// Evaluates `expr`. Scheme checks are performed on the fly against the
   /// actual relations, so a standalone catalog is not required here.
@@ -48,6 +61,7 @@ class Evaluator {
 
   const Database* database_;
   ExecContext* ctx_;
+  ThreadPool* pool_;
   std::optional<Catalog> catalog_;
   std::unordered_map<const Expr*, Relation> cache_;
 };

@@ -1,5 +1,7 @@
 #include "relational/relation.h"
 
+#include <algorithm>
+
 namespace setrec {
 
 Status Relation::Insert(Tuple tuple) {
@@ -18,8 +20,18 @@ Status Relation::Insert(Tuple tuple) {
   return Status::OK();
 }
 
+std::vector<const Tuple*> Relation::SortedTuples() const {
+  std::vector<const Tuple*> out;
+  out.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) out.push_back(&t);
+  std::sort(out.begin(), out.end(),
+            [](const Tuple* a, const Tuple* b) { return *a < *b; });
+  return out;
+}
+
 void Database::Put(std::string name, Relation relation) {
-  relations_.insert_or_assign(std::move(name), std::move(relation));
+  relations_.insert_or_assign(
+      std::move(name), std::make_shared<const Relation>(std::move(relation)));
 }
 
 bool Database::Has(std::string_view name) const {
@@ -31,7 +43,7 @@ Result<const Relation*> Database::Find(std::string_view name) const {
   if (it == relations_.end()) {
     return Status::NotFound("no relation named " + std::string(name));
   }
-  return &it->second;
+  return it->second.get();
 }
 
 std::vector<std::string> Database::Names() const {
@@ -39,6 +51,18 @@ std::vector<std::string> Database::Names() const {
   out.reserve(relations_.size());
   for (const auto& [name, rel] : relations_) out.push_back(name);
   return out;
+}
+
+bool operator==(const Database& a, const Database& b) {
+  if (a.relations_.size() != b.relations_.size()) return false;
+  auto ita = a.relations_.begin();
+  auto itb = b.relations_.begin();
+  for (; ita != a.relations_.end(); ++ita, ++itb) {
+    if (ita->first != itb->first) return false;
+    if (ita->second == itb->second) continue;  // shared storage
+    if (!(*ita->second == *itb->second)) return false;
+  }
+  return true;
 }
 
 }  // namespace setrec

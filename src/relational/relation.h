@@ -2,9 +2,11 @@
 #define SETREC_RELATIONAL_RELATION_H_
 
 #include <map>
-#include <set>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
+#include <vector>
 
 #include "relational/schema.h"
 #include "relational/tuple.h"
@@ -14,8 +16,16 @@ namespace setrec {
 /// A finite relation: a scheme plus a set of tuples over it. Insertions are
 /// domain-checked (each value's class must equal the attribute's domain), so
 /// a Relation is typed by construction.
+///
+/// Storage is a hash set (O(1) insert/lookup — relations are the hot-path
+/// containers of the evaluator), so iteration order is unspecified.
+/// Equality is content equality regardless of order. Consumers that need a
+/// canonical order (deterministic enumeration, result reporting) go through
+/// SortedTuples().
 class Relation {
  public:
+  using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
   Relation() = default;
   explicit Relation(RelationScheme scheme) : scheme_(std::move(scheme)) {}
 
@@ -25,13 +35,26 @@ class Relation {
   /// are OK no-ops (relations are sets).
   Status Insert(Tuple tuple);
 
+  /// Inserts a tuple whose conformance to the scheme the caller has already
+  /// proven (e.g. the evaluator: operator outputs are built from tuples of
+  /// already-checked operands, so re-checking every domain in the inner
+  /// join/product loops is pure overhead).
+  void InsertValidated(Tuple tuple) { tuples_.insert(std::move(tuple)); }
+
+  /// Pre-sizes the hash table for `n` tuples.
+  void Reserve(std::size_t n) { tuples_.reserve(n); }
+
   bool Contains(const Tuple& tuple) const { return tuples_.contains(tuple); }
   std::size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
 
-  const std::set<Tuple>& tuples() const { return tuples_; }
+  const TupleSet& tuples() const { return tuples_; }
   auto begin() const { return tuples_.begin(); }
   auto end() const { return tuples_.end(); }
+
+  /// Canonical (lexicographic) view of the tuples; the pointers borrow from
+  /// this relation and are invalidated by any insert.
+  std::vector<const Tuple*> SortedTuples() const;
 
   friend bool operator==(const Relation& a, const Relation& b) {
     return a.scheme_ == b.scheme_ && a.tuples_ == b.tuples_;
@@ -39,11 +62,18 @@ class Relation {
 
  private:
   RelationScheme scheme_;
-  std::set<Tuple> tuples_;
+  TupleSet tuples_;
 };
 
 /// A relational database instance: named relations. The object-relational
 /// encoding produces one; update expressions are evaluated against one.
+///
+/// Relations are held behind shared immutable storage, so copying a
+/// Database is O(#relations) regardless of data size — the sharded
+/// parallel-application runtime gives every worker its own Database (base
+/// relations shared read-only, plus that worker's `rec` shard) without
+/// duplicating the encoded instance. Put never mutates a stored relation in
+/// place, which is what makes the sharing thread-safe.
 class Database {
  public:
   /// Installs (or replaces) a relation under `name`.
@@ -55,10 +85,12 @@ class Database {
   /// Names in deterministic (sorted) order.
   std::vector<std::string> Names() const;
 
-  friend bool operator==(const Database&, const Database&) = default;
+  /// Deep content equality (shared storage is an implementation detail).
+  friend bool operator==(const Database& a, const Database& b);
 
  private:
-  std::map<std::string, Relation, std::less<>> relations_;
+  std::map<std::string, std::shared_ptr<const Relation>, std::less<>>
+      relations_;
 };
 
 }  // namespace setrec

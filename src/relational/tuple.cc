@@ -3,7 +3,9 @@
 namespace setrec {
 
 Tuple Tuple::Concat(const Tuple& other) const {
-  std::vector<ObjectId> out = values_;
+  std::vector<ObjectId> out;
+  out.reserve(values_.size() + other.values_.size());
+  out.insert(out.end(), values_.begin(), values_.end());
   out.insert(out.end(), other.values_.begin(), other.values_.end());
   return Tuple(std::move(out));
 }

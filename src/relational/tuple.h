@@ -3,6 +3,7 @@
 
 #include <compare>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <vector>
@@ -36,6 +37,27 @@ class Tuple {
 
  private:
   std::vector<ObjectId> values_;
+};
+
+/// Hash functor for the hashed relational kernels (Relation storage, join
+/// indexes). Each ObjectId is packed into 64 bits, finalized with the
+/// splitmix64 mixer, and folded in with a multiply-xor combine; seeding
+/// with the arity separates the nullary tuple from empty prefixes.
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ t.arity();
+    for (const ObjectId& o : t.values()) {
+      std::uint64_t v =
+          (static_cast<std::uint64_t>(o.class_id()) << 32) | o.index();
+      v ^= v >> 30;
+      v *= 0xbf58476d1ce4e5b9ull;
+      v ^= v >> 27;
+      v *= 0x94d049bb133111ebull;
+      v ^= v >> 31;
+      h = (h ^ v) * 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
 };
 
 }  // namespace setrec
