@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "algebraic/method_library.h"
+#include "bench_obs.h"
 #include "core/combination.h"
 #include "core/instance_generator.h"
 #include "core/sequential.h"
@@ -61,8 +62,8 @@ BENCHMARK(BM_SingleApply)
 void BM_SequenceLength(benchmark::State& state) {
   Workload w = BuildWorkload(64, static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    Result<Instance> out =
-        ApplySequence(*w.add_bar, w.instance, w.receivers);
+    Result<Instance> out = ApplySequence(*w.add_bar, w.instance, w.receivers,
+                                         benchobs::ObsContext());
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -78,7 +79,8 @@ void BM_ExhaustiveOrderTest(benchmark::State& state) {
   // the static procedures matter.
   Workload w = BuildWorkload(8, static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    auto outcome = OrderIndependentOn(*w.add_bar, w.instance, w.receivers);
+    auto outcome = OrderIndependentOn(*w.add_bar, w.instance, w.receivers,
+                                      benchobs::ObsContext());
     benchmark::DoNotOptimize(outcome);
   }
 }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.h"
 #include "conjunctive/chase.h"
 
 namespace setrec {
@@ -40,7 +41,8 @@ void BM_ChaseFdCollapse(benchmark::State& state) {
   q.set_summary({x});
 
   for (auto _ : state) {
-    Result<ConjunctiveQuery> chased = ChaseQuery(q, deps, catalog);
+    Result<ConjunctiveQuery> chased =
+        ChaseQuery(q, deps, catalog, benchobs::ObsContext());
     if (!chased.ok() || chased->num_vars() != 2) {
       state.SkipWithError("fd chase should collapse to two variables");
     }
@@ -72,7 +74,8 @@ void BM_ChaseIndSaturation(benchmark::State& state) {
   q.set_summary({vars[0]});
 
   for (auto _ : state) {
-    Result<ConjunctiveQuery> chased = ChaseQuery(q, deps, catalog);
+    Result<ConjunctiveQuery> chased =
+        ChaseQuery(q, deps, catalog, benchobs::ObsContext());
     if (!chased.ok() ||
         chased->conjuncts().size() != static_cast<std::size_t>(2 * k + 1)) {
       state.SkipWithError("ind chase should add one V atom per variable");
@@ -103,7 +106,8 @@ void BM_ChaseCombined(benchmark::State& state) {
   }
   q.set_summary({x});
   for (auto _ : state) {
-    Result<ConjunctiveQuery> chased = ChaseQuery(q, deps, catalog);
+    Result<ConjunctiveQuery> chased =
+        ChaseQuery(q, deps, catalog, benchobs::ObsContext());
     benchmark::DoNotOptimize(chased);
   }
 }

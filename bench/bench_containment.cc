@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.h"
 #include "conjunctive/containment.h"
 #include "conjunctive/homomorphism.h"
 #include "conjunctive/representative.h"
@@ -123,7 +124,8 @@ void BM_EarlyCounterexample(benchmark::State& state) {
   PositiveQuery q1 = std::move(TranslateToPositiveQuery(q1e, catalog)).value();
   PositiveQuery q2 = std::move(TranslateToPositiveQuery(q2e, catalog)).value();
   for (auto _ : state) {
-    Result<ContainmentResult> r = CheckContainment(q1, q2, none, catalog);
+    Result<ContainmentResult> r = CheckContainment(q1, q2, none, catalog, true,
+                                               benchobs::ObsContext());
     if (!r.ok() || r->contained) state.SkipWithError("expected refutation");
     benchmark::DoNotOptimize(r);
   }

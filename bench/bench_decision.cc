@@ -8,6 +8,7 @@
 
 #include "algebraic/method_library.h"
 #include "algebraic/order_independence.h"
+#include "bench_obs.h"
 #include "conjunctive/containment.h"
 #include "conjunctive/translate.h"
 
@@ -19,7 +20,8 @@ void RunDecision(benchmark::State& state, const SchemaT& schema, MakeFn make,
                  OrderIndependenceKind kind) {
   auto method = std::move(make(schema)).value();
   for (auto _ : state) {
-    Result<bool> verdict = DecideOrderIndependence(*method, kind);
+    Result<bool> verdict =
+        DecideOrderIndependence(*method, kind, benchobs::ObsOptions());
     if (!verdict.ok()) state.SkipWithError("decision failed");
     benchmark::DoNotOptimize(verdict);
   }
@@ -123,10 +125,12 @@ void RunEquivalenceAblation(benchmark::State& state, bool simplify) {
   }
   for (auto _ : state) {
     for (const auto& [q1, q2] : pairs) {
-      Result<ContainmentResult> a = CheckContainment(
-          q1, q2, ctx.reduction_deps, ctx.reduction_catalog, simplify);
-      Result<ContainmentResult> b = CheckContainment(
-          q2, q1, ctx.reduction_deps, ctx.reduction_catalog, simplify);
+      Result<ContainmentResult> a =
+          CheckContainment(q1, q2, ctx.reduction_deps, ctx.reduction_catalog,
+                           simplify, benchobs::ObsContext());
+      Result<ContainmentResult> b =
+          CheckContainment(q2, q1, ctx.reduction_deps, ctx.reduction_catalog,
+                           simplify, benchobs::ObsContext());
       if (!a.ok() || !b.ok() || !a->contained || !b->contained) {
         state.SkipWithError("key-order equivalence expected");
       }

@@ -1,0 +1,164 @@
+#include "bench_obs.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace setrec::benchobs {
+
+namespace {
+
+bool g_disabled = false;
+
+Tracer& TracerStorage() {
+  static Tracer tracer;
+  return tracer;
+}
+
+MetricsRegistry& MetricsStorage() {
+  static MetricsRegistry metrics;
+  return metrics;
+}
+
+}  // namespace
+
+Tracer* ObsTracer() { return g_disabled ? nullptr : &TracerStorage(); }
+
+MetricsRegistry* ObsMetrics() {
+  return g_disabled ? nullptr : &MetricsStorage();
+}
+
+ExecContext& ObsContext() {
+  static ExecContext ctx;
+  ctx.set_tracer(ObsTracer());
+  ctx.set_metrics(ObsMetrics());
+  return ctx;
+}
+
+ExecOptions ObsOptions() {
+  ExecOptions options;
+  options.ctx = &ObsContext();
+  options.tracer = ObsTracer();
+  options.metrics = ObsMetrics();
+  return options;
+}
+
+namespace {
+
+/// Renders the "stages" and "metrics" JSON members from the sinks (empty
+/// objects under --no-obs, keeping the artifact schema uniform).
+std::string RenderObsJson() {
+  std::ostringstream out;
+  out << "  \"stages\": {";
+  if (!g_disabled) {
+    bool first = true;
+    for (const auto& [name, stats] : TracerStorage().StageTotals()) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"" << name << "\": {\"count\": " << stats.count
+          << ", \"total_ns\": " << stats.total_ns << "}";
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "},\n";
+  out << "  \"metrics\": {";
+  if (!g_disabled) {
+    const MetricsRegistry::Snapshot snap = MetricsStorage().TakeSnapshot();
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"" << name << "\": " << value;
+    }
+    for (const auto& [name, h] : snap.histograms) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"" << name << "_count\": " << h.count << ",\n    \""
+          << name << "_sum\": " << h.sum;
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+/// Splices the obs members into the benchmark JSON artifact, before its
+/// closing brace — google benchmark wrote `{"context": ..., "benchmarks":
+/// [...]}`; the result stays one valid top-level object.
+void InjectIntoBenchJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;  // no artifact requested
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string body = buf.str();
+  in.close();
+  const std::size_t brace = body.rfind('}');
+  if (brace == std::string::npos) return;
+  std::string injected = body.substr(0, brace);
+  // Trim trailing whitespace so the comma lands right after the last member.
+  while (!injected.empty() &&
+         (injected.back() == '\n' || injected.back() == ' ' ||
+          injected.back() == '\t' || injected.back() == '\r')) {
+    injected.pop_back();
+  }
+  injected += ",\n";
+  injected += RenderObsJson();
+  injected += "}\n";
+  std::ofstream rewrite(path, std::ios::trunc);
+  rewrite << injected;
+}
+
+void WriteTrace(const std::string& path) {
+  if (g_disabled || path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write trace file '%s'\n", path.c_str());
+    return;
+  }
+  TracerStorage().WriteChromeTrace(out);
+}
+
+}  // namespace
+
+}  // namespace setrec::benchobs
+
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string bench_out;
+  std::vector<char*> keep;
+  keep.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.substr(0, 12) == "--trace-out=") {
+      trace_out = std::string(arg.substr(12));
+      continue;
+    }
+    if (arg == "--no-obs") {
+      setrec::benchobs::g_disabled = true;
+      continue;
+    }
+    if (arg.substr(0, 16) == "--benchmark_out=") {
+      bench_out = std::string(arg.substr(16));
+    }
+    keep.push_back(argv[i]);
+  }
+  keep.push_back(nullptr);
+  int kept_argc = static_cast<int>(keep.size()) - 1;
+  benchmark::Initialize(&kept_argc, keep.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, keep.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  setrec::benchobs::WriteTrace(trace_out);
+  if (!bench_out.empty()) {
+    setrec::benchobs::InjectIntoBenchJson(bench_out);
+  }
+  return 0;
+}

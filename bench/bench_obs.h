@@ -1,0 +1,37 @@
+#ifndef SETREC_BENCH_BENCH_OBS_H_
+#define SETREC_BENCH_BENCH_OBS_H_
+
+#include "core/exec_context.h"
+#include "core/exec_options.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// Shared observability harness for the benchmarks. bench_obs.cc provides
+// main(): it strips the harness flags, runs the google-benchmark suite,
+// then exports what the process-wide sinks collected —
+//
+//   --trace-out=PATH   write a chrome://tracing JSON of every span
+//   --no-obs           detach the sinks (null-sink fast path; used by the
+//                      overhead acceptance check)
+//
+// and post-processes the --benchmark_out file, injecting a "stages" block
+// (per-span-name count/total_ns) and a "metrics" block (engine counters)
+// into the BENCH_*.json artifact, so per-stage timings travel with the
+// numbers they explain.
+
+namespace setrec::benchobs {
+
+/// Process-wide sinks; null when --no-obs was passed.
+Tracer* ObsTracer();
+MetricsRegistry* ObsMetrics();
+
+/// A process-wide permissive ExecContext with the sinks attached (detached
+/// under --no-obs). Pass to any governed entry point to trace it.
+ExecContext& ObsContext();
+
+/// ExecOptions carrying ObsContext() and the sinks.
+ExecOptions ObsOptions();
+
+}  // namespace setrec::benchobs
+
+#endif  // SETREC_BENCH_BENCH_OBS_H_

@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include "algebraic/parallel.h"
+#include "bench_obs.h"
 #include "core/sequential.h"
 #include "core/thread_pool.h"
 #include "sql/table.h"
@@ -61,7 +62,8 @@ Workload BuildWorkload(std::int64_t n_employees) {
 void BM_Sequential(benchmark::State& state) {
   Workload w = BuildWorkload(state.range(0));
   for (auto _ : state) {
-    Result<Instance> out = ApplySequence(*w.method, w.instance, w.receivers);
+    Result<Instance> out = ApplySequence(*w.method, w.instance, w.receivers,
+                                         benchobs::ObsContext());
     if (!out.ok()) state.SkipWithError("sequential application failed");
     benchmark::DoNotOptimize(out);
   }
@@ -72,8 +74,9 @@ void BM_Sequential(benchmark::State& state) {
 void BM_ParallelOneShard(benchmark::State& state) {
   Workload w = BuildWorkload(state.range(0));
   for (auto _ : state) {
-    Result<Instance> out = ParallelApply(*w.method, w.instance, w.receivers,
-                                         ParallelOptions{1, nullptr});
+    Result<Instance> out =
+        ParallelApply(*w.method, w.instance, w.receivers,
+                      ParallelOptions{1, nullptr}, benchobs::ObsContext());
     if (!out.ok()) state.SkipWithError("parallel application failed");
     benchmark::DoNotOptimize(out);
   }
@@ -84,7 +87,10 @@ void BM_ParallelOneShard(benchmark::State& state) {
 void BM_ParallelSharded(benchmark::State& state) {
   Workload w = BuildWorkload(state.range(0));
   ThreadPool pool(ThreadPool::DefaultWorkerCount());
-  const ParallelOptions options{pool.num_workers(), &pool};
+  // The unified ExecOptions entry point — the traced quickstart path.
+  ExecOptions options = benchobs::ObsOptions();
+  options.num_workers = pool.num_workers();
+  options.pool = &pool;
   for (auto _ : state) {
     Result<Instance> out =
         ParallelApply(*w.method, w.instance, w.receivers, options);

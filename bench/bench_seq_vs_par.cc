@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "algebraic/parallel.h"
+#include "bench_obs.h"
 #include "core/sequential.h"
 #include "sql/table.h"
 
@@ -52,7 +53,8 @@ Workload BuildWorkload(std::int64_t n_employees) {
 void BM_SequentialApplication(benchmark::State& state) {
   Workload w = BuildWorkload(state.range(0));
   for (auto _ : state) {
-    Result<Instance> out = ApplySequence(*w.method, w.instance, w.receivers);
+    Result<Instance> out = ApplySequence(*w.method, w.instance, w.receivers,
+                                         benchobs::ObsContext());
     if (!out.ok()) state.SkipWithError("sequential application failed");
     benchmark::DoNotOptimize(out);
   }
@@ -69,7 +71,8 @@ BENCHMARK(BM_SequentialApplication)
 void BM_ParallelApplication(benchmark::State& state) {
   Workload w = BuildWorkload(state.range(0));
   for (auto _ : state) {
-    Result<Instance> out = ParallelApply(*w.method, w.instance, w.receivers);
+    Result<Instance> out = ParallelApply(*w.method, w.instance, w.receivers,
+                                         benchobs::ObsContext());
     if (!out.ok()) state.SkipWithError("parallel application failed");
     benchmark::DoNotOptimize(out);
   }
@@ -92,7 +95,8 @@ void BM_SingletonParity(benchmark::State& state) {
   Instance par = std::move(ParallelApply(*w.method, w.instance, one)).value();
   if (!(seq == par)) state.SkipWithError("Proposition 6.3 violated");
   for (auto _ : state) {
-    Result<Instance> out = ParallelApply(*w.method, w.instance, one);
+    Result<Instance> out =
+        ParallelApply(*w.method, w.instance, one, benchobs::ObsContext());
     benchmark::DoNotOptimize(out);
   }
 }

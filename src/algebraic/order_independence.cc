@@ -168,6 +168,7 @@ Result<bool> DecideOrderIndependence(const AlgebraicUpdateMethod& method,
         "order independence is only decidable for positive methods "
         "(Theorem 5.12 / Corollary 5.7); use SearchOrderDependenceWitness");
   }
+  TraceSpan span = StartSpan(ctx, "decide/order-independence");
   SETREC_ASSIGN_OR_RETURN(std::vector<ReductionExpressions> reductions,
                           BuildOrderIndependenceReduction(method, kind));
   const MethodContext& mctx = method.context();
@@ -210,6 +211,7 @@ Result<DecisionReport> DecideOrderIndependenceDetailed(
         "order independence is only decidable for positive methods "
         "(Theorem 5.12 / Corollary 5.7)");
   }
+  TraceSpan span = StartSpan(ctx, "decide/order-independence");
   SETREC_ASSIGN_OR_RETURN(std::vector<ReductionExpressions> reductions,
                           BuildOrderIndependenceReduction(method, kind));
   const MethodContext& mctx = method.context();
@@ -239,6 +241,27 @@ Result<DecisionReport> DecideOrderIndependenceDetailed(
     report.properties.push_back(detail);
   }
   return report;
+}
+
+Result<bool> DecideOrderIndependence(const AlgebraicUpdateMethod& method,
+                                     OrderIndependenceKind kind,
+                                     const ExecOptions& options) {
+  ExecScope scope(options);
+  return DecideOrderIndependence(method, kind, scope.ctx());
+}
+
+Result<OrderIndependenceVerdict> DecideOrderIndependenceBounded(
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    const ExecOptions& options) {
+  ExecScope scope(options);
+  return DecideOrderIndependenceBounded(method, kind, scope.ctx());
+}
+
+Result<DecisionReport> DecideOrderIndependenceDetailed(
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    const ExecOptions& options) {
+  ExecScope scope(options);
+  return DecideOrderIndependenceDetailed(method, kind, scope.ctx());
 }
 
 bool SatisfiesUpdateIsolationCondition(const AlgebraicUpdateMethod& method) {

@@ -6,6 +6,7 @@
 
 #include "algebraic/algebraic_method.h"
 #include "core/exec_context.h"
+#include "core/exec_options.h"
 #include "core/instance_generator.h"
 #include "core/sequential.h"
 
@@ -51,6 +52,11 @@ Result<bool> DecideOrderIndependence(const AlgebraicUpdateMethod& method,
                                      ExecContext& ctx =
                                          ExecContext::Default());
 
+/// Unified form over ExecOptions (context + observability sinks).
+Result<bool> DecideOrderIndependence(const AlgebraicUpdateMethod& method,
+                                     OrderIndependenceKind kind,
+                                     const ExecOptions& options);
+
 /// Three-valued verdict for the bounded decision procedure. kUnknown means
 /// "not decided within the budget" — it is sound to treat such a method as
 /// potentially order dependent, never as independent.
@@ -64,6 +70,11 @@ enum class OrderIndependenceVerdict { kIndependent, kDependent, kUnknown };
 Result<OrderIndependenceVerdict> DecideOrderIndependenceBounded(
     const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
     ExecContext& ctx = ExecContext::Default());
+
+/// Unified form over ExecOptions (context + observability sinks).
+Result<OrderIndependenceVerdict> DecideOrderIndependenceBounded(
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    const ExecOptions& options);
 
 /// A detailed account of one decision run: per updated property, the union
 /// widths of the two reduction sides before and after disjunct-subsumption
@@ -87,6 +98,11 @@ struct DecisionReport {
 Result<DecisionReport> DecideOrderIndependenceDetailed(
     const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
     ExecContext& ctx = ExecContext::Default());
+
+/// Unified form over ExecOptions (context + observability sinks).
+Result<DecisionReport> DecideOrderIndependenceDetailed(
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    const ExecOptions& options);
 
 /// Proposition 5.8's sufficient syntactic condition for key-order
 /// independence: no update expression of the method accesses any relation Ca

@@ -1,6 +1,7 @@
 #include "algebraic/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <utility>
 #include <vector>
@@ -145,6 +146,8 @@ ShardResult EvalShard(const Database& base, const RelationScheme& rec_scheme,
   ShardResult out;
   out.status = ctx.CheckPoint("parallel/shard");
   if (!out.status.ok()) return out;
+  TraceSpan span = StartSpan(ctx, "parallel/shard");
+  if (ctx.metrics() != nullptr) ctx.metrics()->engine.parallel_shards.Add(1);
 
   Relation rec(rec_scheme);
   rec.Reserve(shard.size());
@@ -222,6 +225,8 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
                                const ParallelOptions& options,
                                ExecContext& ctx) {
   const MethodContext& mctx = method.context();
+  TraceSpan apply_span = StartSpan(ctx, "parallel/apply");
+  MetricsRegistry* metrics = ctx.metrics();
   std::vector<Receiver> set = CanonicalReceiverSet(receivers);
   for (const Receiver& t : set) {
     if (!t.IsValidOver(mctx.signature, instance)) {
@@ -238,10 +243,14 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
   // immutable and shared read-only by all shards.
   std::vector<ExprPtr> par_exprs;
   par_exprs.reserve(method.statements().size());
-  for (const UpdateStatement& s : method.statements()) {
-    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("parallel/statement"));
-    SETREC_ASSIGN_OR_RETURN(ExprPtr par_expr, ParTransform(s.expression, mctx));
-    par_exprs.push_back(std::move(par_expr));
+  {
+    TraceSpan rewrite_span = StartSpan(ctx, "parallel/rewrite");
+    for (const UpdateStatement& s : method.statements()) {
+      SETREC_RETURN_IF_ERROR(ctx.CheckPoint("parallel/statement"));
+      SETREC_ASSIGN_OR_RETURN(ExprPtr par_expr,
+                              ParTransform(s.expression, mctx));
+      par_exprs.push_back(std::move(par_expr));
+    }
   }
 
   const std::size_t requested = std::max<std::size_t>(1, options.num_workers);
@@ -288,6 +297,7 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
   // Merge: shards partition the canonical enumeration contiguously, so
   // iterating shards in order and receivers within each shard reproduces
   // the canonical receiver order of the single-threaded path exactly.
+  TraceSpan merge_span = StartSpan(ctx, "parallel/merge");
   Instance out = instance;
   const std::span<const UpdateStatement> statements = method.statements();
   for (std::size_t i = 0; i < statements.size(); ++i) {
@@ -297,6 +307,7 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
           out.ClearEdgesFrom(t.receiving_object(), property));
     }
     for (std::size_t s = 0; s < bounds.size(); ++s) {
+      const auto merge_start = std::chrono::steady_clock::now();
       const auto& targets = results[s].per_statement[i];
       for (std::size_t k = bounds[s].first; k < bounds[s].second; ++k) {
         const ObjectId o0 = set[k].receiving_object();
@@ -304,12 +315,30 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
         if (it == targets.end()) continue;
         for (ObjectId target : it->second) {
           SETREC_RETURN_IF_ERROR(ctx.CheckPoint("parallel/edge"));
+          if (metrics != nullptr) metrics->engine.apply_edges.Add(1);
           SETREC_RETURN_IF_ERROR(out.AddEdge(o0, property, target));
         }
+      }
+      if (metrics != nullptr) {
+        metrics->engine.shard_merge_ns.Observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - merge_start)
+                .count()));
       }
     }
   }
   return out;
+}
+
+Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
+                               const Instance& instance,
+                               std::span<const Receiver> receivers,
+                               const ExecOptions& options) {
+  ExecScope scope(options);
+  ParallelOptions par;
+  par.num_workers = options.num_workers;
+  par.pool = options.pool;
+  return ParallelApply(method, instance, receivers, par, scope.ctx());
 }
 
 Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,

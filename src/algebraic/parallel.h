@@ -5,6 +5,7 @@
 
 #include "algebraic/algebraic_method.h"
 #include "core/exec_context.h"
+#include "core/exec_options.h"
 #include "core/thread_pool.h"
 
 namespace setrec {
@@ -71,6 +72,15 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
                                std::span<const Receiver> receivers,
                                const ParallelOptions& options,
                                ExecContext& ctx = ExecContext::Default());
+
+/// Unified entry point: ExecOptions carries the governing context, the
+/// observability sinks, and the multi-core knobs (num_workers/pool) in one
+/// struct. Prefer this overload; the ParallelOptions form above is the
+/// compat shim predating ExecOptions.
+Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
+                               const Instance& instance,
+                               std::span<const Receiver> receivers,
+                               const ExecOptions& options);
 
 /// Classic single-threaded entry point (options = 1 worker).
 Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,

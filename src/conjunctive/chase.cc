@@ -62,6 +62,8 @@ Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
                                     const DependencySet& deps,
                                     const Catalog& catalog, ExecContext& ctx) {
   if (query.trivially_false()) return query;
+  TraceSpan span = StartSpan(ctx, "chase/query");
+  MetricsRegistry* metrics = ctx.metrics();
 
   // Pre-resolve attribute positions once.
   std::vector<FdIndices> fd_idx;
@@ -81,6 +83,7 @@ Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
   bool changed = true;
   while (changed && !query.trivially_false()) {
     SETREC_RETURN_IF_ERROR(ctx.CheckPoint("chase/round"));
+    if (metrics != nullptr) metrics->engine.chase_rounds.Add(1);
     changed = false;
 
     // fd rule.
@@ -113,6 +116,7 @@ Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
           // SubstituteVar marks the query ⊥ when a non-equality collapses,
           // which is the chase's contradiction case.
           query.SubstituteVar(drop, keep);
+          if (metrics != nullptr) metrics->engine.chase_fd_merges.Add(1);
           changed = true;
         }
       }
@@ -137,6 +141,7 @@ Result<ConjunctiveQuery> ChaseQuery(ConjunctiveQuery query,
       }
       for (Conjunct& c : to_add) {
         query.AddConjunct(c.relation, std::move(c.vars));
+        if (metrics != nullptr) metrics->engine.chase_ind_additions.Add(1);
         changed = true;
       }
     }

@@ -37,6 +37,10 @@ Result<ContainmentResult> CheckContainment(const PositiveQuery& q1_in,
     return Status::InvalidArgument(
         "containment requires identical result schemes");
   }
+  TraceSpan span = StartSpan(ctx, "containment/check");
+  if (ctx.metrics() != nullptr) {
+    ctx.metrics()->engine.containment_tests.Add(1);
+  }
   const PositiveQuery q1 =
       simplify ? SimplifyPositiveQuery(q1_in, ctx) : q1_in;
   const PositiveQuery q2 =

@@ -53,6 +53,7 @@ Status SearchValuations(
     return true;
   };
 
+  MetricsRegistry* metrics = ctx.metrics();
   bool keep_going = true;
   Status governed = Status::OK();
   std::function<void(std::size_t)> recurse = [&](std::size_t i) {
@@ -69,6 +70,7 @@ Status SearchValuations(
     const Conjunct& c = *conjuncts[i];
     for (const Tuple* tp : relations[i]) {
       const Tuple& t = *tp;
+      if (metrics != nullptr) metrics->engine.hom_candidates.Add(1);
       // Try to unify c.vars with t.
       std::vector<std::pair<VarId, ObjectId>> newly_bound;
       bool ok = true;
@@ -89,7 +91,11 @@ Status SearchValuations(
           newly_bound.emplace_back(v, val);
         }
       }
-      if (ok && neq_ok(binding)) recurse(i + 1);
+      if (ok && neq_ok(binding)) {
+        recurse(i + 1);
+      } else if (metrics != nullptr) {
+        metrics->engine.hom_pruned.Add(1);
+      }
       for (const auto& [v, val] : newly_bound) binding[v] = std::nullopt;
       if (!keep_going) return;
     }
@@ -109,6 +115,7 @@ Result<Relation> EvaluateConjunctiveQuery(const ConjunctiveQuery& query,
   if (scheme.arity() != query.summary().size()) {
     return Status::InvalidArgument("scheme arity does not match summary");
   }
+  TraceSpan span = StartSpan(ctx, "homomorphism/evaluate-cq");
   Status collect_status = Status::OK();
   Status s = SearchValuations(
       query, database,
@@ -138,6 +145,7 @@ Result<bool> TupleInConjunctiveQuery(const ConjunctiveQuery& query,
   if (s.arity() != query.summary().size()) {
     return Status::InvalidArgument("tuple arity does not match summary");
   }
+  TraceSpan span = StartSpan(ctx, "homomorphism/membership");
   std::vector<std::optional<ObjectId>> binding(query.num_vars());
   for (std::size_t i = 0; i < s.arity(); ++i) {
     const VarId v = query.summary()[i];
@@ -187,6 +195,8 @@ Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
   if (from.summary().size() != to.summary().size()) {
     return Status::InvalidArgument("summary arities differ");
   }
+  TraceSpan span = StartSpan(ctx, "homomorphism/search");
+  MetricsRegistry* metrics = ctx.metrics();
   // ψ maps from-vars to to-vars; pin the summary.
   constexpr VarId kUnbound = static_cast<VarId>(-1);
   std::vector<VarId> psi(from.num_vars(), kUnbound);
@@ -224,6 +234,7 @@ Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
           target.vars.size() != c.vars.size()) {
         continue;
       }
+      if (metrics != nullptr) metrics->engine.hom_candidates.Add(1);
       std::vector<VarId> touched;
       bool ok = true;
       for (std::size_t k = 0; k < c.vars.size(); ++k) {
@@ -243,6 +254,7 @@ Result<bool> HasHomomorphism(const ConjunctiveQuery& from,
       }
       if (ok && neq_ok() && recurse(i + 1)) return true;
       if (!governed.ok()) return false;
+      if (metrics != nullptr) metrics->engine.hom_pruned.Add(1);
       for (VarId f : touched) psi[f] = kUnbound;
     }
     return false;

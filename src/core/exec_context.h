@@ -8,6 +8,8 @@
 
 #include "core/fault_injection.h"
 #include "core/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace setrec {
 
@@ -91,6 +93,9 @@ class ExecContext {
         cancelled_(other.cancelled_.load(std::memory_order_relaxed)),
         external_cancel_(other.external_cancel_),
         injector_(other.injector_),
+        tracer_(other.tracer_),
+        metrics_(other.metrics_),
+        trace_parent_(other.trace_parent_),
         shared_(std::move(other.shared_)) {}
 
   /// Creates a child context charging the same budget as this one (see the
@@ -234,6 +239,25 @@ class ExecContext {
   /// detaches). The injector must outlive its use by the context.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // -- Observability ---------------------------------------------------------
+
+  /// Attaches a Tracer / MetricsRegistry (nullptr detaches; both must
+  /// outlive their use). Fork() propagates the attachment, so a fan-out's
+  /// shards report into the same sinks. With nothing attached, every
+  /// instrumentation site in the engine degrades to a null-pointer test —
+  /// the "free when off" contract the benches measure.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Span under which this context's first spans nest when its thread has
+  /// no open span of its own: Fork() captures the forking thread's current
+  /// span here, which is what keeps a shard's spans parented under the
+  /// fan-out's span even though they start on a fresh pool thread.
+  std::uint64_t trace_parent() const { return trace_parent_; }
+  void set_trace_parent(std::uint64_t span_id) { trace_parent_ = span_id; }
+
   // -- Introspection ---------------------------------------------------------
 
   const Limits& limits() const { return limits_; }
@@ -284,6 +308,12 @@ class ExecContext {
         deadline_(parent.deadline_),
         external_cancel_(parent.external_cancel_),
         injector_(parent.injector_),
+        tracer_(parent.tracer_),
+        metrics_(parent.metrics_),
+        trace_parent_(parent.tracer_ != nullptr &&
+                              parent.tracer_->CurrentSpanId() != 0
+                          ? parent.tracer_->CurrentSpanId()
+                          : parent.trace_parent_),
         shared_(parent.shared_) {}
   /// The wall clock is read once per this many checkpoints: cheap enough to
   /// keep deadlines responsive, rare enough to keep checkpoints branch-only.
@@ -299,8 +329,18 @@ class ExecContext {
   std::atomic<bool> cancelled_{false};
   const std::atomic<bool>* external_cancel_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  std::uint64_t trace_parent_ = 0;
   std::shared_ptr<SharedBudget> shared_;
 };
+
+/// Opens a span on the context's tracer (inert when none is attached). The
+/// span nests under the thread's innermost open span, falling back to the
+/// context's trace_parent() — see ExecContext::Fork().
+inline TraceSpan StartSpan(ExecContext& ctx, const char* name) {
+  return TraceSpan(ctx.tracer(), name, ctx.trace_parent());
+}
 
 }  // namespace setrec
 

@@ -1,0 +1,96 @@
+#ifndef SETREC_CORE_EXEC_OPTIONS_H_
+#define SETREC_CORE_EXEC_OPTIONS_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "core/exec_context.h"
+#include "core/status.h"
+
+namespace setrec {
+
+class Instance;
+class ThreadPool;
+
+/// A commit hook for mutating statements: invoked exactly once, after the
+/// statement's in-memory application succeeded, with the pre- and
+/// post-statement states. Returning non-OK *vetoes* the commit — the
+/// statement restores the pre-state snapshot and propagates the hook's
+/// error. This is the durability layer's interposition point (see
+/// store/durable_store.h). An empty hook commits unconditionally.
+using CommitHook =
+    std::function<Status(const Instance& before, const Instance& after)>;
+
+/// The one options struct every governed entry point accepts. It bundles
+/// the parameters that used to accrete one by one on each signature
+/// (ExecContext*, CommitHook, ParallelOptions, and now Tracer* /
+/// MetricsRegistry*), so adding an execution concern never changes an API
+/// again. All fields are optional; a default-constructed ExecOptions means
+/// "permissive, unobserved, single-threaded, commit unconditionally" —
+/// exactly the old default-argument behavior.
+///
+/// Everything here is borrowed, not owned; the referents must outlive the
+/// call.
+struct ExecOptions {
+  /// Governing context. Null = a fresh permissive context per call.
+  ExecContext* ctx = nullptr;
+
+  /// Observability sinks, attached to the governing context for the call's
+  /// duration (Fork() carries them into fan-outs). If `ctx` already has a
+  /// tracer/metrics attached, the context's attachment wins.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  /// Multi-core runtime (honored by the entry points that shard:
+  /// ParallelApply and the evaluator's partitioned join probe). `pool` is
+  /// borrowed; when null and num_workers > 1, a transient pool is spawned.
+  std::size_t num_workers = 1;
+  ThreadPool* pool = nullptr;
+
+  /// Commit interposition for the in-place SQL statements; ignored by
+  /// read-only entry points.
+  CommitHook commit_hook;
+};
+
+/// Resolves ExecOptions to a concrete ExecContext for the duration of one
+/// entry-point call: materializes a fresh permissive context when none was
+/// given, and attaches the options' tracer/metrics to it, detaching on
+/// destruction anything it attached to a *borrowed* context (so a caller's
+/// context is returned exactly as it came).
+class ExecScope {
+ public:
+  explicit ExecScope(const ExecOptions& options) {
+    if (options.ctx != nullptr) {
+      ctx_ = options.ctx;
+    } else {
+      ctx_ = &local_.emplace();
+    }
+    if (options.tracer != nullptr && ctx_->tracer() == nullptr) {
+      ctx_->set_tracer(options.tracer);
+      attached_tracer_ = true;
+    }
+    if (options.metrics != nullptr && ctx_->metrics() == nullptr) {
+      ctx_->set_metrics(options.metrics);
+      attached_metrics_ = true;
+    }
+  }
+  ~ExecScope() {
+    if (attached_tracer_) ctx_->set_tracer(nullptr);
+    if (attached_metrics_) ctx_->set_metrics(nullptr);
+  }
+  ExecScope(const ExecScope&) = delete;
+  ExecScope& operator=(const ExecScope&) = delete;
+
+  ExecContext& ctx() { return *ctx_; }
+
+ private:
+  std::optional<ExecContext> local_;
+  ExecContext* ctx_ = nullptr;
+  bool attached_tracer_ = false;
+  bool attached_metrics_ = false;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_EXEC_OPTIONS_H_

@@ -33,9 +33,12 @@ Result<Instance> ApplySequence(const UpdateMethod& method,
                                const Instance& instance,
                                std::span<const Receiver> sequence,
                                ExecContext& ctx) {
+  TraceSpan span = StartSpan(ctx, "sequential/apply");
+  MetricsRegistry* metrics = ctx.metrics();
   Instance current = instance;
   for (const Receiver& t : sequence) {
     SETREC_RETURN_IF_ERROR(ctx.CheckPoint("sequential/receiver"));
+    if (metrics != nullptr) metrics->engine.sequential_receivers.Add(1);
     if (!t.IsValidOver(method.signature(), current)) {
       return Status::FailedPrecondition(
           "sequence is undefined: receiver not valid over intermediate "
@@ -69,6 +72,7 @@ Result<OrderIndependenceOutcome> OrderIndependentOn(
         "it anyway");
   }
 
+  TraceSpan span = StartSpan(ctx, "sequential/permutation-test");
   OrderIndependenceOutcome outcome;
   std::vector<std::size_t> perm(set.size());
   std::iota(perm.begin(), perm.end(), 0);
@@ -146,6 +150,16 @@ Result<Instance> SequentialApply(const UpdateMethod& method,
     }
   }
   return ApplySequence(method, instance, set, ctx);
+}
+
+Result<Instance> SequentialApply(const UpdateMethod& method,
+                                 const Instance& instance,
+                                 std::span<const Receiver> receivers,
+                                 const ExecOptions& options,
+                                 bool verify_order_independence) {
+  ExecScope scope(options);
+  return SequentialApply(method, instance, receivers,
+                         verify_order_independence, scope.ctx());
 }
 
 }  // namespace setrec

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/exec_context.h"
+#include "core/exec_options.h"
 #include "core/instance.h"
 #include "core/receiver.h"
 #include "core/status.h"
@@ -71,6 +72,13 @@ Result<OrderIndependenceOutcome> PairwiseOrderIndependentOn(
 /// (here: sorted) enumeration of T. When `verify_order_independence` is set,
 /// first runs the exhaustive test and fails with FailedPrecondition if M is
 /// not order independent on (I, T).
+Result<Instance> SequentialApply(const UpdateMethod& method,
+                                 const Instance& instance,
+                                 std::span<const Receiver> receivers,
+                                 const ExecOptions& options,
+                                 bool verify_order_independence = false);
+
+/// Compat shim predating ExecOptions; prefer the overload above.
 Result<Instance> SequentialApply(const UpdateMethod& method,
                                  const Instance& instance,
                                  std::span<const Receiver> receivers,

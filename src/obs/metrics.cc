@@ -1,0 +1,79 @@
+#include "obs/metrics.h"
+
+namespace setrec {
+
+MetricsRegistry::MetricsRegistry() {
+  counters_.emplace("chase.rounds", &engine.chase_rounds);
+  counters_.emplace("chase.fd_merges", &engine.chase_fd_merges);
+  counters_.emplace("chase.ind_additions", &engine.chase_ind_additions);
+  counters_.emplace("homomorphism.candidates", &engine.hom_candidates);
+  counters_.emplace("homomorphism.pruned", &engine.hom_pruned);
+  counters_.emplace("containment.tests", &engine.containment_tests);
+  counters_.emplace("evaluator.rows", &engine.eval_rows);
+  counters_.emplace("evaluator.probe_partitions",
+                    &engine.eval_probe_partitions);
+  counters_.emplace("sequential.receivers", &engine.sequential_receivers);
+  counters_.emplace("parallel.shards", &engine.parallel_shards);
+  counters_.emplace("apply.edges", &engine.apply_edges);
+  counters_.emplace("wal.appends", &engine.wal_appends);
+  counters_.emplace("wal.bytes", &engine.wal_bytes);
+  counters_.emplace("wal.fsyncs", &engine.wal_fsyncs);
+  counters_.emplace("store.commits", &engine.store_commits);
+  counters_.emplace("store.checkpoints", &engine.store_checkpoints);
+  histograms_.emplace("parallel.shard_merge_ns", &engine.shard_merge_ns);
+  histograms_.emplace("store.commit_ns", &engine.commit_ns);
+}
+
+Counter& MetricsRegistry::CounterNamed(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  Counter& c = owned_counters_.emplace_back();
+  counters_.emplace(std::string(name), &c);
+  return c;
+}
+
+Gauge& MetricsRegistry::GaugeNamed(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  Gauge& g = owned_gauges_.emplace_back();
+  gauges_.emplace(std::string(name), &g);
+  return g;
+}
+
+Histogram& MetricsRegistry::HistogramNamed(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  Histogram& h = owned_histograms_.emplace_back();
+  histograms_.emplace(std::string(name), &h);
+  return h;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = HistogramSnapshot{h->count(), h->sum()};
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteText(std::ostream& out) const {
+  const Snapshot snap = TakeSnapshot();
+  for (const auto& [name, v] : snap.counters) {
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << name << "_count " << h.count << "\n"
+        << name << "_sum " << h.sum << "\n";
+  }
+}
+
+}  // namespace setrec

@@ -1,0 +1,147 @@
+#ifndef SETREC_OBS_METRICS_H_
+#define SETREC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace setrec {
+
+/// Monotonic event count. All operations are relaxed atomics: metrics are
+/// statistics, not synchronization.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Power-of-two bucketed histogram of non-negative samples (bucket i counts
+/// samples in [2^(i-1), 2^i), bucket 0 counts zeros and ones). Fixed-size
+/// and lock-free, so Observe is safe from any thread.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void Observe(std::uint64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  static std::size_t BucketOf(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// A registry of named counters/gauges/histograms. The engine's well-known
+/// instruments live as plain members of `engine` — hot loops reach them with
+/// one pointer indirection and no name lookup — and are also registered in
+/// the named map, so snapshots and exports see one uniform namespace.
+/// Dynamically named instruments are created on first use and live for the
+/// registry's lifetime (returned references are stable).
+///
+/// Thread safety: instrument updates are lock-free atomics; name lookup
+/// takes the registry mutex (resolve once, then hold the reference).
+class MetricsRegistry {
+ public:
+  /// The engine's fixed instruments (registered names in parentheses).
+  struct Engine {
+    Counter chase_rounds;          // chase.rounds
+    Counter chase_fd_merges;       // chase.fd_merges
+    Counter chase_ind_additions;   // chase.ind_additions
+    Counter hom_candidates;        // homomorphism.candidates
+    Counter hom_pruned;            // homomorphism.pruned
+    Counter containment_tests;     // containment.tests
+    Counter eval_rows;             // evaluator.rows
+    Counter eval_probe_partitions; // evaluator.probe_partitions
+    Counter sequential_receivers;  // sequential.receivers
+    Counter parallel_shards;       // parallel.shards
+    Counter apply_edges;           // apply.edges
+    Counter wal_appends;           // wal.appends
+    Counter wal_bytes;             // wal.bytes
+    Counter wal_fsyncs;            // wal.fsyncs
+    Counter store_commits;         // store.commits
+    Counter store_checkpoints;     // store.checkpoints
+    Histogram shard_merge_ns;      // parallel.shard_merge_ns
+    Histogram commit_ns;           // store.commit_ns
+  };
+
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Engine engine;
+
+  /// Get-or-create by name; the reference stays valid for the registry's
+  /// lifetime. Looking up a name registered to another instrument kind
+  /// creates a distinct instrument suffixed by kind in snapshots.
+  Counter& CounterNamed(std::string_view name);
+  Gauge& GaugeNamed(std::string_view name);
+  Histogram& HistogramNamed(std::string_view name);
+
+  struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// `name value` lines, sorted by name (histograms as _count/_sum pairs).
+  void WriteText(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter*, std::less<>> counters_;
+  std::map<std::string, Gauge*, std::less<>> gauges_;
+  std::map<std::string, Histogram*, std::less<>> histograms_;
+  // Owned storage for dynamically named instruments (deque: stable refs).
+  std::deque<Counter> owned_counters_;
+  std::deque<Gauge> owned_gauges_;
+  std::deque<Histogram> owned_histograms_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_OBS_METRICS_H_

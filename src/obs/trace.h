@@ -1,0 +1,189 @@
+#ifndef SETREC_OBS_TRACE_H_
+#define SETREC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace setrec {
+
+class Tracer;
+
+/// RAII span guard. A default-constructed or null-tracer span is inert: the
+/// constructor is a single branch and the destructor a branch on a null
+/// pointer, so instrumentation sites cost nothing measurable when no Tracer
+/// is attached (the null-sink fast path the benches rely on).
+///
+/// Span names must be string literals (or otherwise outlive the Tracer);
+/// they are stored by pointer, never copied.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+
+  /// Starts a span on `tracer` (no-op when null). The parent is the
+  /// innermost span currently open on this thread; when the thread has no
+  /// open span — the first span of a forked worker — `parent_hint` is used,
+  /// which is how a fan-out's shard spans attach under the span that forked
+  /// them (see ExecContext::Fork and StartSpan in core/exec_context.h).
+  TraceSpan(Tracer* tracer, const char* name, std::uint64_t parent_hint = 0);
+
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& other) noexcept
+      : tracer_(other.tracer_),
+        name_(other.name_),
+        id_(other.id_),
+        parent_(other.parent_),
+        start_ns_(other.start_ns_) {
+    other.tracer_ = nullptr;
+  }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      name_ = other.name_;
+      id_ = other.id_;
+      parent_ = other.parent_;
+      start_ns_ = other.start_ns_;
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Ends the span now (idempotent; the destructor calls it).
+  void End();
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// One completed span. Times are nanoseconds since the Tracer's epoch
+/// (construction time), so traces from one Tracer are directly comparable.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t id = 0;
+  /// Id of the enclosing span (0 = root). Explicit parentage — not inferred
+  /// from timestamps — is what keeps the span *tree* well defined when a
+  /// fan-out runs children on pool threads.
+  std::uint64_t parent = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Aggregate of all spans sharing a name.
+struct StageStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Collects spans into per-thread buffers (one mutex acquisition per span
+/// end, always uncontended because each buffer is written by exactly one
+/// thread) and merges them at flush time. Raw events are capped per thread
+/// (kMaxEventsPerThread); beyond the cap events are dropped from the raw
+/// list but still folded into the per-stage aggregates, and the drop count
+/// is reported — totals never silently lose time.
+///
+/// Exports: chrome://tracing JSON ("Complete" events; load via
+/// chrome://tracing or ui.perfetto.dev), a text summary per stage, and a
+/// worker-count-invariant tree signature for determinism tests.
+///
+/// Thread safety: spans may begin/end concurrently on any thread. The
+/// flush-side readers (Events, StageTotals, Write*, TreeSignature) take the
+/// same per-buffer locks, so they are safe to call at any time, but a
+/// coherent snapshot requires the traced computation to have joined first.
+class Tracer {
+ public:
+  /// Raw events kept per thread; aggregates are unbounded (tiny).
+  static constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Innermost span currently open on the *calling* thread (0 = none).
+  /// ExecContext::Fork captures this as the parent hint for worker threads.
+  std::uint64_t CurrentSpanId() const;
+
+  /// All completed events, merged across threads, ordered by start time.
+  std::vector<SpanEvent> Events() const;
+
+  /// Per-stage aggregates (keyed by span name), merged across threads.
+  std::map<std::string, StageStats> StageTotals() const;
+
+  /// Canonical string for the span tree with timestamps erased and sibling
+  /// subtrees deduplicated: `name{child;child;...}` with children sorted
+  /// and uniqued. Dedup makes the signature invariant under the *multiplicity*
+  /// of structurally identical siblings, which is exactly the degree of
+  /// freedom sharding introduces — 1 shard span or 8 identical ones yield
+  /// the same signature, so determinism tests can pin the tree across
+  /// worker counts.
+  std::string TreeSignature() const;
+
+  /// chrome://tracing "Complete" events JSON. Span nesting renders per
+  /// thread track; the explicit parent id is carried in args.
+  void WriteChromeTrace(std::ostream& out) const;
+
+  /// Human-readable per-stage table, widest total first.
+  void WriteSummary(std::ostream& out) const;
+
+  /// Events dropped after a thread buffer filled (still aggregated).
+  std::uint64_t dropped_events() const;
+
+  /// Total completed spans (kept + dropped).
+  std::uint64_t total_spans() const;
+
+ private:
+  friend class TraceSpan;
+
+  struct ThreadLog {
+    /// Guards events/aggregates/dropped against a concurrent flush; the
+    /// owning thread is the only writer.
+    mutable std::mutex mu;
+    std::vector<SpanEvent> events;
+    std::map<const char*, StageStats> aggregates;
+    std::uint64_t dropped = 0;
+    /// Open-span stack; touched only by the owning thread, no lock needed.
+    std::vector<std::uint64_t> open;
+    std::uint32_t tid = 0;
+  };
+
+  /// This thread's buffer, registering it on first use. Cached in
+  /// thread-local storage keyed by the tracer's process-unique serial, so
+  /// the steady-state cost is a short linear scan and no lock.
+  ThreadLog* LogForThisThread();
+  const ThreadLog* LogForThisThreadIfAny() const;
+
+  std::uint64_t NowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  const std::uint64_t serial_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;  // guards logs_
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_OBS_TRACE_H_

@@ -101,12 +101,15 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
                               RelationScheme::Make(std::move(attrs)));
       const std::uint64_t tuple_bytes =
           static_cast<std::uint64_t>(out_arity(l, r)) * sizeof(ObjectId);
+      TraceSpan span = StartSpan(*ctx_, "evaluator/product");
+      MetricsRegistry* metrics = ctx_->metrics();
       Relation out(std::move(scheme));
       for (const Tuple& lt : l) {
         for (const Tuple& rt : r) {
           SETREC_RETURN_IF_ERROR(ctx_->ChargeRows(1, "evaluator/product-row"));
           SETREC_RETURN_IF_ERROR(
               ctx_->ChargeMemory(tuple_bytes, "evaluator/product-row"));
+          if (metrics != nullptr) metrics->engine.eval_rows.Add(1);
           out.InsertValidated(lt.Concat(rt));
         }
       }
@@ -186,6 +189,7 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
 }
 
 Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
+  TraceSpan join_span = StartSpan(*ctx_, "evaluator/join");
   // Collect the selection conditions down to the product.
   struct Condition {
     bool equal;
@@ -259,13 +263,16 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
 
   // Build the hash table on the right side, keyed by the join attributes.
   std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
-  index.reserve(right.size());
-  std::vector<std::size_t> right_key;
-  right_key.reserve(join_keys.size());
-  for (const auto& [l, r] : join_keys) right_key.push_back(r);
-  for (const Tuple& t : right) {
-    if (!passes_local(t, local_right)) continue;
-    index[t.Project(right_key)].push_back(&t);
+  {
+    TraceSpan build_span = StartSpan(*ctx_, "evaluator/join-build");
+    index.reserve(right.size());
+    std::vector<std::size_t> right_key;
+    right_key.reserve(join_keys.size());
+    for (const auto& [l, r] : join_keys) right_key.push_back(r);
+    for (const Tuple& t : right) {
+      if (!passes_local(t, local_right)) continue;
+      index[t.Project(right_key)].push_back(&t);
+    }
   }
 
   std::vector<std::size_t> left_key;
@@ -295,12 +302,16 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
           break;
         }
       }
-      if (ok) rows.push_back(lt.Concat(*rt));
+      if (ok) {
+        if (ctx.metrics() != nullptr) ctx.metrics()->engine.eval_rows.Add(1);
+        rows.push_back(lt.Concat(*rt));
+      }
     }
     return Status::OK();
   };
 
   Relation out(std::move(scheme));
+  TraceSpan probe_span = StartSpan(*ctx_, "evaluator/join-probe");
   const bool partitioned = pool_ != nullptr && pool_->num_workers() > 1 &&
                            left.size() >= kParallelProbeThreshold &&
                            !index.empty();
@@ -324,6 +335,9 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
   const std::size_t num_parts =
       std::min(pool_->num_workers(),
                std::max<std::size_t>(1, probes.size() / 256));
+  if (ctx_->metrics() != nullptr) {
+    ctx_->metrics()->engine.eval_probe_partitions.Add(num_parts);
+  }
   const std::size_t per_part = (probes.size() + num_parts - 1) / num_parts;
   struct Partition {
     Status status = Status::OK();
@@ -358,6 +372,12 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
 Result<Relation> Evaluate(const ExprPtr& expr, const Database& database,
                           ExecContext& ctx) {
   Evaluator evaluator(&database, ctx);
+  return evaluator.Eval(expr);
+}
+
+Result<Relation> Evaluate(const ExprPtr& expr, const Database& database,
+                          const ExecOptions& options) {
+  Evaluator evaluator(&database, options);
   return evaluator.Eval(expr);
 }
 

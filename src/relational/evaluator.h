@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/exec_context.h"
+#include "core/exec_options.h"
 #include "core/thread_pool.h"
 #include "relational/expression.h"
 #include "relational/relation.h"
@@ -39,6 +40,16 @@ class Evaluator {
                      ThreadPool* pool = nullptr)
       : database_(database), ctx_(&ctx), pool_(pool) {}
 
+  /// Unified form: resolves ExecOptions (context, observability sinks,
+  /// probe-parallelism pool) for the evaluator's lifetime. The scope is
+  /// held by the evaluator, so a borrowed context is restored when the
+  /// evaluator is destroyed.
+  Evaluator(const Database* database, const ExecOptions& options)
+      : database_(database), scope_(std::in_place, options) {
+    ctx_ = &scope_->ctx();
+    pool_ = options.pool;
+  }
+
   /// Evaluates `expr`. Scheme checks are performed on the fly against the
   /// actual relations, so a standalone catalog is not required here.
   Result<Relation> Eval(const ExprPtr& expr);
@@ -60,8 +71,9 @@ class Evaluator {
   const Catalog& DatabaseCatalog();
 
   const Database* database_;
-  ExecContext* ctx_;
-  ThreadPool* pool_;
+  std::optional<ExecScope> scope_;
+  ExecContext* ctx_ = nullptr;
+  ThreadPool* pool_ = nullptr;
   std::optional<Catalog> catalog_;
   std::unordered_map<const Expr*, Relation> cache_;
 };
@@ -69,6 +81,10 @@ class Evaluator {
 /// One-shot convenience wrapper.
 Result<Relation> Evaluate(const ExprPtr& expr, const Database& database,
                           ExecContext& ctx = ExecContext::Default());
+
+/// One-shot convenience wrapper over ExecOptions.
+Result<Relation> Evaluate(const ExprPtr& expr, const Database& database,
+                          const ExecOptions& options);
 
 }  // namespace setrec
 

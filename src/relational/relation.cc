@@ -17,16 +17,21 @@ Status Relation::Insert(Tuple tuple) {
     }
   }
   tuples_.insert(std::move(tuple));
+  InvalidateSortedCache();
   return Status::OK();
 }
 
 std::vector<const Tuple*> Relation::SortedTuples() const {
-  std::vector<const Tuple*> out;
-  out.reserve(tuples_.size());
-  for (const Tuple& t : tuples_) out.push_back(&t);
-  std::sort(out.begin(), out.end(),
-            [](const Tuple* a, const Tuple* b) { return *a < *b; });
-  return out;
+  std::lock_guard<std::mutex> lock(sorted_mu_);
+  if (!sorted_valid_) {
+    sorted_.clear();
+    sorted_.reserve(tuples_.size());
+    for (const Tuple& t : tuples_) sorted_.push_back(&t);
+    std::sort(sorted_.begin(), sorted_.end(),
+              [](const Tuple* a, const Tuple* b) { return *a < *b; });
+    sorted_valid_ = true;
+  }
+  return sorted_;
 }
 
 void Database::Put(std::string name, Relation relation) {

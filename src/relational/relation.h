@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -29,6 +30,30 @@ class Relation {
   Relation() = default;
   explicit Relation(RelationScheme scheme) : scheme_(std::move(scheme)) {}
 
+  // The sorted-view cache borrows pointers into tuples_, so it must never
+  // travel with a copy (it would point into the *source*'s tuple set) and
+  // is conservatively dropped on move too.
+  Relation(const Relation& other)
+      : scheme_(other.scheme_), tuples_(other.tuples_) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      scheme_ = other.scheme_;
+      tuples_ = other.tuples_;
+      InvalidateSortedCache();
+    }
+    return *this;
+  }
+  Relation(Relation&& other) noexcept
+      : scheme_(std::move(other.scheme_)), tuples_(std::move(other.tuples_)) {}
+  Relation& operator=(Relation&& other) noexcept {
+    if (this != &other) {
+      scheme_ = std::move(other.scheme_);
+      tuples_ = std::move(other.tuples_);
+      InvalidateSortedCache();
+    }
+    return *this;
+  }
+
   const RelationScheme& scheme() const { return scheme_; }
 
   /// Inserts a tuple; fails on arity or domain mismatch. Duplicate inserts
@@ -39,7 +64,10 @@ class Relation {
   /// proven (e.g. the evaluator: operator outputs are built from tuples of
   /// already-checked operands, so re-checking every domain in the inner
   /// join/product loops is pure overhead).
-  void InsertValidated(Tuple tuple) { tuples_.insert(std::move(tuple)); }
+  void InsertValidated(Tuple tuple) {
+    tuples_.insert(std::move(tuple));
+    InvalidateSortedCache();
+  }
 
   /// Pre-sizes the hash table for `n` tuples.
   void Reserve(std::size_t n) { tuples_.reserve(n); }
@@ -53,7 +81,10 @@ class Relation {
   auto end() const { return tuples_.end(); }
 
   /// Canonical (lexicographic) view of the tuples; the pointers borrow from
-  /// this relation and are invalidated by any insert.
+  /// this relation and are invalidated by any insert. The view is memoized:
+  /// the first call after a mutation sorts, later calls copy the cached
+  /// pointer vector. Memoization is thread-safe for concurrent const use
+  /// (the parallel runtime's shards share base relations read-only).
   std::vector<const Tuple*> SortedTuples() const;
 
   friend bool operator==(const Relation& a, const Relation& b) {
@@ -61,8 +92,19 @@ class Relation {
   }
 
  private:
+  void InvalidateSortedCache() {
+    // Mutators run exclusively (they take `this` non-const), so no lock:
+    // a concurrent SortedTuples() call would already be a data race on
+    // tuples_ itself.
+    sorted_valid_ = false;
+    sorted_.clear();
+  }
+
   RelationScheme scheme_;
   TupleSet tuples_;
+  mutable std::mutex sorted_mu_;
+  mutable std::vector<const Tuple*> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 /// A relational database instance: named relations. The object-relational

@@ -11,6 +11,7 @@ Result<Instance> CursorDelete(const Instance& instance, ClassId cls,
                               const RowPredicate& pred,
                               std::span<const ObjectId> order,
                               ExecContext& ctx) {
+  TraceSpan span = StartSpan(ctx, "sql/cursor-delete");
   std::vector<ObjectId> rows(order.begin(), order.end());
   if (rows.empty()) {
     rows.assign(instance.objects(cls).begin(), instance.objects(cls).end());
@@ -36,6 +37,7 @@ Result<Instance> SetOrientedDelete(const Instance& instance, ClassId cls,
 Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
                                 const RowPredicate& pred, ExecContext& ctx,
                                 const CommitHook& commit_hook) {
+  TraceSpan span = StartSpan(ctx, "sql/set-delete");
   // Phase one: identify every doomed row against the input state. No
   // mutation has happened yet, so errors here need no rollback.
   std::vector<ObjectId> doomed;
@@ -123,6 +125,7 @@ Result<Instance> CursorUpdate(const AlgebraicUpdateMethod& method,
                               const Instance& instance,
                               std::span<const Receiver> order,
                               ExecContext& ctx) {
+  TraceSpan span = StartSpan(ctx, "sql/cursor-update");
   return ApplySequence(method, instance, order, ctx);
 }
 
@@ -161,6 +164,7 @@ Result<Instance> SetOrientedUpdate(const Instance& instance,
 Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
                                 const ExprPtr& receiver_query, ExecContext& ctx,
                                 const CommitHook& commit_hook) {
+  TraceSpan span = StartSpan(ctx, "sql/set-update");
   const Schema* schema = &instance.schema();
   SETREC_ASSIGN_OR_RETURN(std::unique_ptr<AlgebraicUpdateMethod> assign,
                           MakeAssignArgMethod(schema, property));
@@ -198,6 +202,22 @@ Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
     return applied;
   }
   return Status::OK();
+}
+
+Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
+                                const RowPredicate& pred,
+                                const ExecOptions& options) {
+  ExecScope scope(options);
+  return SetOrientedDeleteInPlace(instance, cls, pred, scope.ctx(),
+                                  options.commit_hook);
+}
+
+Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
+                                const ExprPtr& receiver_query,
+                                const ExecOptions& options) {
+  ExecScope scope(options);
+  return SetOrientedUpdateInPlace(instance, property, receiver_query,
+                                  scope.ctx(), options.commit_hook);
 }
 
 }  // namespace setrec

@@ -7,6 +7,7 @@
 
 #include "algebraic/method_library.h"
 #include "core/exec_context.h"
+#include "core/exec_options.h"  // CommitHook lives here now
 #include "core/instance.h"
 
 namespace setrec {
@@ -15,17 +16,6 @@ namespace setrec {
 /// instance state (which is what makes cursor semantics order-sensitive).
 using RowPredicate =
     std::function<Result<bool>(const Instance&, ObjectId row)>;
-
-/// A commit hook for the in-place statements: invoked exactly once, after
-/// the statement's in-memory application succeeded, with the pre-statement
-/// and post-statement states. Returning non-OK *vetoes* the commit — the
-/// statement restores the pre-state snapshot and propagates the hook's
-/// error. This is the durability layer's interposition point: the hook
-/// persists the statement's delta to the write-ahead log, and a storage
-/// failure there aborts the statement as if it had never run (store/
-/// durable_store.h). An empty hook commits unconditionally.
-using CommitHook =
-    std::function<Status(const Instance& before, const Instance& after)>;
 
 /// Cursor-based DELETE (Section 7): visits the rows of `cls` in `order`
 /// (default: sorted), re-evaluates `pred` against the evolving instance and
@@ -52,6 +42,12 @@ Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
                                 const RowPredicate& pred,
                                 ExecContext& ctx = ExecContext::Default(),
                                 const CommitHook& commit_hook = {});
+
+/// Unified form: ExecOptions carries the context, the observability sinks,
+/// and the commit hook in one struct. Prefer this overload.
+Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
+                                const RowPredicate& pred,
+                                const ExecOptions& options);
 
 /// Runs CursorDelete under every permutation of the rows (bounded by
 /// `max_rows`!) and reports whether all outcomes agree; when they do not,
@@ -106,6 +102,12 @@ Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
                                 const ExprPtr& receiver_query,
                                 ExecContext& ctx = ExecContext::Default(),
                                 const CommitHook& commit_hook = {});
+
+/// Unified form: ExecOptions carries the context, the observability sinks,
+/// and the commit hook in one struct. Prefer this overload.
+Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
+                                const ExprPtr& receiver_query,
+                                const ExecOptions& options);
 
 }  // namespace setrec
 

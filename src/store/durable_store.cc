@@ -1,6 +1,7 @@
 #include "store/durable_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -69,6 +70,7 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   }
   std::unique_ptr<DurableStore> store(
       new DurableStore(dir, schema, options));
+  TraceSpan recovery_span(options.tracer, "store/recovery");
   RecoveryReport local_report;
   RecoveryReport& rep = report != nullptr ? *report : local_report;
   rep = RecoveryReport{};
@@ -128,6 +130,7 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   SETREC_ASSIGN_OR_RETURN(
       store->wal_, WalWriter::Open(WalPath(dir), writer_valid_bytes,
                                    last_sequence + 1, options.injector));
+  store->wal_.set_metrics(options.metrics);
   return store;
 }
 
@@ -149,12 +152,16 @@ Status DurableStore::CommitLocked(const Statement& statement) {
         wal_.Append(DeltaToText(delta, *schema_)).status());
     return wal_.Sync();
   };
+  TraceSpan commit_span(options_.tracer, "store/commit");
+  const auto commit_start = std::chrono::steady_clock::now();
   RetrySchedule schedule(options_.retry);
   for (;;) {
     ExecContext ctx(options_.limits);
     if (options_.injector != nullptr) {
       ctx.set_fault_injector(options_.injector);
     }
+    ctx.set_tracer(options_.tracer);
+    ctx.set_metrics(options_.metrics);
     Status status = statement(instance_, ctx, hook);
     if (status.ok()) break;
     // A storage fault is a simulated crash: never retried, store poisoned.
@@ -164,6 +171,13 @@ Status DurableStore::CommitLocked(const Statement& statement) {
     if (delay > std::chrono::nanoseconds::zero()) {
       std::this_thread::sleep_for(delay);
     }
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->engine.store_commits.Add(1);
+    options_.metrics->engine.commit_ns.Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - commit_start)
+            .count()));
   }
   ++commits_since_checkpoint_;
   if (options_.snapshot_every_n_commits != 0 &&
@@ -238,16 +252,21 @@ Status DurableStore::CheckpointLocked() {
     return Status::FailedPrecondition(
         "store hit a storage fault; reopen to recover");
   }
+  TraceSpan span(options_.tracer, "store/checkpoint");
   const std::uint64_t sequence = wal_.next_sequence() - 1;
   SETREC_RETURN_IF_ERROR(
       WriteSnapshot(SnapshotPath(dir_, sequence), instance_, sequence));
   commits_since_checkpoint_ = 0;
+  if (options_.metrics != nullptr) {
+    options_.metrics->engine.store_checkpoints.Add(1);
+  }
   if (!options_.truncate_wal_on_checkpoint) return Status::OK();
   // The snapshot now covers every logged record: start a fresh WAL, then
   // prune snapshots made redundant by the new one.
   SETREC_ASSIGN_OR_RETURN(
       wal_, WalWriter::Open(WalPath(dir_), 0, sequence + 1,
                             options_.injector));
+  wal_.set_metrics(options_.metrics);
   const auto snapshots = ListSnapshots(dir_);
   for (std::size_t i = options_.keep_snapshots; i < snapshots.size(); ++i) {
     std::error_code ec;

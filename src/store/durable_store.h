@@ -56,6 +56,13 @@ struct DurableStoreOptions {
   /// Consulted at every exec probe point *and* every WAL append/fsync
   /// (storage faults). Must outlive the store.
   FaultInjector* injector = nullptr;
+  /// Observability sinks (borrowed; must outlive the store). The tracer
+  /// records store/recovery, store/commit and store/checkpoint spans; the
+  /// metrics registry counts commits, checkpoints, WAL appends/bytes/fsyncs
+  /// and commit latencies. Both propagate into the per-attempt ExecContext,
+  /// so engine spans nest under the commit span.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// A crash-consistent wrapper around Instance: every committed SQL-engine

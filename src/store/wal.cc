@@ -155,6 +155,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
   synced_bytes_ = other.synced_bytes_;
   written_bytes_ = other.written_bytes_;
   injector_ = std::exchange(other.injector_, nullptr);
+  metrics_ = std::exchange(other.metrics_, nullptr);
   broken_ = other.broken_;
   return *this;
 }
@@ -242,6 +243,10 @@ Result<std::uint64_t> WalWriter::Append(std::string_view payload) {
                             " bytes persisted");
   }
   written_bytes_ += record.size();
+  if (metrics_ != nullptr) {
+    metrics_->engine.wal_appends.Add(1);
+    metrics_->engine.wal_bytes.Add(record.size());
+  }
   return next_sequence_++;
 }
 
@@ -272,6 +277,7 @@ Status WalWriter::Sync() {
     return IoError("WAL fsync failed", path_);
   }
   synced_bytes_ = written_bytes_;
+  if (metrics_ != nullptr) metrics_->engine.wal_fsyncs.Add(1);
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/fault_injection.h"
 #include "core/status.h"
+#include "obs/metrics.h"
 
 namespace setrec {
 
@@ -96,6 +97,11 @@ class WalWriter {
   /// store must be reopened (recovered) to continue.
   bool broken() const { return broken_; }
 
+  /// Binds a metrics registry (nullptr detaches; must outlive the writer):
+  /// successful appends count into wal.appends/wal.bytes, successful syncs
+  /// into wal.fsyncs.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   void Close();
 
  private:
@@ -107,6 +113,7 @@ class WalWriter {
   std::uint64_t synced_bytes_ = 0;
   std::uint64_t written_bytes_ = 0;
   FaultInjector* injector_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   bool broken_ = false;
 };
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Schema gate for benchmark artifacts.
+
+Every BENCH_<name>.json the bench harness emits must be one valid JSON
+object carrying, besides google-benchmark's own "context"/"benchmarks"
+members, the observability blocks the shared bench main injects:
+
+  "stages"  — per-span-name {"count": N, "total_ns": M} aggregates
+  "metrics" — engine counter name -> value
+
+A sibling TRACE_<name>.json (written by --trace-out) is validated as
+chrome://tracing JSON when present: a "traceEvents" list of complete
+("ph" == "X") events with explicit parent ids in args.
+
+Usage: check_bench_schema.py BENCH_foo.json [BENCH_bar.json ...]
+"""
+
+import json
+import os
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_bench(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"not readable as JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not a JSON object")
+    errors = 0
+    if not isinstance(doc.get("benchmarks"), list) or not doc["benchmarks"]:
+        errors += fail(path, 'missing or empty "benchmarks" list')
+    for key in ("stages", "metrics"):
+        if not isinstance(doc.get(key), dict):
+            errors += fail(path, f'missing "{key}" object')
+    for name, stats in (doc.get("stages") or {}).items():
+        if (not isinstance(stats, dict) or "count" not in stats
+                or "total_ns" not in stats):
+            errors += fail(path, f'stage "{name}" lacks count/total_ns')
+    return errors
+
+
+def check_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"not readable as JSON: {e}")
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        return fail(path, 'no "traceEvents" list')
+    errors = 0
+    for e in events:
+        if e.get("ph") != "X" or "dur" not in e or "ts" not in e:
+            errors += fail(path, f"malformed complete event: {e}")
+            break
+        if "parent" not in e.get("args", {}):
+            errors += fail(path, f"event lacks args.parent: {e}")
+            break
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        errors += check_bench(path)
+        trace = os.path.join(
+            os.path.dirname(path),
+            os.path.basename(path).replace("BENCH_", "TRACE_", 1))
+        if trace != path and os.path.exists(trace):
+            errors += check_trace(trace)
+    if errors:
+        return 1
+    print(f"checked {len(argv) - 1} artifact(s): schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
