@@ -2,6 +2,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/json_escape.h"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -60,7 +62,7 @@ std::string RenderObsJson() {
     for (const auto& [name, stats] : TracerStorage().StageTotals()) {
       if (!first) out << ",";
       first = false;
-      out << "\n    \"" << name << "\": {\"count\": " << stats.count
+      out << "\n    " << JsonQuoted(name) << ": {\"count\": " << stats.count
           << ", \"total_ns\": " << stats.total_ns << "}";
     }
     if (!first) out << "\n  ";
@@ -73,13 +75,13 @@ std::string RenderObsJson() {
     for (const auto& [name, value] : snap.counters) {
       if (!first) out << ",";
       first = false;
-      out << "\n    \"" << name << "\": " << value;
+      out << "\n    " << JsonQuoted(name) << ": " << value;
     }
     for (const auto& [name, h] : snap.histograms) {
       if (!first) out << ",";
       first = false;
-      out << "\n    \"" << name << "_count\": " << h.count << ",\n    \""
-          << name << "_sum\": " << h.sum;
+      out << "\n    " << JsonQuoted(name + "_count") << ": " << h.count
+          << ",\n    " << JsonQuoted(name + "_sum") << ": " << h.sum;
     }
     if (!first) out << "\n  ";
   }

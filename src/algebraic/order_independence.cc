@@ -7,6 +7,7 @@
 #include "conjunctive/translate.h"
 #include "algebraic/method_library.h"
 #include "core/sequential.h"
+#include "obs/json_escape.h"
 #include "relational/builder.h"
 
 namespace setrec {
@@ -262,6 +263,194 @@ Result<DecisionReport> DecideOrderIndependenceDetailed(
     const ExecOptions& options) {
   ExecScope scope(options);
   return DecideOrderIndependenceDetailed(method, kind, scope.ctx());
+}
+
+namespace {
+
+std::string RenderObject(ObjectId o) {
+  return "c" + std::to_string(o.class_id()) + "#" + std::to_string(o.index());
+}
+
+std::string RenderTuple(const Tuple& t) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < t.arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += RenderObject(t.at(i));
+  }
+  return out + ")";
+}
+
+/// Deterministic rendering of a refuting chase result: the witness tuple
+/// the left query produces, and the canonical database it produces it on
+/// (relations and tuples in sorted order).
+std::string RenderCounterexample(const ContainmentResult& result) {
+  std::string out;
+  if (result.counterexample_tuple.has_value()) {
+    out += "witness " + RenderTuple(*result.counterexample_tuple) +
+           " produced by the left query only; canonical database:\n";
+  }
+  if (result.counterexample.has_value()) {
+    for (const std::string& name : result.counterexample->Names()) {
+      Result<const Relation*> rel = result.counterexample->Find(name);
+      if (!rel.ok() || (*rel)->empty()) continue;
+      out += "  " + name + " = {";
+      bool first = true;
+      for (const Tuple* t : (*rel)->SortedTuples()) {
+        if (!first) out += ", ";
+        first = false;
+        out += RenderTuple(*t);
+      }
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DecisionCertificate> DecideOrderIndependenceCertified(
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    const ExecOptions& options) {
+  if (!method.IsPositiveMethod()) {
+    return Status::InvalidArgument(
+        "order independence is only decidable for positive methods "
+        "(Theorem 5.12 / Corollary 5.7)");
+  }
+  // Per-test counter deltas need a registry; fall back to a private one so
+  // certificates are populated even for unobserved callers.
+  MetricsRegistry local_metrics;
+  ExecOptions opts = options;
+  if (opts.metrics == nullptr) opts.metrics = &local_metrics;
+  ExecScope scope(opts);
+  ExecContext& ctx = scope.ctx();
+  MetricsRegistry& metrics = *ctx.metrics();
+
+  TraceSpan span = StartSpan(ctx, "decide/order-independence");
+  SETREC_ASSIGN_OR_RETURN(std::vector<ReductionExpressions> reductions,
+                          BuildOrderIndependenceReduction(method, kind));
+  const MethodContext& mctx = method.context();
+
+  DecisionCertificate certificate;
+  certificate.kind = kind;
+  certificate.method_name = method.name();
+  certificate.order_independent = true;
+  certificate.report.order_independent = true;
+  for (const ReductionExpressions& r : reductions) {
+    SETREC_RETURN_IF_ERROR(ctx.CheckPoint("decision/property"));
+    SETREC_ASSIGN_OR_RETURN(
+        PositiveQuery q1,
+        TranslateToPositiveQuery(r.e_tt, mctx.reduction_catalog));
+    SETREC_ASSIGN_OR_RETURN(
+        PositiveQuery q2,
+        TranslateToPositiveQuery(r.e_ts, mctx.reduction_catalog));
+    DecisionReport::PropertyDetail detail;
+    detail.property = r.property;
+    detail.raw_disjuncts_tt = q1.disjuncts.size();
+    detail.raw_disjuncts_ts = q2.disjuncts.size();
+    PositiveQuery p1 = SimplifyPositiveQuery(std::move(q1), ctx);
+    PositiveQuery p2 = SimplifyPositiveQuery(std::move(q2), ctx);
+    detail.pruned_disjuncts_tt = p1.disjuncts.size();
+    detail.pruned_disjuncts_ts = p2.disjuncts.size();
+    detail.equivalent = true;
+
+    struct Direction {
+      const char* label;
+      const PositiveQuery* from;
+      const PositiveQuery* to;
+    };
+    for (const Direction& d :
+         {Direction{"tt⊆ts", &p1, &p2}, Direction{"ts⊆tt", &p2, &p1}}) {
+      ContainmentCertificate test;
+      test.property = r.property;
+      test.property_name = mctx.schema->property(r.property).name;
+      test.direction = d.label;
+      const std::uint64_t steps0 = ctx.steps();
+      const std::uint64_t tests0 = metrics.engine.containment_tests.value();
+      const std::uint64_t rounds0 = metrics.engine.chase_rounds.value();
+      const std::uint64_t cands0 = metrics.engine.hom_candidates.value();
+      SETREC_ASSIGN_OR_RETURN(
+          ContainmentResult result,
+          CheckContainment(*d.from, *d.to, mctx.reduction_deps,
+                           mctx.reduction_catalog, /*simplify=*/false, ctx));
+      test.steps = ctx.steps() - steps0;
+      test.containment_tests =
+          metrics.engine.containment_tests.value() - tests0;
+      test.chase_rounds = metrics.engine.chase_rounds.value() - rounds0;
+      test.hom_candidates = metrics.engine.hom_candidates.value() - cands0;
+      test.contained = result.contained;
+      if (!result.contained) {
+        test.counterexample = RenderCounterexample(result);
+        detail.equivalent = false;
+      }
+      certificate.tests.push_back(std::move(test));
+    }
+    if (!detail.equivalent) {
+      certificate.order_independent = false;
+      certificate.report.order_independent = false;
+    }
+    certificate.report.properties.push_back(detail);
+  }
+  return certificate;
+}
+
+void WriteCertificateJsonl(const DecisionCertificate& certificate,
+                           std::ostream& out) {
+  out << "{\"type\":\"decision-certificate\",\"method\":"
+      << JsonQuoted(certificate.method_name) << ",\"kind\":"
+      << JsonQuoted(certificate.kind == OrderIndependenceKind::kAbsolute
+                        ? "absolute"
+                        : "key-order")
+      << ",\"order_independent\":"
+      << (certificate.order_independent ? "true" : "false")
+      << ",\"properties\":" << certificate.report.properties.size()
+      << ",\"tests\":" << certificate.tests.size() << "}\n";
+  for (const ContainmentCertificate& t : certificate.tests) {
+    out << "{\"type\":\"containment-test\",\"property\":" << t.property
+        << ",\"property_name\":" << JsonQuoted(t.property_name)
+        << ",\"direction\":" << JsonQuoted(t.direction) << ",\"contained\":"
+        << (t.contained ? "true" : "false") << ",\"steps\":" << t.steps
+        << ",\"containment_tests\":" << t.containment_tests
+        << ",\"chase_rounds\":" << t.chase_rounds << ",\"hom_candidates\":"
+        << t.hom_candidates << ",\"counterexample\":"
+        << JsonQuoted(t.counterexample) << "}\n";
+  }
+}
+
+std::string CertificateToText(const DecisionCertificate& certificate) {
+  std::string out = "decision certificate: " +
+                    (certificate.method_name.empty()
+                         ? std::string("(unnamed method)")
+                         : certificate.method_name) +
+                    ", " +
+                    (certificate.kind == OrderIndependenceKind::kAbsolute
+                         ? "absolute"
+                         : "key-order") +
+                    " order independence\n";
+  out += std::string("verdict: ") +
+         (certificate.order_independent ? "ORDER INDEPENDENT"
+                                        : "NOT ORDER INDEPENDENT") +
+         "\n";
+  for (const DecisionReport::PropertyDetail& p :
+       certificate.report.properties) {
+    out += "property " + std::to_string(p.property) + ": tt " +
+           std::to_string(p.raw_disjuncts_tt) + "→" +
+           std::to_string(p.pruned_disjuncts_tt) + " disjuncts, ts " +
+           std::to_string(p.raw_disjuncts_ts) + "→" +
+           std::to_string(p.pruned_disjuncts_ts) + " disjuncts\n";
+    for (const ContainmentCertificate& t : certificate.tests) {
+      if (t.property != p.property) continue;
+      out += "  " + t.direction + ": " +
+             (t.contained ? "contained" : "REFUTED") +
+             " (steps=" + std::to_string(t.steps) +
+             ", containment_tests=" + std::to_string(t.containment_tests) +
+             ", chase_rounds=" + std::to_string(t.chase_rounds) +
+             ", hom_candidates=" + std::to_string(t.hom_candidates) + ")\n";
+      if (!t.counterexample.empty()) {
+        out += "    " + t.counterexample;
+      }
+    }
+  }
+  return out;
 }
 
 bool SatisfiesUpdateIsolationCondition(const AlgebraicUpdateMethod& method) {

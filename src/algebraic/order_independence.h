@@ -1,7 +1,10 @@
 #ifndef SETREC_ALGEBRAIC_ORDER_INDEPENDENCE_H_
 #define SETREC_ALGEBRAIC_ORDER_INDEPENDENCE_H_
 
+#include <cstdint>
 #include <optional>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "algebraic/algebraic_method.h"
@@ -103,6 +106,60 @@ Result<DecisionReport> DecideOrderIndependenceDetailed(
 Result<DecisionReport> DecideOrderIndependenceDetailed(
     const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
     const ExecOptions& options);
+
+/// Provenance of one containment test the decision procedure attempted: the
+/// direction, the verdict, the budget it spent (context steps plus the
+/// logical engine counters the chase/homomorphism machinery charged), and —
+/// when containment fails — the refuting canonical database and witness
+/// tuple, rendered deterministically.
+struct ContainmentCertificate {
+  PropertyId property = 0;
+  std::string property_name;
+  std::string direction;  // "tt⊆ts" or "ts⊆tt"
+  bool contained = false;
+  /// ExecContext steps charged by this test alone (delta).
+  std::uint64_t steps = 0;
+  /// Logical counter deltas for this test alone.
+  std::uint64_t containment_tests = 0;
+  std::uint64_t chase_rounds = 0;
+  std::uint64_t hom_candidates = 0;
+  /// Rendered refutation (empty when contained): the canonical database on
+  /// which the left query produces the witness tuple but the right query
+  /// does not.
+  std::string counterexample;
+};
+
+/// A decision run with its full audit trail: the Detailed report's disjunct
+/// statistics plus one ContainmentCertificate per containment direction
+/// attempted. Every test is recorded — including the ones after a failure —
+/// so a "not order independent" verdict always names the refuted direction
+/// and its counterexample.
+struct DecisionCertificate {
+  bool order_independent = false;
+  OrderIndependenceKind kind = OrderIndependenceKind::kAbsolute;
+  std::string method_name;
+  DecisionReport report;
+  std::vector<ContainmentCertificate> tests;
+};
+
+/// Like DecideOrderIndependenceDetailed, but runs the two containment
+/// directions of every property separately and records a certificate for
+/// each. When the effective context has no metrics registry, a private one
+/// captures the per-test counter deltas, so certificates are always
+/// populated.
+Result<DecisionCertificate> DecideOrderIndependenceCertified(
+    const AlgebraicUpdateMethod& method, OrderIndependenceKind kind,
+    const ExecOptions& options = {});
+
+/// Machine-readable JSONL: one header object (verdict, method, kind), then
+/// one object per containment test. Strings are escaped per
+/// obs/json_escape.h; the output is deterministic for a deterministic run
+/// except for nothing — no timestamps are recorded.
+void WriteCertificateJsonl(const DecisionCertificate& certificate,
+                           std::ostream& out);
+
+/// Human-readable rendering of the same record.
+std::string CertificateToText(const DecisionCertificate& certificate);
 
 /// Proposition 5.8's sufficient syntactic condition for key-order
 /// independence: no update expression of the method accesses any relation Ca

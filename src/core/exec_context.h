@@ -9,6 +9,7 @@
 #include "core/fault_injection.h"
 #include "core/status.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace setrec {
@@ -95,6 +96,7 @@ class ExecContext {
         injector_(other.injector_),
         tracer_(other.tracer_),
         metrics_(other.metrics_),
+        recorder_(other.recorder_),
         trace_parent_(other.trace_parent_),
         shared_(std::move(other.shared_)) {}
 
@@ -131,21 +133,27 @@ class ExecContext {
             : ++steps_;
     if (injector_ != nullptr) {
       Status injected = injector_->Probe(probe_point);
-      if (!injected.ok()) return injected;
+      if (!injected.ok()) return RecordFailure(probe_point, injected);
     }
     if (cancel_requested()) {
-      return Status::Cancelled(std::string("cancelled at ") + probe_point);
+      return RecordFailure(
+          probe_point,
+          Status::Cancelled(std::string("cancelled at ") + probe_point));
     }
     if (limits_.max_steps != 0 && steps_now > limits_.max_steps) {
-      return Status::ResourceExhausted(
-          std::string("step budget exhausted at ") + probe_point);
+      return RecordFailure(
+          probe_point,
+          Status::ResourceExhausted(std::string("step budget exhausted at ") +
+                                    probe_point));
     }
     if (deadline_ != Clock::time_point::max()) {
       if (deadline_countdown_ == 0) {
         deadline_countdown_ = kDeadlineCheckStride;
         if (Clock::now() >= deadline_) {
-          return Status::DeadlineExceeded(
-              std::string("deadline exceeded at ") + probe_point);
+          return RecordFailure(
+              probe_point,
+              Status::DeadlineExceeded(std::string("deadline exceeded at ") +
+                                       probe_point));
         }
       } else {
         --deadline_countdown_;
@@ -161,8 +169,10 @@ class ExecContext {
             ? shared_->rows.fetch_add(rows, std::memory_order_relaxed) + rows
             : (rows_ += rows);
     if (limits_.max_rows != 0 && rows_now > limits_.max_rows) {
-      return Status::ResourceExhausted(
-          std::string("row budget exhausted at ") + probe_point);
+      return RecordFailure(
+          probe_point,
+          Status::ResourceExhausted(std::string("row budget exhausted at ") +
+                                    probe_point));
     }
     return CheckPoint(probe_point);
   }
@@ -188,8 +198,11 @@ class ExecContext {
       }
     }
     if (limits_.max_memory_bytes != 0 && in_use > limits_.max_memory_bytes) {
-      return Status::ResourceExhausted(
-          std::string("memory high-water cap exceeded at ") + probe_point);
+      return RecordFailure(
+          probe_point,
+          Status::ResourceExhausted(
+              std::string("memory high-water cap exceeded at ") +
+              probe_point));
     }
     return CheckPoint(probe_point);
   }
@@ -251,6 +264,15 @@ class ExecContext {
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
   MetricsRegistry* metrics() const { return metrics_; }
 
+  /// The flight recorder receiving this context's span/status breadcrumbs.
+  /// Unlike the opt-in tracer/metrics sinks, the recorder is *always on*:
+  /// every context records into FlightRecorder::Global() unless pointed at a
+  /// private recorder (tests) or detached with nullptr. Recording is
+  /// span-grained and failure-grained — never per tuple — so the cost is a
+  /// ring-buffer write per stage, not per row.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+  FlightRecorder* recorder() const { return recorder_; }
+
   /// Span under which this context's first spans nest when its thread has
   /// no open span of its own: Fork() captures the forking thread's current
   /// span here, which is what keeps a shard's spans parented under the
@@ -310,6 +332,7 @@ class ExecContext {
         injector_(parent.injector_),
         tracer_(parent.tracer_),
         metrics_(parent.metrics_),
+        recorder_(parent.recorder_),
         trace_parent_(parent.tracer_ != nullptr &&
                               parent.tracer_->CurrentSpanId() != 0
                           ? parent.tracer_->CurrentSpanId()
@@ -318,6 +341,17 @@ class ExecContext {
   /// The wall clock is read once per this many checkpoints: cheap enough to
   /// keep deadlines responsive, rare enough to keep checkpoints branch-only.
   static constexpr std::uint32_t kDeadlineCheckStride = 64;
+
+  /// Leaves a breadcrumb for a non-OK checkpoint outcome in the flight
+  /// recorder (failure paths only — the OK hot path never reaches here).
+  Status RecordFailure(const char* probe_point, Status status) {
+    if (recorder_ != nullptr) {
+      recorder_->Record(FlightRecorder::EventKind::kStatus, probe_point,
+                        static_cast<std::uint64_t>(status.code()), 0,
+                        status.message());
+    }
+    return status;
+  }
 
   Limits limits_;
   Clock::time_point deadline_ = Clock::time_point::max();
@@ -331,14 +365,21 @@ class ExecContext {
   FaultInjector* injector_ = nullptr;
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  FlightRecorder* recorder_ = &FlightRecorder::Global();
   std::uint64_t trace_parent_ = 0;
   std::shared_ptr<SharedBudget> shared_;
 };
 
 /// Opens a span on the context's tracer (inert when none is attached). The
 /// span nests under the thread's innermost open span, falling back to the
-/// context's trace_parent() — see ExecContext::Fork().
+/// context's trace_parent() — see ExecContext::Fork(). Every span start also
+/// drops a breadcrumb into the context's flight recorder, so a post-mortem
+/// dump shows which stages ran last even when no tracer was attached.
 inline TraceSpan StartSpan(ExecContext& ctx, const char* name) {
+  if (ctx.recorder() != nullptr) {
+    ctx.recorder()->Record(FlightRecorder::EventKind::kSpan, name,
+                           ctx.trace_parent());
+  }
   return TraceSpan(ctx.tracer(), name, ctx.trace_parent());
 }
 

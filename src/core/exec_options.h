@@ -42,6 +42,14 @@ struct ExecOptions {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
 
+  /// Flight recorder for the call's duration. Contexts are born recording
+  /// into FlightRecorder::Global() (the recorder is always on), so unlike
+  /// tracer/metrics this field *overrides* the context's recorder when set —
+  /// point it at a private recorder to isolate a run's breadcrumbs, and the
+  /// scope restores the previous recorder on exit. Null = keep the
+  /// context's current recorder.
+  FlightRecorder* recorder = nullptr;
+
   /// Multi-core runtime (honored by the entry points that shard:
   /// ParallelApply and the evaluator's partitioned join probe). `pool` is
   /// borrowed; when null and num_workers > 1, a transient pool is spawned.
@@ -74,10 +82,16 @@ class ExecScope {
       ctx_->set_metrics(options.metrics);
       attached_metrics_ = true;
     }
+    if (options.recorder != nullptr) {
+      previous_recorder_ = ctx_->recorder();
+      ctx_->set_recorder(options.recorder);
+      swapped_recorder_ = true;
+    }
   }
   ~ExecScope() {
     if (attached_tracer_) ctx_->set_tracer(nullptr);
     if (attached_metrics_) ctx_->set_metrics(nullptr);
+    if (swapped_recorder_) ctx_->set_recorder(previous_recorder_);
   }
   ExecScope(const ExecScope&) = delete;
   ExecScope& operator=(const ExecScope&) = delete;
@@ -87,8 +101,10 @@ class ExecScope {
  private:
   std::optional<ExecContext> local_;
   ExecContext* ctx_ = nullptr;
+  FlightRecorder* previous_recorder_ = nullptr;
   bool attached_tracer_ = false;
   bool attached_metrics_ = false;
+  bool swapped_recorder_ = false;
 };
 
 }  // namespace setrec

@@ -1,0 +1,69 @@
+#ifndef SETREC_OBS_JSON_ESCAPE_H_
+#define SETREC_OBS_JSON_ESCAPE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace setrec {
+
+/// Writes `s` escaped for use inside a JSON string literal (RFC 8259):
+/// quote, backslash, the short escapes \b \f \n \r \t, and \u00XX for every
+/// other control character below 0x20. Bytes ≥ 0x80 pass through untouched
+/// (the writers emit UTF-8, and JSON strings carry raw UTF-8 fine).
+///
+/// Every JSON writer in the tree (chrome-trace exporter, flight-recorder
+/// dumps, decision certificates, bench artifacts) must go through this one
+/// function — hand-rolled escaping is how span names with control characters
+/// used to produce unparseable traces.
+inline void JsonEscape(std::ostream& out, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\b':
+        out << "\\b";
+        break;
+      case '\f':
+        out << "\\f";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          out << "\\u00" << kHex[(u >> 4) & 0xf] << kHex[u & 0xf];
+        } else {
+          out << c;
+        }
+      }
+    }
+  }
+}
+
+/// `s` escaped and wrapped in double quotes, as a string.
+inline std::string JsonQuoted(std::string_view s) {
+  std::ostringstream out;
+  out << '"';
+  JsonEscape(out, s);
+  out << '"';
+  return out.str();
+}
+
+}  // namespace setrec
+
+#endif  // SETREC_OBS_JSON_ESCAPE_H_

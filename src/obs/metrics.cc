@@ -10,6 +10,9 @@ MetricsRegistry::MetricsRegistry() {
   counters_.emplace("homomorphism.pruned", &engine.hom_pruned);
   counters_.emplace("containment.tests", &engine.containment_tests);
   counters_.emplace("evaluator.rows", &engine.eval_rows);
+  counters_.emplace("evaluator.join_probes", &engine.eval_join_probes);
+  counters_.emplace("evaluator.join_build_rows",
+                    &engine.eval_join_build_rows);
   counters_.emplace("evaluator.probe_partitions",
                     &engine.eval_probe_partitions);
   counters_.emplace("sequential.receivers", &engine.sequential_receivers);
@@ -60,6 +63,41 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
     out.histograms[name] = HistogramSnapshot{h->count(), h->sum()};
   }
   return out;
+}
+
+namespace {
+
+/// `setrec_` + name with every byte outside [a-zA-Z0-9_] replaced by '_'
+/// (Prometheus metric-name charset; the engine's '.'-separated names map
+/// onto it deterministically).
+std::string PrometheusName(const std::string& name) {
+  std::string out = "setrec_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  const Snapshot snap = TakeSnapshot();
+  for (const auto& [name, v] : snap.counters) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " summary\n"
+        << p << "_count " << h.count << "\n"
+        << p << "_sum " << h.sum << "\n";
+  }
 }
 
 void MetricsRegistry::WriteText(std::ostream& out) const {

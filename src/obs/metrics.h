@@ -91,6 +91,8 @@ class MetricsRegistry {
     Counter hom_pruned;            // homomorphism.pruned
     Counter containment_tests;     // containment.tests
     Counter eval_rows;             // evaluator.rows
+    Counter eval_join_probes;      // evaluator.join_probes
+    Counter eval_join_build_rows;  // evaluator.join_build_rows
     Counter eval_probe_partitions; // evaluator.probe_partitions
     Counter sequential_receivers;  // sequential.receivers
     Counter parallel_shards;       // parallel.shards
@@ -130,6 +132,14 @@ class MetricsRegistry {
 
   /// `name value` lines, sorted by name (histograms as _count/_sum pairs).
   void WriteText(std::ostream& out) const;
+
+  /// Prometheus text exposition (version 0.0.4): every instrument name is
+  /// prefixed `setrec_` and sanitized ('.' and other non-[a-zA-Z0-9_] bytes
+  /// become '_'), counters get `# TYPE ... counter`, gauges `gauge`, and
+  /// histograms are exposed as summaries (`_count`/`_sum` pairs without
+  /// quantile lines — the pow2 buckets are an internal detail). The format
+  /// is pinned by a unit test; scrape endpoints may serve it verbatim.
+  void WritePrometheus(std::ostream& out) const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,197 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/json_escape.h"
+
+namespace setrec {
+
+namespace {
+
+/// Process-unique recorder serials; never reused, so a stale thread-local
+/// cache entry for a destroyed recorder can never match a live one (same
+/// scheme as the Tracer's thread-log cache).
+std::atomic<std::uint64_t> g_next_recorder_serial{1};
+
+struct TlsEntry {
+  std::uint64_t serial;
+  void* ring;
+};
+thread_local std::vector<TlsEntry> t_recorder_rings;
+
+std::atomic<std::uint32_t> g_next_tid{1};
+std::uint32_t ThisThreadId() {
+  thread_local std::uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* KindName(FlightRecorder::EventKind kind) {
+  switch (kind) {
+    case FlightRecorder::EventKind::kSpan:
+      return "span";
+    case FlightRecorder::EventKind::kMetric:
+      return "metric";
+    case FlightRecorder::EventKind::kStatus:
+      return "status";
+    case FlightRecorder::EventKind::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+/// FNV-1a, the redaction fingerprint: deterministic, so two events with the
+/// same (hidden) detail are still recognizably equal in a redacted dump.
+std::uint64_t Fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder()
+    : serial_(g_next_recorder_serial.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(NowNs()) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
+  for (const TlsEntry& entry : t_recorder_rings) {
+    if (entry.serial == serial_) return static_cast<Ring*>(entry.ring);
+  }
+  auto ring = std::make_unique<Ring>();
+  ring->slots.resize(kEventsPerThread);  // the one allocation, at registration
+  ring->tid = ThisThreadId();
+  Ring* raw = ring.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::move(ring));
+  }
+  t_recorder_rings.push_back(TlsEntry{serial_, raw});
+  return raw;
+}
+
+void FlightRecorder::Record(EventKind kind, const char* name, std::uint64_t a,
+                            std::uint64_t b, std::string_view detail) {
+  Ring* ring = RingForThisThread();
+  Event event;
+  event.kind = kind;
+  event.name = name;
+  event.a = a;
+  event.b = b;
+  event.tid = ring->tid;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.ts_ns = NowNs() - epoch_ns_;
+  const std::size_t n = std::min(detail.size(), kDetailBytes - 1);
+  if (n > 0) std::memcpy(event.detail.data(), detail.data(), n);
+  event.detail[n] = '\0';
+
+  std::lock_guard<std::mutex> lock(ring->mu);
+  ring->slots[ring->count % kEventsPerThread] = event;
+  ++ring->count;
+}
+
+void FlightRecorder::Dump(std::ostream& out,
+                          const DumpOptions& options) const {
+  // Snapshot every ring (each under its own lock, briefly), then merge by
+  // the global sequence stamp.
+  std::vector<Event> events;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      total += ring->count;
+      const std::uint64_t kept =
+          std::min<std::uint64_t>(ring->count, kEventsPerThread);
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        events.push_back(ring->slots[(ring->count - kept + i) %
+                                     kEventsPerThread]);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+
+  out << "{\"type\":\"flight\",\"reason\":\"";
+  JsonEscape(out, options.reason);
+  out << "\",\"events\":" << events.size()
+      << ",\"overwritten\":" << total - events.size()
+      << ",\"redacted\":" << (options.redact_details ? "true" : "false")
+      << "}\n";
+  for (const Event& e : events) {
+    out << "{\"seq\":" << e.seq << ",\"ts_ns\":" << e.ts_ns
+        << ",\"tid\":" << e.tid << ",\"kind\":\"" << KindName(e.kind)
+        << "\",\"name\":\"";
+    JsonEscape(out, e.name != nullptr ? e.name : "");
+    out << "\",\"a\":" << e.a << ",\"b\":" << e.b;
+    const std::string_view detail(e.detail.data());
+    if (!detail.empty()) {
+      if (options.redact_details) {
+        char fingerprint[32];
+        std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
+                      static_cast<unsigned long long>(Fnv1a(detail)));
+        out << ",\"detail_hash\":\"" << fingerprint
+            << "\",\"detail_len\":" << detail.size();
+      } else {
+        out << ",\"detail\":\"";
+        JsonEscape(out, detail);
+        out << "\"";
+      }
+    }
+    out << "}\n";
+  }
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path,
+                                const DumpOptions& options) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  Dump(out, options);
+  out.flush();
+  return out.good();
+}
+
+std::uint64_t FlightRecorder::total_events() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->count;
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::overwritten_events() const {
+  std::uint64_t overwritten = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->count > kEventsPerThread) {
+      overwritten += ring->count - kEventsPerThread;
+    }
+  }
+  return overwritten;
+}
+
+}  // namespace setrec

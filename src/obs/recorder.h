@@ -1,0 +1,127 @@
+#ifndef SETREC_OBS_RECORDER_H_
+#define SETREC_OBS_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace setrec {
+
+/// An always-on flight recorder: a bounded ring buffer of recent engine
+/// events per thread, cheap enough to leave running in production. Unlike
+/// the Tracer (opt-in, unbounded aggregates, coherent-snapshot semantics),
+/// the recorder answers one question after the fact: *what was the engine
+/// doing just before it died?* It keeps only the last kEventsPerThread
+/// events of each thread, overwriting the oldest in place — the steady-state
+/// Record() path performs no allocation (the ring is preallocated when a
+/// thread first touches the recorder) and takes one uncontended mutex.
+///
+/// Dump() emits the retained events, merged across threads in global record
+/// order, as JSONL: one header object (reason, drop accounting), then one
+/// object per event. Dumps are *redacted* by default: event names are static
+/// engine strings and stay, but the free-form detail payload — which can
+/// carry user data such as status messages naming relations and values — is
+/// replaced by its FNV-1a hash and length, preserving the shape of the
+/// record ("two failures with identical details") without the contents.
+///
+/// Thread safety: Record() may be called from any thread; Dump() from any
+/// thread at any time (it locks each ring briefly). A dump taken while
+/// other threads record is a best-effort snapshot, which is exactly the
+/// contract of a flight recorder.
+class FlightRecorder {
+ public:
+  /// Events retained per thread. 4096 × ~96 B ≈ 384 KiB per thread at the
+  /// cap — bounded by construction, never growing with run length.
+  static constexpr std::size_t kEventsPerThread = 4096;
+  /// Inline payload bytes per event (longer details are truncated).
+  static constexpr std::size_t kDetailBytes = 88;
+
+  enum class EventKind : std::uint8_t {
+    kSpan,    // a span started; a = parent hint (0 = none)
+    kMetric,  // a metric was bumped; a = value
+    kStatus,  // a non-OK status surfaced; a = status code
+    kNote,    // free-form milestone (store sequence numbers, shard counts)
+  };
+
+  struct Event {
+    EventKind kind = EventKind::kNote;
+    /// Static string (literal or otherwise outliving the recorder).
+    const char* name = nullptr;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t tid = 0;
+    /// Global record stamp: total order across threads for merged dumps.
+    std::uint64_t seq = 0;
+    std::uint64_t ts_ns = 0;
+    /// Truncated inline payload, NUL-terminated.
+    std::array<char, kDetailBytes> detail{};
+  };
+
+  FlightRecorder();
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder the engine records into by default ("always
+  /// on"). Construct private recorders for tests that must not see each
+  /// other's events.
+  static FlightRecorder& Global();
+
+  /// Appends one event to this thread's ring (overwriting the oldest past
+  /// the cap). `name` must be a static string; `detail` is copied inline
+  /// and truncated to kDetailBytes - 1.
+  void Record(EventKind kind, const char* name, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::string_view detail = {});
+
+  struct DumpOptions {
+    /// Written into the dump header; say *why* this dump exists.
+    std::string_view reason = "on-demand";
+    /// Replace detail payloads by hash+length (see class comment).
+    bool redact_details = true;
+  };
+
+  /// Writes the retained events as JSONL (header line first).
+  void Dump(std::ostream& out, const DumpOptions& options) const;
+  void Dump(std::ostream& out) const { Dump(out, DumpOptions()); }
+
+  /// Dump() into `path` (truncating). Returns false when the file cannot
+  /// be written. (No Status here: the recorder sits below core.)
+  bool DumpToFile(const std::string& path, const DumpOptions& options) const;
+  bool DumpToFile(const std::string& path) const {
+    return DumpToFile(path, DumpOptions());
+  }
+
+  /// Total events ever recorded (kept + overwritten).
+  std::uint64_t total_events() const;
+
+  /// Events overwritten past the per-thread cap.
+  std::uint64_t overwritten_events() const;
+
+ private:
+  struct Ring {
+    /// Guards slots/count against a concurrent dump; the owning thread is
+    /// the only writer.
+    mutable std::mutex mu;
+    std::vector<Event> slots;  // preallocated to kEventsPerThread
+    std::uint64_t count = 0;   // total recorded on this thread
+    std::uint32_t tid = 0;
+  };
+
+  Ring* RingForThisThread();
+
+  const std::uint64_t serial_;
+  const std::uint64_t epoch_ns_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  mutable std::mutex mu_;  // guards rings_
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_OBS_RECORDER_H_

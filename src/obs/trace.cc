@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/json_escape.h"
+
 namespace setrec {
 
 namespace {
@@ -27,24 +29,6 @@ std::uint32_t ThisThreadId() {
   thread_local std::uint32_t tid =
       g_next_tid.fetch_add(1, std::memory_order_relaxed);
   return tid;
-}
-
-void JsonEscape(std::ostream& out, const char* s) {
-  for (; *s != '\0'; ++s) {
-    switch (*s) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      default:
-        out << *s;
-    }
-  }
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "relational/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -32,9 +33,27 @@ const Catalog& Evaluator::DatabaseCatalog() {
 
 Result<Relation> Evaluator::Eval(const ExprPtr& expr) {
   auto it = cache_.find(expr.get());
-  if (it != cache_.end()) return it->second;
-  SETREC_ASSIGN_OR_RETURN(Relation result, EvalUncached(*expr));
-  cache_.emplace(expr.get(), result);
+  if (it != cache_.end()) {
+    if (node_stats_ != nullptr) ++(*node_stats_)[expr.get()].cache_hits;
+    return it->second;
+  }
+  if (node_stats_ == nullptr) {
+    SETREC_ASSIGN_OR_RETURN(Relation result, EvalUncached(*expr));
+    cache_.emplace(expr.get(), result);
+    return result;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<Relation> result = EvalUncached(*expr);
+  // Children evaluated inside EvalUncached already charged their own spans;
+  // wall_ns is inclusive by design (EXPLAIN ANALYZE renders a tree, so the
+  // reader sees child times indented under it).
+  (*node_stats_)[expr.get()].wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (!result.ok()) return result;
+  (*node_stats_)[expr.get()].rows = result->size();
+  cache_.emplace(expr.get(), *result);
   return result;
 }
 
@@ -269,10 +288,16 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
     std::vector<std::size_t> right_key;
     right_key.reserve(join_keys.size());
     for (const auto& [l, r] : join_keys) right_key.push_back(r);
+    std::uint64_t built = 0;
     for (const Tuple& t : right) {
       if (!passes_local(t, local_right)) continue;
       index[t.Project(right_key)].push_back(&t);
+      ++built;
     }
+    if (ctx_->metrics() != nullptr) {
+      ctx_->metrics()->engine.eval_join_build_rows.Add(built);
+    }
+    if (node_stats_ != nullptr) (*node_stats_)[&top].build_rows += built;
   }
 
   std::vector<std::size_t> left_key;
@@ -312,6 +337,12 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
 
   Relation out(std::move(scheme));
   TraceSpan probe_span = StartSpan(*ctx_, "evaluator/join-probe");
+  // Probes are counted as probe-side tuples, not per-partition work items,
+  // so the counter is identical at any worker count.
+  if (ctx_->metrics() != nullptr) {
+    ctx_->metrics()->engine.eval_join_probes.Add(left.size());
+  }
+  if (node_stats_ != nullptr) (*node_stats_)[&top].probe_rows += left.size();
   const bool partitioned = pool_ != nullptr && pool_->num_workers() > 1 &&
                            left.size() >= kParallelProbeThreshold &&
                            !index.empty();

@@ -12,6 +12,21 @@
 
 namespace setrec {
 
+/// Per-expression-node execution statistics, filled in when a sink map is
+/// attached to the evaluator (the EXPLAIN ANALYZE path). Keyed by node
+/// identity (`const Expr*`), matching the evaluator's memo cache: a node
+/// evaluated once and reused records one evaluation plus cache_hits.
+/// All fields are *logical* counts except wall_ns — they are identical at
+/// any worker count, because join probes are counted as probe-side tuples
+/// (not per-partition work items) and builds are single-threaded.
+struct EvalNodeStats {
+  std::uint64_t rows = 0;        // output rows of this node
+  std::uint64_t build_rows = 0;  // hash-join build-side insertions
+  std::uint64_t probe_rows = 0;  // hash-join probe-side tuples probed
+  std::uint64_t cache_hits = 0;  // memo hits for this node
+  std::uint64_t wall_ns = 0;     // time in this node, children included
+};
+
 /// Evaluates relational algebra expressions against a Database. The
 /// evaluator memoizes results per expression node, so DAG-shaped expressions
 /// (as produced by the Theorem 5.6 substitution and the par(E) rewriting)
@@ -54,6 +69,15 @@ class Evaluator {
   /// actual relations, so a standalone catalog is not required here.
   Result<Relation> Eval(const ExprPtr& expr);
 
+  /// Attaches a per-node statistics sink (borrowed; may be null to detach).
+  /// While attached, every Eval records output rows, join build/probe
+  /// counts, memo hits and wall time per expression node — the raw material
+  /// for EXPLAIN ANALYZE. Adds a map lookup per node evaluation, nothing on
+  /// the per-tuple path.
+  void set_node_stats(std::unordered_map<const Expr*, EvalNodeStats>* sink) {
+    node_stats_ = sink;
+  }
+
  private:
   Result<Relation> EvalUncached(const Expr& expr);
 
@@ -76,6 +100,7 @@ class Evaluator {
   ThreadPool* pool_ = nullptr;
   std::optional<Catalog> catalog_;
   std::unordered_map<const Expr*, Relation> cache_;
+  std::unordered_map<const Expr*, EvalNodeStats>* node_stats_ = nullptr;
 };
 
 /// One-shot convenience wrapper.

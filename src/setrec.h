@@ -26,7 +26,9 @@
 ///   store/      crash-consistent durability: WAL, snapshots, DurableStore
 
 // Observability.
+#include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 // Core model and execution governance.

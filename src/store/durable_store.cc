@@ -29,6 +29,13 @@ std::string SnapshotPath(const std::string& dir, std::uint64_t sequence) {
   return (std::filesystem::path(dir) / name).string();
 }
 
+constexpr const char* kCommitFlightFile = "flight-commit.jsonl";
+constexpr const char* kRecoveryFlightFile = "flight-recovery.jsonl";
+
+std::string FlightPath(const std::string& dir, const char* file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
 /// Snapshot files present in `dir` with the sequence parsed from the name,
 /// newest first. Files that do not match the naming scheme are ignored.
 std::vector<std::pair<std::uint64_t, std::string>> ListSnapshots(
@@ -126,6 +133,44 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   rep.dropped_bytes = replay.total_bytes - writer_valid_bytes;
   rep.last_sequence = last_sequence;
 
+  // Leave the recovery audit in the flight recorder, and surface the dump
+  // that explains this directory's most recent failure: an anomalous
+  // recovery writes its own snapshot; a clean recovery after a commit-time
+  // fault points at the dump that commit left behind.
+  if (options.recorder != nullptr) {
+    options.recorder->Record(FlightRecorder::EventKind::kNote,
+                             "store/recovery", rep.replayed_records,
+                             rep.last_sequence);
+    if (rep.snapshots_skipped != 0) {
+      options.recorder->Record(FlightRecorder::EventKind::kNote,
+                               "store/recovery-snapshot-skipped",
+                               rep.snapshots_skipped);
+    }
+    if (rep.torn_tail) {
+      options.recorder->Record(FlightRecorder::EventKind::kStatus,
+                               "store/recovery-torn-tail", rep.dropped_bytes,
+                               rep.last_sequence, rep.detail);
+    }
+    if (rep.torn_tail || rep.snapshots_skipped != 0) {
+      const std::string path = FlightPath(dir, kRecoveryFlightFile);
+      FlightRecorder::DumpOptions dump;
+      const std::string reason =
+          "recovery anomaly: " +
+          (rep.detail.empty() ? std::string("snapshot skipped") : rep.detail);
+      dump.reason = reason;
+      if (options.recorder->DumpToFile(path, dump)) {
+        rep.flight_dump_path = path;
+      }
+    }
+  }
+  if (rep.flight_dump_path.empty()) {
+    const std::string commit_dump = FlightPath(dir, kCommitFlightFile);
+    std::error_code exists_ec;
+    if (std::filesystem::exists(commit_dump, exists_ec)) {
+      rep.flight_dump_path = commit_dump;
+    }
+  }
+
   // 3. Position the writer after the last good record.
   SETREC_ASSIGN_OR_RETURN(
       store->wal_, WalWriter::Open(WalPath(dir), writer_valid_bytes,
@@ -153,6 +198,10 @@ Status DurableStore::CommitLocked(const Statement& statement) {
     return wal_.Sync();
   };
   TraceSpan commit_span(options_.tracer, "store/commit");
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(FlightRecorder::EventKind::kNote,
+                              "store/commit", wal_.next_sequence());
+  }
   const auto commit_start = std::chrono::steady_clock::now();
   RetrySchedule schedule(options_.retry);
   for (;;) {
@@ -162,11 +211,14 @@ Status DurableStore::CommitLocked(const Statement& statement) {
     }
     ctx.set_tracer(options_.tracer);
     ctx.set_metrics(options_.metrics);
+    ctx.set_recorder(options_.recorder);
     Status status = statement(instance_, ctx, hook);
     if (status.ok()) break;
     // A storage fault is a simulated crash: never retried, store poisoned.
-    if (wal_.broken()) return status;
-    if (!schedule.ShouldRetry(status)) return status;
+    if (wal_.broken()) return DumpTerminalFailure("storage fault", status);
+    if (!schedule.ShouldRetry(status)) {
+      return DumpTerminalFailure("statement failed", status);
+    }
     const std::chrono::nanoseconds delay = schedule.NextDelay();
     if (delay > std::chrono::nanoseconds::zero()) {
       std::this_thread::sleep_for(delay);
@@ -185,6 +237,21 @@ Status DurableStore::CommitLocked(const Statement& statement) {
     return CheckpointLocked();
   }
   return Status::OK();
+}
+
+Status DurableStore::DumpTerminalFailure(const char* what,
+                                         const Status& status) const {
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(FlightRecorder::EventKind::kStatus, what,
+                              static_cast<std::uint64_t>(status.code()),
+                              wal_.next_sequence(), status.message());
+    FlightRecorder::DumpOptions dump;
+    const std::string reason = std::string(what) + ": " + status.ToString();
+    dump.reason = reason;
+    (void)options_.recorder->DumpToFile(FlightPath(dir_, kCommitFlightFile),
+                                        dump);
+  }
+  return status;
 }
 
 Status DurableStore::Update(PropertyId property,

@@ -37,6 +37,12 @@ struct RecoveryReport {
   /// Highest sequence in the recovered state; the next commit is stamped
   /// last_sequence + 1.
   std::uint64_t last_sequence = 0;
+  /// Flight-recorder JSONL snapshot explaining the most recent failure:
+  /// when recovery itself found an anomaly (torn tail, skipped snapshot)
+  /// this is the dump recovery wrote; otherwise it points at the dump a
+  /// failing commit left behind in the store directory, when one exists.
+  /// Empty = clean history, nothing to explain.
+  std::string flight_dump_path;
 };
 
 struct DurableStoreOptions {
@@ -63,6 +69,13 @@ struct DurableStoreOptions {
   /// so engine spans nest under the commit span.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Flight recorder (always on by default). Every commit attempt records
+  /// into it; any *terminal* non-OK statement status — a storage fault, an
+  /// injected crash, a non-retryable engine error — dumps a redacted JSONL
+  /// snapshot to <dir>/flight-commit.jsonl before the error returns, and
+  /// recovery anomalies dump to <dir>/flight-recovery.jsonl (see
+  /// RecoveryReport::flight_dump_path). Null disables recording and dumps.
+  FlightRecorder* recorder = &FlightRecorder::Global();
 };
 
 /// A crash-consistent wrapper around Instance: every committed SQL-engine
@@ -160,6 +173,10 @@ class DurableStore {
 
   Status CheckpointLocked();
   Status CommitLocked(const Statement& statement);
+
+  /// Records a terminal (non-retried) commit failure and dumps the flight
+  /// recorder to <dir>/flight-commit.jsonl; returns `status` unchanged.
+  Status DumpTerminalFailure(const char* what, const Status& status) const;
 
   const std::string dir_;
   const Schema* schema_;

@@ -1,0 +1,323 @@
+// Tests for the flight recorder (bounded per-thread rings, merged JSONL
+// dumps, redaction) and for the JSON funnel every exporter shares: a
+// fuzz-style sweep of JsonEscape over hostile payloads, and the pinned
+// Prometheus exposition format of MetricsRegistry::WritePrometheus.
+
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_escape.h"
+#include "obs/metrics.h"
+
+namespace setrec {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+/// Validates that `line` is one JSON object: balanced braces outside
+/// strings, legal escapes inside strings, and no raw control characters
+/// anywhere. This is the "parseable" contract of every JSONL writer here —
+/// a tiny scanner instead of a JSON library, which the tree does not have.
+void ExpectParseableJsonObject(const std::string& line) {
+  ASSERT_FALSE(line.empty());
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(line[i]);
+    ASSERT_GE(c, 0x20u) << "raw control character at byte " << i << " of: "
+                        << line;
+    if (in_string) {
+      if (c == '\\') {
+        ASSERT_LT(i + 1, line.size()) << "dangling escape: " << line;
+        const char e = line[++i];
+        if (e == 'u') {
+          ASSERT_LT(i + 4, line.size()) << "short \\u escape: " << line;
+          for (int h = 0; h < 4; ++h) {
+            ASSERT_TRUE(std::isxdigit(static_cast<unsigned char>(line[++i])))
+                << "bad \\u escape in: " << line;
+          }
+        } else {
+          ASSERT_TRUE(e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                      e == 'f' || e == 'n' || e == 'r' || e == 't')
+              << "illegal escape \\" << e << " in: " << line;
+        }
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      ASSERT_GE(depth, 0) << "unbalanced braces: " << line;
+    }
+  }
+  EXPECT_FALSE(in_string) << "unterminated string: " << line;
+  EXPECT_EQ(depth, 0) << "unbalanced braces: " << line;
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, DumpEmitsHeaderThenOneLinePerEvent) {
+  FlightRecorder recorder;
+  recorder.Record(FlightRecorder::EventKind::kNote, "test/alpha", 1, 2);
+  recorder.Record(FlightRecorder::EventKind::kStatus, "test/beta", 3, 0,
+                  "something failed");
+  recorder.Record(FlightRecorder::EventKind::kMetric, "test/gamma", 42);
+
+  std::ostringstream out;
+  recorder.Dump(out);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  for (const std::string& line : lines) ExpectParseableJsonObject(line);
+  EXPECT_NE(lines[0].find("\"type\":\"flight\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"reason\":\"on-demand\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"events\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"overwritten\":0"), std::string::npos);
+  EXPECT_NE(lines[1].find("test/alpha"), std::string::npos);
+  EXPECT_NE(lines[2].find("test/beta"), std::string::npos);
+  EXPECT_NE(lines[3].find("test/gamma"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingOverwritesTheOldestPastTheCap) {
+  FlightRecorder recorder;
+  const std::size_t extra = 100;
+  for (std::size_t i = 0; i < FlightRecorder::kEventsPerThread + extra; ++i) {
+    recorder.Record(FlightRecorder::EventKind::kNote, "test/tick", i);
+  }
+  EXPECT_EQ(recorder.total_events(),
+            FlightRecorder::kEventsPerThread + extra);
+  EXPECT_EQ(recorder.overwritten_events(), extra);
+
+  std::ostringstream out;
+  recorder.Dump(out);
+  const std::vector<std::string> lines = Lines(out.str());
+  // Header + exactly the retained window.
+  ASSERT_EQ(lines.size(), 1 + FlightRecorder::kEventsPerThread);
+  EXPECT_NE(lines[0].find("\"overwritten\":100"), std::string::npos);
+  // The oldest retained event is number `extra` (0-based): the first
+  // `extra` were overwritten in place.
+  EXPECT_NE(lines[1].find("\"a\":" + std::to_string(extra)),
+            std::string::npos)
+      << lines[1];
+}
+
+TEST(FlightRecorderTest, RedactionReplacesDetailsByHashAndLength) {
+  FlightRecorder recorder;
+  recorder.Record(FlightRecorder::EventKind::kStatus, "test/fail", 1, 0,
+                  "secret-relation Emp is missing");
+
+  std::ostringstream redacted;
+  recorder.Dump(redacted);  // redact_details defaults to true
+  EXPECT_EQ(redacted.str().find("secret-relation"), std::string::npos);
+  EXPECT_NE(redacted.str().find("detail_hash"), std::string::npos);
+  EXPECT_NE(redacted.str().find("\"detail_len\":30"), std::string::npos);
+
+  FlightRecorder::DumpOptions options;
+  options.redact_details = false;
+  options.reason = "test wants plaintext";
+  std::ostringstream plain;
+  recorder.Dump(plain, options);
+  EXPECT_NE(plain.str().find("secret-relation Emp is missing"),
+            std::string::npos);
+  EXPECT_NE(plain.str().find("\"reason\":\"test wants plaintext\""),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, DetailsAreTruncatedInline) {
+  FlightRecorder recorder;
+  const std::string longer(FlightRecorder::kDetailBytes + 40, 'x');
+  recorder.Record(FlightRecorder::EventKind::kNote, "test/long", 0, 0,
+                  longer);
+  FlightRecorder::DumpOptions options;
+  options.redact_details = false;
+  std::ostringstream out;
+  recorder.Dump(out, options);
+  const std::string expected(FlightRecorder::kDetailBytes - 1, 'x');
+  EXPECT_NE(out.str().find("\"detail\":\"" + expected + "\""),
+            std::string::npos);
+  EXPECT_EQ(out.str().find(longer), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpToFileWritesTheSameJsonl) {
+  FlightRecorder recorder;
+  recorder.Record(FlightRecorder::EventKind::kNote, "test/file", 7);
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "flight-test.jsonl")
+          .string();
+  ASSERT_TRUE(recorder.DumpToFile(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::vector<std::string> lines = Lines(content.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) ExpectParseableJsonObject(line);
+  EXPECT_NE(lines[1].find("test/file"), std::string::npos);
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(recorder.DumpToFile("/nonexistent-dir/nope/flight.jsonl"));
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordingAndDumpingIsSafe) {
+  FlightRecorder recorder;
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kEventsEach = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (std::uint64_t i = 0; i < kEventsEach; ++i) {
+        recorder.Record(FlightRecorder::EventKind::kMetric, "test/worker", i,
+                        0, "payload");
+      }
+    });
+  }
+  // Dump concurrently with the writers: a best-effort snapshot, but every
+  // line must still be well-formed.
+  std::ostringstream mid;
+  recorder.Dump(mid);
+  for (std::thread& t : threads) t.join();
+
+  for (const std::string& line : Lines(mid.str())) {
+    ExpectParseableJsonObject(line);
+  }
+  EXPECT_EQ(recorder.total_events(), kThreads * kEventsEach);
+  std::ostringstream done;
+  recorder.Dump(done);
+  // Four rings, none past the cap: every event is retained.
+  EXPECT_EQ(Lines(done.str()).size(), 1 + kThreads * kEventsEach);
+}
+
+// ---------------------------------------------------------------------------
+// JsonEscape — the one shared escaper, fuzzed
+// ---------------------------------------------------------------------------
+
+TEST(JsonEscapeTest, GoldenEscapes) {
+  EXPECT_EQ(JsonQuoted("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuoted("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuoted("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonQuoted("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonQuoted("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(JsonQuoted(std::string_view("\x01\x1f", 2)),
+            "\"\\u0001\\u001f\"");
+  EXPECT_EQ(JsonQuoted("\b\f\r"), "\"\\b\\f\\r\"");
+  // UTF-8 passes through raw.
+  EXPECT_EQ(JsonQuoted("σ⊆π"), "\"σ⊆π\"");
+}
+
+TEST(JsonEscapeTest, FuzzedPayloadsStayParseable) {
+  // A deterministic LCG driving byte soup — control characters, quotes,
+  // backslashes, high bytes — through the whole pipeline: JsonQuoted
+  // output must scan as a legal JSON string, and a flight dump carrying
+  // the payload as a detail must stay line-parseable.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<unsigned char>(state >> 33);
+  };
+  FlightRecorder recorder;
+  for (int round = 0; round < 200; ++round) {
+    std::string payload;
+    const std::size_t len = next() % 120;
+    for (std::size_t i = 0; i < len; ++i) {
+      // Bias toward the dangerous bytes.
+      const unsigned char roll = next();
+      if (roll % 4 == 0) {
+        payload.push_back("\"\\\n\r\t\b\f\x00\x1f/"[roll % 10]);
+      } else {
+        payload.push_back(static_cast<char>(next()));
+      }
+    }
+    const std::string quoted = JsonQuoted(payload);
+    const std::string object = "{\"v\":" + quoted + "}";
+    ExpectParseableJsonObject(object);
+    recorder.Record(FlightRecorder::EventKind::kNote, "fuzz/payload",
+                    static_cast<std::uint64_t>(round), 0, payload);
+  }
+  FlightRecorder::DumpOptions options;
+  options.redact_details = false;
+  std::ostringstream out;
+  recorder.Dump(out, options);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 201u);
+  for (const std::string& line : lines) ExpectParseableJsonObject(line);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry::WritePrometheus — exposition format pinned
+// ---------------------------------------------------------------------------
+
+TEST(WritePrometheusTest, FormatIsPinned) {
+  MetricsRegistry metrics;
+  metrics.engine.eval_rows.Add(5);
+  metrics.engine.commit_ns.Observe(3);
+  metrics.engine.commit_ns.Observe(5);
+  metrics.CounterNamed("custom.thing").Add(2);
+  metrics.GaugeNamed("pool.size").Set(-3);
+
+  std::ostringstream out;
+  metrics.WritePrometheus(out);
+  const std::string text = out.str();
+
+  // Engine counters: `setrec_` prefix, '.' mapped to '_', TYPE line first.
+  EXPECT_NE(text.find("# TYPE setrec_evaluator_rows counter\n"
+                      "setrec_evaluator_rows 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE setrec_evaluator_join_probes counter\n"
+                      "setrec_evaluator_join_probes 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE setrec_custom_thing counter\n"
+                      "setrec_custom_thing 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE setrec_pool_size gauge\n"
+                      "setrec_pool_size -3\n"),
+            std::string::npos);
+  // Histograms export as summaries: _count and _sum.
+  EXPECT_NE(text.find("# TYPE setrec_store_commit_ns summary\n"
+                      "setrec_store_commit_ns_count 2\n"
+                      "setrec_store_commit_ns_sum 8\n"),
+            std::string::npos);
+
+  // Every line is either a comment or `name value` with a legal
+  // Prometheus metric name.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    EXPECT_EQ(name.rfind("setrec_", 0), 0u) << line;
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_')
+          << "illegal metric-name byte in: " << line;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace setrec

@@ -64,6 +64,42 @@ std::string WalFile(const std::string& dir) {
   return (std::filesystem::path(dir) / "wal.log").string();
 }
 
+std::string CommitFlightFile(const std::string& dir) {
+  return (std::filesystem::path(dir) / "flight-commit.jsonl").string();
+}
+
+std::string RecoveryFlightFile(const std::string& dir) {
+  return (std::filesystem::path(dir) / "flight-recovery.jsonl").string();
+}
+
+/// Asserts that `path` names a parseable flight-recorder dump: it exists,
+/// its first line is the flight header, every line is one JSON object, and
+/// no raw control character leaked through the escaper.
+void AssertFlightDump(const std::string& path) {
+  ASSERT_FALSE(path.empty()) << "no flight dump was referenced";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "flight dump missing: " << path;
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << path;
+    EXPECT_EQ(line.front(), '{') << path << ": " << line;
+    EXPECT_EQ(line.back(), '}') << path << ": " << line;
+    for (const char c : line) {
+      ASSERT_GE(static_cast<unsigned char>(c), 0x20u)
+          << "raw control character in flight dump " << path;
+    }
+    if (lines == 0) {
+      EXPECT_EQ(line.rfind("{\"type\":\"flight\",\"reason\":\"", 0), 0u)
+          << path << " does not start with the flight header: " << line;
+    }
+    ++lines;
+  }
+  // Header plus at least one event (the store always records the commit or
+  // recovery that triggered the dump).
+  EXPECT_GE(lines, 2u) << path << " holds no events";
+}
+
 // -- CRC ---------------------------------------------------------------------
 
 TEST(Crc32Test, MatchesKnownVectorsAndChains) {
@@ -643,6 +679,19 @@ TEST_F(DurableStoreTest, RecoveryMatrixTornTailAtEveryByte) {
     const std::uint64_t valid = r == 0 ? 0 : pristine.record_ends[r - 1];
     EXPECT_EQ(report.torn_tail, len != valid) << "cut at byte " << len;
     EXPECT_EQ(report.dropped_bytes, len - valid) << "cut at byte " << len;
+    // Every torn recovery leaves a flight dump behind and points at it.
+    if (report.torn_tail) {
+      EXPECT_EQ(report.flight_dump_path, RecoveryFlightFile(torn_dir))
+          << "cut at byte " << len;
+      // The full parse check once per record suffices; the path/existence
+      // check above runs at every byte.
+      if (r < pristine.record_ends.size() &&
+          len + 1 == pristine.record_ends[r]) {
+        AssertFlightDump(report.flight_dump_path);
+      }
+    } else {
+      EXPECT_TRUE(report.flight_dump_path.empty()) << "cut at byte " << len;
+    }
   }
 }
 
@@ -678,6 +727,10 @@ TEST_F(DurableStoreTest, RecoveryMatrixTornWriteAtEveryOffsetOfTheCommit) {
         << "offset " << offset;
     store.reset();
 
+    // The terminal storage fault dumped the flight recorder next to the
+    // WAL before the error surfaced.
+    AssertFlightDump(CommitFlightFile(dir));
+
     RecoveryReport report;
     const Instance recovered = Recover(dir, &report);
     if (offset == record_size) {
@@ -687,6 +740,9 @@ TEST_F(DurableStoreTest, RecoveryMatrixTornWriteAtEveryOffsetOfTheCommit) {
       EXPECT_TRUE(recovered == states_[kSteps]) << "offset " << offset;
       EXPECT_EQ(report.replayed_records, kSteps);
       EXPECT_FALSE(report.torn_tail);
+      // A clean recovery after a commit-time fault points at the dump that
+      // commit left behind.
+      EXPECT_EQ(report.flight_dump_path, CommitFlightFile(dir));
     } else {
       EXPECT_TRUE(recovered == states_[kSteps - 1])
           << "offset " << offset << ": recovery returned a torn hybrid";
@@ -694,6 +750,10 @@ TEST_F(DurableStoreTest, RecoveryMatrixTornWriteAtEveryOffsetOfTheCommit) {
       // A zero-byte tear leaves the file exactly at the previous boundary.
       EXPECT_EQ(report.torn_tail, offset != 0) << "offset " << offset;
       EXPECT_EQ(report.dropped_bytes, offset) << "offset " << offset;
+      EXPECT_EQ(report.flight_dump_path, offset != 0
+                                             ? RecoveryFlightFile(dir)
+                                             : CommitFlightFile(dir))
+          << "offset " << offset;
     }
   }
 }
@@ -711,11 +771,13 @@ TEST_F(DurableStoreTest, RecoveryMatrixPartialFsyncVetoesTheCommit) {
   EXPECT_TRUE(store->instance() == states_[kSteps - 1]);
   EXPECT_TRUE(store->broken());
   store.reset();
+  AssertFlightDump(CommitFlightFile(dir));
 
   RecoveryReport report;
   EXPECT_TRUE(Recover(dir, &report) == states_[kSteps - 1]);
   EXPECT_EQ(report.replayed_records, kSteps - 1);
   EXPECT_FALSE(report.torn_tail);  // the dropped tail was a whole record
+  EXPECT_EQ(report.flight_dump_path, CommitFlightFile(dir));
 }
 
 /// A bit flip is the one storage fault the writer cannot see: the commit IS
@@ -742,6 +804,10 @@ TEST_F(DurableStoreTest, RecoveryMatrixBitFlipLosesTheAckedCommitDetectably) {
   EXPECT_TRUE(report.torn_tail);
   EXPECT_EQ(report.detail, "bad crc");
   EXPECT_GT(report.dropped_bytes, 0u);
+  // The writer never saw the fault, so there is no commit dump — the
+  // recovery anomaly wrote its own and the report references it.
+  EXPECT_EQ(report.flight_dump_path, RecoveryFlightFile(dir));
+  AssertFlightDump(report.flight_dump_path);
 }
 
 // -- DurableStore over the SQL engine (payroll workload) ---------------------
@@ -860,11 +926,17 @@ TEST_F(DurablePayrollTest, CrashAtEveryExecProbeRecoversThePreStatementState) {
         << "partial mutation survived a fault at probe " << k;
     store.reset();
 
-    // Recovery agrees: nothing of the killed statement was logged.
+    // The non-OK terminal status dumped the flight recorder.
+    AssertFlightDump(CommitFlightFile(dir));
+
+    // Recovery agrees: nothing of the killed statement was logged, and the
+    // report references the commit-time dump.
+    RecoveryReport report;
     auto reopened =
-        std::move(DurableStore::Open(dir, &ps_.schema)).value();
+        std::move(DurableStore::Open(dir, &ps_.schema, {}, &report)).value();
     EXPECT_TRUE(reopened->instance() == pre_statement)
         << "recovery leaked a torn hybrid at probe " << k;
+    EXPECT_EQ(report.flight_dump_path, CommitFlightFile(dir)) << "probe " << k;
 
     // And the statement still works after recovery.
     ASSERT_TRUE(reopened->Update(ps_.salary, SalaryUpdateQuery()).ok())

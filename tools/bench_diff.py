@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Regression gate comparing two sets of BENCH_*.json artifacts.
+
+For every BENCH_<name>.json present in BASELINE_DIR, the matching artifact
+in CURRENT_DIR is compared benchmark by benchmark: a benchmark regresses
+when its cpu_time (fallback: real_time) exceeds the baseline by more than
+the relative threshold (default 0.25 = 25%). Speedups never fail the gate.
+The engine's "metrics" counters are compared too, but report drift without
+failing the gate — counter totals scale with google-benchmark's adaptive
+iteration counts, so they are diagnostics, not pass/fail signals.
+
+Exit status: 0 = no regression, 1 = regression (or self-test failure),
+2 = usage/IO error. Artifacts present only on one side are reported and
+skipped (a new benchmark is not a regression).
+
+Usage:
+  bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold 0.25]
+  bench_diff.py --self-test
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+
+def load(path):
+    """Returns ({benchmark name: time}, {metric name: value})."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        t = b.get("cpu_time", b.get("real_time"))
+        if isinstance(name, str) and isinstance(t, (int, float)) and t > 0:
+            times[name] = float(t)
+    metrics = doc.get("metrics", {})
+    if not isinstance(metrics, dict):
+        metrics = {}
+    return times, metrics
+
+
+def compare_dirs(baseline_dir, current_dir, threshold):
+    """Returns (regressions, notes); regressions non-empty fails the gate."""
+    regressions, notes = [], []
+    base_files = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    if not base_files:
+        raise FileNotFoundError(f"no BENCH_*.json artifacts in {baseline_dir}")
+    for base_path in base_files:
+        fname = os.path.basename(base_path)
+        cur_path = os.path.join(current_dir, fname)
+        if not os.path.exists(cur_path):
+            notes.append(f"{fname}: only in baseline, skipped")
+            continue
+        base_times, base_metrics = load(base_path)
+        cur_times, cur_metrics = load(cur_path)
+        for name, base_t in sorted(base_times.items()):
+            cur_t = cur_times.get(name)
+            if cur_t is None:
+                notes.append(f"{fname}: {name}: only in baseline, skipped")
+                continue
+            ratio = cur_t / base_t
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    f"{fname}: {name}: cpu_time {base_t:.1f} -> {cur_t:.1f} "
+                    f"({(ratio - 1.0) * 100.0:+.1f}%, threshold "
+                    f"{threshold * 100.0:.0f}%)")
+        for name, base_v in sorted(base_metrics.items()):
+            cur_v = cur_metrics.get(name)
+            if (isinstance(base_v, (int, float)) and base_v > 0
+                    and isinstance(cur_v, (int, float))):
+                ratio = cur_v / base_v
+                if abs(ratio - 1.0) > threshold:
+                    notes.append(
+                        f"{fname}: metric {name}: {base_v} -> {cur_v} "
+                        f"({(ratio - 1.0) * 100.0:+.1f}%, informational)")
+    return regressions, notes
+
+
+def synthetic_artifact(cpu_times, rows):
+    return {
+        "context": {"host": "self-test"},
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "cpu_time": t,
+             "real_time": t, "time_unit": "ns"}
+            for name, t in cpu_times.items()
+        ],
+        "stages": {},
+        "metrics": {"evaluator.rows": rows},
+    }
+
+
+def self_test(threshold):
+    """Exercises the gate on synthetic artifacts: a >threshold cpu_time
+    regression must fail, and an unchanged run must pass."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "baseline")
+        good_dir = os.path.join(tmp, "good")
+        bad_dir = os.path.join(tmp, "bad")
+        for d in (base_dir, good_dir, bad_dir):
+            os.makedirs(d)
+        base = synthetic_artifact({"BM_Join/8": 100.0, "BM_Scan": 40.0}, 1000)
+        good = synthetic_artifact({"BM_Join/8": 110.0, "BM_Scan": 40.0}, 1000)
+        # 2x the threshold over baseline: unambiguously a regression.
+        bad_time = 100.0 * (1.0 + 2.0 * threshold)
+        bad = synthetic_artifact({"BM_Join/8": bad_time, "BM_Scan": 40.0},
+                                 1000)
+        for d, doc in ((base_dir, base), (good_dir, good), (bad_dir, bad)):
+            with open(os.path.join(d, "BENCH_selftest.json"), "w") as f:
+                json.dump(doc, f)
+        ok_regressions, _ = compare_dirs(base_dir, good_dir, threshold)
+        bad_regressions, _ = compare_dirs(base_dir, bad_dir, threshold)
+        if ok_regressions:
+            print("self-test FAILED: in-threshold run flagged as regression:",
+                  ok_regressions, file=sys.stderr)
+            return 1
+        if not bad_regressions:
+            print(f"self-test FAILED: {bad_time:.0f}ns vs 100ns baseline "
+                  "not flagged as regression", file=sys.stderr)
+            return 1
+        print("self-test OK: synthetic "
+              f"{2.0 * threshold * 100.0:.0f}% regression detected, "
+              "in-threshold run passes")
+        return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline artifact dir")
+    parser.add_argument("current", nargs="?", help="current artifact dir")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression threshold (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate on synthetic artifacts")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test(args.threshold)
+    if not args.baseline or not args.current:
+        parser.print_usage(sys.stderr)
+        return 2
+    try:
+        regressions, notes = compare_dirs(args.baseline, args.current,
+                                          args.threshold)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        for r in regressions:
+            print(f"REGRESSION: {r}", file=sys.stderr)
+        return 1
+    print(f"bench_diff: no cpu_time regression beyond "
+          f"{args.threshold * 100.0:.0f}% vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
