@@ -36,6 +36,13 @@ enum class StatusCode {
   // retryable: the bytes on disk will not improve; recovery instead replays
   // the longest valid prefix and reports what was dropped.
   kCorruptedLog,
+  // Transaction-layer codes (see txn/txn_manager.h). kTxnConflict reports a
+  // first-committer-wins validation failure: a concurrent commit overwrote
+  // part of the snapshot this transaction read. Retryable — a fresh snapshot
+  // can succeed. kRetryExhausted is its terminal form: the retry schedule ran
+  // out of attempts; by construction retrying again is pointless.
+  kTxnConflict,
+  kRetryExhausted,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -65,6 +72,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kCorruptedLog:
       return "CorruptedLog";
+    case StatusCode::kTxnConflict:
+      return "TxnConflict";
+    case StatusCode::kRetryExhausted:
+      return "RetryExhausted";
   }
   return "Unknown";
 }
@@ -111,17 +122,27 @@ class Status {
   static Status CorruptedLog(std::string msg) {
     return Status(StatusCode::kCorruptedLog, std::move(msg));
   }
+  static Status TxnConflict(std::string msg) {
+    return Status(StatusCode::kTxnConflict, std::move(msg));
+  }
+  static Status RetryExhausted(std::string msg) {
+    return Status(StatusCode::kRetryExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// True for budget/deadline failures that a caller may retry with a larger
-  /// budget or later deadline. Cancellation is deliberately *not* retryable:
-  /// the caller asked for the abort and auto-retry would defeat it.
+  /// True for failures a caller may retry and expect to succeed: budget and
+  /// deadline exhaustion (retry with a larger budget or later deadline) and
+  /// first-committer-wins conflicts (retry against a fresh snapshot).
+  /// Cancellation is deliberately *not* retryable: the caller asked for the
+  /// abort and auto-retry would defeat it. kRetryExhausted is not either —
+  /// it *is* the report that retrying stopped helping.
   bool IsRetryable() const {
     return code_ == StatusCode::kResourceExhausted ||
-           code_ == StatusCode::kDeadlineExceeded;
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kTxnConflict;
   }
 
   /// Renders as "Code: message" (or "OK").
@@ -201,7 +222,9 @@ class Result {
 /// "this enumeration is undefined") must still propagate these: they mean
 /// "the answer was not computed", not "the answer is negative".
 inline bool IsGovernanceError(const Status& s) {
-  return s.IsRetryable() || s.code() == StatusCode::kCancelled;
+  return s.code() == StatusCode::kResourceExhausted ||
+         s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kCancelled;
 }
 
 /// Propagates a non-OK status out of the current function.

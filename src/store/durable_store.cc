@@ -96,12 +96,19 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   }
   std::uint64_t last_sequence = rep.snapshot_sequence;
 
-  // 2. Replay the longest valid WAL prefix on top of the snapshot.
+  // 2. Replay the longest valid WAL prefix on top of the snapshot. Each
+  //    record is an exec probe point, so the fault matrix can crash recovery
+  //    *mid-replay* and prove that recovering from the interrupted recovery
+  //    still reaches the same committed prefix (replay mutates only the
+  //    in-memory instance; the log is untouched until the writer opens).
   SETREC_ASSIGN_OR_RETURN(WalReplay replay, ReadWal(WalPath(dir)));
   rep.torn_tail = replay.torn_tail;
   rep.detail = replay.tail_reason;
   std::uint64_t writer_valid_bytes = replay.valid_bytes;
   for (std::size_t i = 0; i < replay.records.size(); ++i) {
+    if (options.injector != nullptr) {
+      SETREC_RETURN_IF_ERROR(options.injector->Probe("store/recovery/replay"));
+    }
     const WalRecord& record = replay.records[i];
     if (record.sequence <= rep.snapshot_sequence) {
       ++rep.skipped_records;  // crash between snapshot publish and truncate
@@ -171,7 +178,12 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
     }
   }
 
-  // 3. Position the writer after the last good record.
+  // 3. Position the writer after the last good record. The probe sits just
+  //    before the only step of recovery that writes to the directory (the
+  //    writer truncates the torn tail), covering a crash at that boundary.
+  if (options.injector != nullptr) {
+    SETREC_RETURN_IF_ERROR(options.injector->Probe("store/recovery/position"));
+  }
   SETREC_ASSIGN_OR_RETURN(
       store->wal_, WalWriter::Open(WalPath(dir), writer_valid_bytes,
                                    last_sequence + 1, options.injector));
@@ -232,6 +244,82 @@ Status DurableStore::CommitLocked(const Statement& statement) {
             .count()));
   }
   ++commits_since_checkpoint_;
+  if (options_.snapshot_every_n_commits != 0 &&
+      commits_since_checkpoint_ >= options_.snapshot_every_n_commits) {
+    return CheckpointLocked();
+  }
+  return Status::OK();
+}
+
+Status DurableStore::CommitBatch(std::span<const Statement> statements,
+                                 std::vector<Status>* results) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Status> local_results;
+  std::vector<Status>& res = results != nullptr ? *results : local_results;
+  res.assign(statements.size(), Status::OK());
+  if (statements.empty()) return Status::OK();
+  if (wal_.broken()) {
+    const Status broken = Status::FailedPrecondition(
+        "store hit a storage fault; reopen to recover");
+    res.assign(statements.size(), broken);
+    return broken;
+  }
+  TraceSpan batch_span(options_.tracer, "store/commit-batch");
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(FlightRecorder::EventKind::kNote,
+                              "store/commit-batch", statements.size(),
+                              wal_.next_sequence());
+  }
+  const auto batch_start = std::chrono::steady_clock::now();
+  // Rollback point for the crash case: a storage fault voids the whole
+  // batch, so the in-memory state must return to before the first statement.
+  const Instance before_batch = instance_;
+  // Append-only hook: the fsync is hoisted out of the loop below.
+  const CommitHook hook = [this](const Instance& before,
+                                 const Instance& after) -> Status {
+    const InstanceDelta delta = DiffInstances(before, after);
+    if (delta.empty()) return Status::OK();  // no-op statement, no record
+    return wal_.Append(DeltaToText(delta, *schema_)).status();
+  };
+  std::uint64_t committed = 0;
+  for (std::size_t i = 0; i < statements.size(); ++i) {
+    ExecContext ctx(options_.limits);
+    if (options_.injector != nullptr) {
+      ctx.set_fault_injector(options_.injector);
+    }
+    ctx.set_tracer(options_.tracer);
+    ctx.set_metrics(options_.metrics);
+    ctx.set_recorder(options_.recorder);
+    res[i] = statements[i](instance_, ctx, hook);
+    if (res[i].ok()) {
+      ++committed;
+    } else if (wal_.broken()) {
+      break;  // torn append = crash: handled below
+    }
+    // Non-storage failure: the statement contract restored its own
+    // pre-state; its batch mates are unaffected.
+  }
+  if (!wal_.broken() && committed != 0) {
+    // One fsync covers every record appended above; only now is any
+    // statement of the batch acknowledged.
+    Status synced = wal_.Sync();
+    (void)synced;  // a failure shows as wal_.broken() below
+  }
+  if (wal_.broken()) {
+    instance_ = before_batch;
+    Status fault = Status::FailedPrecondition(
+        "storage fault during group commit; batch voided, reopen to recover");
+    for (Status& r : res) r = fault;
+    return DumpTerminalFailure("storage fault", fault);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->engine.store_commits.Add(committed);
+    options_.metrics->engine.commit_ns.Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - batch_start)
+            .count()));
+  }
+  commits_since_checkpoint_ += committed;
   if (options_.snapshot_every_n_commits != 0 &&
       commits_since_checkpoint_ >= options_.snapshot_every_n_commits) {
     return CheckpointLocked();

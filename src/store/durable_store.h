@@ -7,6 +7,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/exec_context.h"
 #include "core/instance.h"
@@ -142,6 +143,33 @@ class DurableStore {
 
   /// Runs a caller-shaped statement through the commit protocol.
   Status Commit(const Statement& statement);
+
+  /// Group commit: runs the statements in order under one lock acquisition,
+  /// appending each statement's delta to the WAL *without* syncing, then
+  /// issues a single fsync covering the whole batch — durability cost is one
+  /// fsync amortized over the batch instead of one per statement.
+  ///
+  /// Per-statement semantics stay intact: a statement that fails for a
+  /// non-storage reason (semantic error, exhausted budget) appends nothing,
+  /// leaves the instance at its pre-statement state, and does not disturb
+  /// its batch mates — its status lands in `results` and the batch moves
+  /// on. There is deliberately no retry loop here: group-commit callers (the
+  /// transaction layer) own retries, and re-running a stale statement inside
+  /// the batch would commit against state it never saw.
+  ///
+  /// A storage fault anywhere (torn append or the batch fsync) fails the
+  /// *whole* batch: the in-memory instance rolls back to the pre-batch
+  /// state, the store is poisoned until reopened, and every slot of
+  /// `results` reports the fault — exactly the crash model, where none of
+  /// the batch was acknowledged but a prefix of its records may still be
+  /// replayed on recovery (statement boundaries are record boundaries, so
+  /// recovery always lands on a statement prefix, never a hybrid).
+  ///
+  /// Returns OK when the batch mechanics succeeded (even if individual
+  /// statements failed semantically); `results`, when non-null, is resized
+  /// to `statements.size()`.
+  Status CommitBatch(std::span<const Statement> statements,
+                     std::vector<Status>* results = nullptr);
 
   // -- Checkpoints ------------------------------------------------------------
 

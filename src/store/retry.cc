@@ -14,10 +14,27 @@ std::uint64_t NextRandom(std::uint64_t& state) {
 
 }  // namespace
 
+RetryPolicy NormalizeRetryPolicy(RetryPolicy policy) {
+  if (policy.max_attempts == 0) policy.max_attempts = 1;
+  if (policy.base_delay < std::chrono::nanoseconds::zero()) {
+    policy.base_delay = std::chrono::nanoseconds::zero();
+  }
+  if (policy.max_delay < std::chrono::nanoseconds::zero()) {
+    policy.max_delay = std::chrono::nanoseconds::zero();
+  }
+  if (policy.max_delay < policy.base_delay) {
+    policy.max_delay = policy.base_delay;
+  }
+  // NaN compares false against everything, so the `< 1.0` test alone would
+  // let it through; catch it via self-inequality.
+  if (!(policy.multiplier >= 1.0)) policy.multiplier = 1.0;
+  return policy;
+}
+
 RetrySchedule::RetrySchedule(const RetryPolicy& policy)
-    : policy_(policy),
-      current_base_(policy.base_delay),
-      rng_state_(policy.jitter_seed) {}
+    : policy_(NormalizeRetryPolicy(policy)),
+      current_base_(policy_.base_delay),
+      rng_state_(policy_.jitter_seed) {}
 
 bool RetrySchedule::ShouldRetry(const Status& status) {
   if (!status.IsRetryable()) return false;
@@ -37,6 +54,7 @@ std::chrono::nanoseconds RetrySchedule::NextDelay() {
                       ? policy_.max_delay
                       : std::chrono::nanoseconds(
                             static_cast<std::chrono::nanoseconds::rep>(grown));
+  if (!policy_.jitter) return base;
   // Jitter into [base/2, base): full determinism from the seed, while
   // keeping at least half the backoff so retries cannot stampede.
   const double u =

@@ -20,15 +20,32 @@ namespace setrec {
 ///   min(max_delay, base_delay * multiplier^(k-1)) * (1/2 + u_k/2)
 /// where u_k in [0, 1) is drawn from a SplitMix64 stream — no global RNG, no
 /// distribution types with unspecified output, so schedules are reproducible
-/// bit-for-bit across platforms.
+/// bit-for-bit across platforms. With `jitter` off the (1/2 + u_k/2) factor
+/// is dropped and attempt k waits the exact capped exponential delay — still
+/// deterministic, now also seed-independent.
 struct RetryPolicy {
   /// Total attempts including the first; 1 disables retrying.
   std::uint32_t max_attempts = 1;
   std::chrono::nanoseconds base_delay{0};
   std::chrono::nanoseconds max_delay{std::chrono::milliseconds(100)};
   double multiplier = 2.0;
+  /// Spread each delay into [delay/2, delay) from the seeded stream. On by
+  /// default: concurrent retriers sharing a policy must not stampede.
+  bool jitter = true;
   std::uint64_t jitter_seed = 0;
 };
+
+/// Returns `policy` with pathological fields clamped to the nearest sane
+/// value, so a miswritten config degrades to a working schedule instead of
+/// negative sleeps or a division-flavored surprise:
+///   max_attempts 0        -> 1 (the initial attempt always runs)
+///   base_delay < 0        -> 0
+///   max_delay < 0         -> 0
+///   max_delay < base_delay -> max_delay = base_delay (cap never undercuts)
+///   multiplier < 1 or NaN -> 1 (backoff never shrinks)
+/// RetrySchedule applies this on construction; it is exposed for tests and
+/// for callers that want to inspect the effective policy.
+RetryPolicy NormalizeRetryPolicy(RetryPolicy policy);
 
 /// The mutable iteration state for one governed operation: consult
 /// ShouldRetry after each failure; when it grants a retry, wait NextDelay()

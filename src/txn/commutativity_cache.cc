@@ -1,0 +1,113 @@
+#include "txn/commutativity_cache.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "objrel/encoding.h"
+#include "relational/expression.h"
+
+namespace setrec {
+
+namespace {
+
+/// Relations backing the properties `method` updates, sorted.
+std::vector<std::string> WrittenRelations(const AlgebraicUpdateMethod& method) {
+  const Schema& schema = *method.context().schema;
+  std::vector<std::string> written;
+  for (const UpdateStatement& s : method.statements()) {
+    written.push_back(PropertyRelationName(schema, s.property));
+  }
+  std::sort(written.begin(), written.end());
+  return written;
+}
+
+/// True when some update expression of `reader` references a relation in the
+/// sorted list `written`.
+bool ReadsAnyOf(const AlgebraicUpdateMethod& reader,
+                const std::vector<std::string>& written) {
+  for (const UpdateStatement& s : reader.statements()) {
+    for (const std::string& rel : ReferencedRelations(*s.expression)) {
+      if (std::binary_search(written.begin(), written.end(), rel)) return true;
+    }
+  }
+  return false;
+}
+
+/// The cross-method isolation test (Proposition 5.8 lifted to a pair):
+/// disjoint write sets, and neither side reads what the other writes.
+bool SyntacticallyCommute(const AlgebraicUpdateMethod& a,
+                          const AlgebraicUpdateMethod& b) {
+  const std::vector<std::string> writes_a = WrittenRelations(a);
+  const std::vector<std::string> writes_b = WrittenRelations(b);
+  for (const std::string& rel : writes_a) {
+    if (std::binary_search(writes_b.begin(), writes_b.end(), rel)) {
+      return false;
+    }
+  }
+  return !ReadsAnyOf(a, writes_b) && !ReadsAnyOf(b, writes_a);
+}
+
+}  // namespace
+
+bool CommutativityCache::Commutes(const AlgebraicUpdateMethod& a,
+                                  const AlgebraicUpdateMethod& b) {
+  const bool self_pair = a.name() == b.name();
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string ka = a.name() + "@" + std::to_string(epochs_[a.name()]);
+    std::string kb = b.name() + "@" + std::to_string(epochs_[b.name()]);
+    if (kb < ka) std::swap(ka, kb);
+    key = ka + "|" + kb;
+    auto it = verdicts_.find(key);
+    if (it != verdicts_.end()) {
+      ++stats_.hits;
+      return it->second.commutes;
+    }
+    ++stats_.misses;
+  }
+  // Decide outside the mutex: the oracle can be expensive and concurrent
+  // admissions must not serialize on it. A racing thread may decide the same
+  // pair; both verdicts agree (the oracle is deterministic), so first-in
+  // wins and the duplicate is dropped.
+  Verdict verdict;
+  if (self_pair) {
+    Result<DecisionCertificate> decided = DecideOrderIndependenceCertified(
+        a, OrderIndependenceKind::kAbsolute);
+    if (decided.ok()) {
+      verdict.commutes = decided->order_independent;
+      verdict.certificate = std::make_shared<const DecisionCertificate>(
+          std::move(decided).value());
+    }
+    // Undecidable (non-positive method, exhausted budget): conservatively
+    // not commutative, with no certificate to show.
+  } else {
+    verdict.commutes = SyntacticallyCommute(a, b);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = verdicts_.emplace(key, std::move(verdict));
+  return it->second.commutes;
+}
+
+void CommutativityCache::Invalidate(const std::string& method_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epochs_[method_name];
+}
+
+std::shared_ptr<const DecisionCertificate> CommutativityCache::CertificateFor(
+    const std::string& method_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto epoch_it = epochs_.find(method_name);
+  const std::uint64_t epoch = epoch_it == epochs_.end() ? 0 : epoch_it->second;
+  const std::string side = method_name + "@" + std::to_string(epoch);
+  auto it = verdicts_.find(side + "|" + side);
+  return it == verdicts_.end() ? nullptr : it->second.certificate;
+}
+
+CommutativityCache::Stats CommutativityCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace setrec

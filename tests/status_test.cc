@@ -39,6 +39,9 @@ TEST(StatusTest, FactoriesProduceTheirCodeAndMessage) {
       {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded,
        "DeadlineExceeded"},
       {Status::Cancelled("m"), StatusCode::kCancelled, "Cancelled"},
+      {Status::TxnConflict("m"), StatusCode::kTxnConflict, "TxnConflict"},
+      {Status::RetryExhausted("m"), StatusCode::kRetryExhausted,
+       "RetryExhausted"},
   };
   for (const Case& c : cases) {
     EXPECT_EQ(c.status.code(), c.code);
@@ -53,11 +56,15 @@ TEST(StatusTest, FactoriesProduceTheirCodeAndMessage) {
   }
 }
 
-TEST(StatusTest, OnlyBudgetAndDeadlineAreRetryable) {
+TEST(StatusTest, OnlyBudgetDeadlineAndConflictAreRetryable) {
   EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
   EXPECT_TRUE(Status::DeadlineExceeded("x").IsRetryable());
+  // A first-committer-wins conflict can succeed on a fresh snapshot.
+  EXPECT_TRUE(Status::TxnConflict("x").IsRetryable());
   // Cancellation is deliberate; auto-retry would defeat it.
   EXPECT_FALSE(Status::Cancelled("x").IsRetryable());
+  // ... and kRetryExhausted IS the report that retrying stopped helping.
+  EXPECT_FALSE(Status::RetryExhausted("x").IsRetryable());
   EXPECT_FALSE(Status::OK().IsRetryable());
   EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
   EXPECT_FALSE(Status::Internal("x").IsRetryable());
@@ -71,6 +78,10 @@ TEST(StatusTest, GovernanceErrorsAreTheThreeNewCodes) {
   EXPECT_FALSE(IsGovernanceError(Status::OK()));
   EXPECT_FALSE(IsGovernanceError(Status::FailedPrecondition("x")));
   EXPECT_FALSE(IsGovernanceError(Status::Internal("x")));
+  // The transaction codes report scheduling outcomes, not resource
+  // governance: a conflict retry must not be mistaken for a budget bump.
+  EXPECT_FALSE(IsGovernanceError(Status::TxnConflict("x")));
+  EXPECT_FALSE(IsGovernanceError(Status::RetryExhausted("x")));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -457,6 +459,80 @@ TEST(RetryScheduleTest, DelaysAreDeterministicBoundedAndJittered) {
   EXPECT_NE(a, b);  // the seed actually feeds the jitter
 }
 
+TEST(RetryScheduleTest, DisablingJitterYieldsTheExactExponentialLadder) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(8);
+  policy.multiplier = 2.0;
+  policy.jitter = false;
+  policy.jitter_seed = 42;
+
+  auto delays = [](const RetryPolicy& p) {
+    RetrySchedule schedule(p);
+    std::vector<std::chrono::nanoseconds> out;
+    for (int i = 0; i < 6; ++i) out.push_back(schedule.NextDelay());
+    return out;
+  };
+  // The exact capped exponential — no spread: 1, 2, 4, then pinned at 8.
+  const std::vector<std::chrono::nanoseconds> expected = {
+      std::chrono::milliseconds(1), std::chrono::milliseconds(2),
+      std::chrono::milliseconds(4), std::chrono::milliseconds(8),
+      std::chrono::milliseconds(8), std::chrono::milliseconds(8)};
+  const auto a = delays(policy);
+  EXPECT_EQ(a, expected);
+
+  // With jitter off the seed is inert: schedules are seed-independent.
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  EXPECT_EQ(delays(other), a);
+}
+
+TEST(RetryScheduleTest, NormalizeRetryPolicyClampsPathologicalConfigs) {
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  bad.base_delay = std::chrono::milliseconds(-5);
+  bad.max_delay = std::chrono::milliseconds(-7);
+  bad.multiplier = 0.25;
+  const RetryPolicy fixed = NormalizeRetryPolicy(bad);
+  EXPECT_EQ(fixed.max_attempts, 1u);  // the initial attempt always runs
+  EXPECT_EQ(fixed.base_delay.count(), 0);
+  EXPECT_EQ(fixed.max_delay.count(), 0);
+  EXPECT_EQ(fixed.multiplier, 1.0);  // backoff never shrinks
+
+  // A cap below the base is raised to the base, never the other way: the
+  // configured floor wins over the miswritten ceiling.
+  RetryPolicy inverted;
+  inverted.base_delay = std::chrono::milliseconds(4);
+  inverted.max_delay = std::chrono::milliseconds(1);
+  const RetryPolicy raised = NormalizeRetryPolicy(inverted);
+  EXPECT_EQ(raised.base_delay, std::chrono::milliseconds(4));
+  EXPECT_EQ(raised.max_delay, std::chrono::milliseconds(4));
+
+  // NaN multipliers degrade to a constant schedule instead of poisoning
+  // every comparison downstream.
+  RetryPolicy nan_mult;
+  nan_mult.multiplier = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(NormalizeRetryPolicy(nan_mult).multiplier, 1.0);
+
+  // RetrySchedule normalizes on construction: a zero-attempt policy still
+  // accounts for the initial attempt and grants nothing.
+  RetrySchedule none(bad);
+  EXPECT_FALSE(none.ShouldRetry(Status::ResourceExhausted("x")));
+  EXPECT_EQ(none.attempts_used(), 1u);
+
+  // ... and a shrinking multiplier under an inverted cap flattens into a
+  // constant 4ms ladder instead of decaying toward zero.
+  RetryPolicy shrink = inverted;
+  shrink.max_attempts = 4;
+  shrink.multiplier = 0.5;
+  shrink.jitter = false;
+  RetrySchedule flat(shrink);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(flat.NextDelay(), std::chrono::milliseconds(4)) << i;
+  }
+}
+
 // -- DurableStore: the simple A/B/f workload ---------------------------------
 
 class DurableStoreTest : public ::testing::Test {
@@ -808,6 +884,90 @@ TEST_F(DurableStoreTest, RecoveryMatrixBitFlipLosesTheAckedCommitDetectably) {
   // recovery anomaly wrote its own and the report references it.
   EXPECT_EQ(report.flight_dump_path, RecoveryFlightFile(dir));
   AssertFlightDump(report.flight_dump_path);
+}
+
+/// Recovery during recovery: Open itself killed at EVERY cooperative probe
+/// the replay traverses — one per replayed record plus the positioning probe
+/// just before the writer touches the directory. A crashed recovery must
+/// leave the log byte-identical, so a second, clean recovery reaches the
+/// same committed prefix as if the first had never run.
+TEST_F(DurableStoreTest, RecoveryMatrixCrashDuringReplayRecoversTheSamePrefix) {
+  const std::string dir = MakeTempDir("store");
+  { auto store = OpenAndRun(dir, kSteps); }
+
+  // Observe run: enumerate the probes one full recovery traverses.
+  FaultInjector observer;
+  observer.set_recording(true);
+  DurableStoreOptions oopt;
+  oopt.injector = &observer;
+  {
+    auto store = std::move(DurableStore::Open(dir, &schema_, oopt)).value();
+    EXPECT_TRUE(store->instance() == states_[kSteps]);
+  }
+  const std::uint64_t probes = observer.probes_seen();
+  const std::vector<std::string> names = observer.recorded_probes();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "store/recovery/replay"),
+            static_cast<std::ptrdiff_t>(kSteps));
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.back(), "store/recovery/position");
+  ASSERT_GE(probes, kSteps + 1);
+
+  for (std::uint64_t n = 1; n <= probes; ++n) {
+    FaultInjector inj = FaultInjector::FireAtNthProbe(n);
+    DurableStoreOptions options;
+    options.injector = &inj;
+    RecoveryReport report;
+    auto crashed = DurableStore::Open(dir, &schema_, options, &report);
+    ASSERT_FALSE(crashed.ok()) << "probe " << n;
+    EXPECT_EQ(crashed.status().code(), StatusCode::kInternal)
+        << "probe " << n << ": " << crashed.status().ToString();
+
+    // The interrupted recovery wrote nothing: the second recovery replays
+    // the identical committed prefix.
+    RecoveryReport clean;
+    EXPECT_TRUE(Recover(dir, &clean) == states_[kSteps]) << "probe " << n;
+    EXPECT_EQ(clean.replayed_records, kSteps) << "probe " << n;
+    EXPECT_FALSE(clean.torn_tail) << "probe " << n;
+  }
+}
+
+/// The same, on a store whose previous life ended in a crash: the WAL is cut
+/// mid-record, and the recovery of THAT is itself crashed at every probe.
+/// Both layers of failure must still land on the longest valid prefix.
+TEST_F(DurableStoreTest, RecoveryMatrixCrashWhileRecoveringATornLog) {
+  const std::string dir = MakeTempDir("store");
+  { auto store = OpenAndRun(dir, kSteps); }
+  const WalReplay pristine = std::move(ReadWal(WalFile(dir))).value();
+  ASSERT_EQ(pristine.records.size(), kSteps);
+  // Cut inside the final record: 3 whole records + half of the fourth...
+  const std::size_t cut =
+      (pristine.record_ends[kSteps - 2] + pristine.record_ends[kSteps - 1]) /
+      2;
+  const std::string bytes = ReadFileBytes(WalFile(dir));
+
+  // Every crashed Open happens *before* the writer truncates (the position
+  // probe precedes WalWriter::Open), but the clean recovery between rounds
+  // does truncate — so the tear is re-inflicted before each round. The loop
+  // ends at the first probe ordinal past what a torn recovery traverses.
+  std::uint64_t n = 0;
+  while (true) {
+    ++n;
+    WriteFileBytes(WalFile(dir), bytes.substr(0, cut));
+    FaultInjector inj = FaultInjector::FireAtNthProbe(n);
+    DurableStoreOptions options;
+    options.injector = &inj;
+    auto crashed = DurableStore::Open(dir, &schema_, options);
+    if (crashed.ok()) break;  // n exceeded the probe count: ran to completion
+    EXPECT_EQ(crashed.status().code(), StatusCode::kInternal) << "probe " << n;
+
+    RecoveryReport clean;
+    EXPECT_TRUE(Recover(dir, &clean) == states_[kSteps - 1]) << "probe " << n;
+    EXPECT_EQ(clean.replayed_records, kSteps - 1) << "probe " << n;
+    EXPECT_TRUE(clean.torn_tail) << "probe " << n;
+  }
+  // At least one replay probe per surviving record plus the position probe
+  // were each crashed once.
+  EXPECT_GE(n, kSteps);
 }
 
 // -- DurableStore over the SQL engine (payroll workload) ---------------------
