@@ -1,0 +1,181 @@
+// Experiment E-SERVICE — closed-loop multi-tenant service latency: N
+// concurrent clients (1..16) drive a mixed read/write workload against a
+// two-tenant server over the in-process transport, each client issuing its
+// next request only after the previous one completed (closed loop, so
+// measured latency includes admission queueing and any shed-and-retry
+// round trips). Reported per client count:
+//
+//   p50_us / p99_us / p999_us — end-to-end request latency percentiles,
+//     measured at the client across every operation (retries included);
+//   shed / retries            — load-shedding responses the server issued
+//     and retry round trips the clients absorbed, the backpressure story
+//     behind the tail;
+//   failures                  — operations that exhausted their retry
+//     budget (0 in a healthy run: the suggested-backoff + retry schedule
+//     must absorb the burst, not drop work).
+//
+// The server's admission gates are deliberately tight (max_concurrency 2,
+// max_queue 2 per tenant) so the 8- and 16-client rows actually exercise
+// shedding; the `net.*` counters land in the artifact's "metrics" block via
+// the shared bench sinks.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_obs.h"
+#include "core/schema.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/transport.h"
+
+namespace setrec {
+namespace {
+
+constexpr std::uint32_t kOpsPerClient = 64;
+
+/// A fresh two-tenant server in a private temp directory, wired to the
+/// process-wide bench sinks so net.* counters travel with the artifact.
+struct ServiceBench {
+  Schema schema;
+  ClassId a = 0, b = 0;
+  std::unique_ptr<Server> server;
+
+  explicit ServiceBench(const std::string& tag) {
+    a = schema.AddClass("A").value();
+    b = schema.AddClass("B").value();
+    schema.AddProperty("f", a, b).value();
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "setrec_bench_service" / tag;
+    std::filesystem::remove_all(dir);
+    ServerOptions options;
+    options.data_dir = dir.string();
+    options.schema = &schema;
+    options.suggested_backoff_ms = 1;
+    options.own_pool_workers = 8;
+    options.metrics = benchobs::ObsMetrics();
+    options.tracer = benchobs::ObsTracer();
+    std::vector<TenantConfig> tenants;
+    for (const char* name : {"t0", "t1"}) {
+      TenantConfig tenant;
+      tenant.name = name;
+      tenant.max_concurrency = 2;
+      tenant.max_queue = 2;
+      tenants.push_back(tenant);
+    }
+    server = std::move(Server::Create(options, tenants)).value();
+  }
+};
+
+Client::Options ClientFor(ServiceBench& bench, const std::string& tenant) {
+  Client::Options options;
+  options.tenant = tenant;
+  options.dial = [server = bench.server.get()]() -> Result<ConnectionPtr> {
+    auto [client_end, server_end] = CreateInProcessPair();
+    server->Serve(std::move(server_end));
+    return std::move(client_end);
+  };
+  options.retry.max_attempts = 8;
+  options.retry.base_delay = std::chrono::microseconds(200);
+  options.retry.max_delay = std::chrono::milliseconds(2);
+  options.metrics = benchobs::ObsMetrics();
+  return options;
+}
+
+double PercentileUs(const std::vector<std::int64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ns.size() - 1) + 0.5);
+  return static_cast<double>(
+             sorted_ns[std::min(rank, sorted_ns.size() - 1)]) /
+         1000.0;
+}
+
+/// Closed-loop mixed workload: every fourth operation is a write (a delta
+/// adding a globally fresh A object), the rest read the A relation back.
+void BM_ServiceClosedLoop(benchmark::State& state) {
+  const auto clients = static_cast<std::uint32_t>(state.range(0));
+  ServiceBench bench("clients" + std::to_string(clients));
+  MetricsRegistry* metrics = benchobs::ObsMetrics();
+  const std::uint64_t shed_before =
+      metrics == nullptr ? 0 : metrics->CounterNamed("net.shed").value();
+  const std::uint64_t retries_before =
+      metrics == nullptr ? 0
+                         : metrics->CounterNamed("net.client.retries").value();
+
+  std::vector<std::int64_t> latencies_ns;
+  std::uint64_t failures = 0;
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    ++round;
+    std::vector<std::vector<std::int64_t>> per_client(clients);
+    std::vector<std::uint64_t> per_client_failures(clients, 0);
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&bench, &per_client, &per_client_failures, c,
+                         round] {
+        Client client(ClientFor(bench, c % 2 == 0 ? "t0" : "t1"));
+        per_client[c].reserve(kOpsPerClient);
+        for (std::uint32_t i = 0; i < kOpsPerClient; ++i) {
+          const std::uint32_t fresh =
+              (round * 1000u + c) * 1000u + i;  // globally unique object
+          const auto start = std::chrono::steady_clock::now();
+          Result<Response> reply =
+              i % 4 == 0
+                  ? client.ApplyDelta("delta { add object A(" +
+                                      std::to_string(fresh) + "); }")
+                  : client.Query("A");
+          const auto elapsed = std::chrono::steady_clock::now() - start;
+          per_client[c].push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count());
+          if (!reply.ok() || reply->code != StatusCode::kOk) {
+            ++per_client_failures[c];
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      latencies_ns.insert(latencies_ns.end(), per_client[c].begin(),
+                          per_client[c].end());
+      failures += per_client_failures[c];
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * clients * kOpsPerClient);
+
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  state.counters["p50_us"] = PercentileUs(latencies_ns, 0.50);
+  state.counters["p99_us"] = PercentileUs(latencies_ns, 0.99);
+  state.counters["p999_us"] = PercentileUs(latencies_ns, 0.999);
+  state.counters["failures"] = static_cast<double>(failures);
+  state.counters["shed"] =
+      metrics == nullptr
+          ? 0.0
+          : static_cast<double>(metrics->CounterNamed("net.shed").value() -
+                                shed_before);
+  state.counters["retries"] =
+      metrics == nullptr
+          ? 0.0
+          : static_cast<double>(
+                metrics->CounterNamed("net.client.retries").value() -
+                retries_before);
+}
+BENCHMARK(BM_ServiceClosedLoop)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace setrec

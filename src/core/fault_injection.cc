@@ -61,6 +61,10 @@ void FaultInjector::MoveFrom(FaultInjector& other) {
                      std::memory_order_relaxed);
   storage_fired_.store(other.storage_fired_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+  net_ops_.store(other.net_ops_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  net_fired_.store(other.net_fired_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
   fire_at_ = other.fire_at_;
   rng_state_.store(other.rng_state_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
@@ -69,6 +73,8 @@ void FaultInjector::MoveFrom(FaultInjector& other) {
   code_ = other.code_;
   storage_plan_ = other.storage_plan_;
   storage_fire_at_ = other.storage_fire_at_;
+  net_plan_ = other.net_plan_;
+  net_fire_at_ = other.net_fire_at_;
   recording_ = other.recording_;
   std::lock_guard<std::mutex> lock(other.log_mu_);
   log_ = std::move(other.log_);
@@ -117,6 +123,43 @@ FaultInjector FaultInjector::BitFlipAt(std::uint64_t nth,
   return out;
 }
 
+FaultInjector FaultInjector::DropFrameAt(std::uint64_t nth) {
+  FaultInjector out;
+  out.net_fire_at_ = nth;
+  out.net_plan_ = {NetFaultKind::kDropFrame, 0, 0};
+  return out;
+}
+
+FaultInjector FaultInjector::DuplicateFrameAt(std::uint64_t nth) {
+  FaultInjector out;
+  out.net_fire_at_ = nth;
+  out.net_plan_ = {NetFaultKind::kDuplicateFrame, 0, 0};
+  return out;
+}
+
+FaultInjector FaultInjector::TruncateFrameAt(std::uint64_t nth,
+                                             std::uint64_t byte_offset) {
+  FaultInjector out;
+  out.net_fire_at_ = nth;
+  out.net_plan_ = {NetFaultKind::kTruncateFrame, byte_offset, 0};
+  return out;
+}
+
+FaultInjector FaultInjector::DelayFrameAt(std::uint64_t nth,
+                                          std::uint32_t delay_ms) {
+  FaultInjector out;
+  out.net_fire_at_ = nth;
+  out.net_plan_ = {NetFaultKind::kDelayFrame, 0, delay_ms};
+  return out;
+}
+
+FaultInjector FaultInjector::DisconnectAt(std::uint64_t nth) {
+  FaultInjector out;
+  out.net_fire_at_ = nth;
+  out.net_plan_ = {NetFaultKind::kDisconnect, 0, 0};
+  return out;
+}
+
 Status FaultInjector::Probe(std::string_view probe_point) {
   const std::uint64_t ordinal =
       probes_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -152,11 +195,28 @@ StorageFaultPlan FaultInjector::StorageProbe(std::string_view probe_point) {
   return storage_plan_;
 }
 
+NetFaultPlan FaultInjector::NetProbe(std::string_view probe_point) {
+  const std::uint64_t ordinal =
+      net_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (recording_) {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.emplace_back(std::string(probe_point));
+  }
+  if (net_fire_at_ == 0 || ordinal != net_fire_at_ ||
+      net_plan_.kind == NetFaultKind::kNone) {
+    return NetFaultPlan{};
+  }
+  net_fired_.fetch_add(1, std::memory_order_relaxed);
+  return net_plan_;
+}
+
 void FaultInjector::Reset() {
   probes_.store(0, std::memory_order_relaxed);
   fired_.store(0, std::memory_order_relaxed);
   storage_ops_.store(0, std::memory_order_relaxed);
   storage_fired_.store(0, std::memory_order_relaxed);
+  net_ops_.store(0, std::memory_order_relaxed);
+  net_fired_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(log_mu_);
   log_.clear();
 }

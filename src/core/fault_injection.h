@@ -36,6 +36,40 @@ struct StorageFaultPlan {
   std::uint8_t bit_mask = 0;
 };
 
+/// What a network probe asked a framed connection to do to the frame it is
+/// about to send (or receive). Like storage faults, network faults corrupt
+/// the medium — here, the byte stream between two endpoints — and the *peer*
+/// must cope through checksums, timeouts, retries and failover.
+enum class NetFaultKind : std::uint8_t {
+  kNone = 0,
+  /// The frame silently vanishes: the sender believes it was sent, the
+  /// receiver never sees it. The receiver's read deadline is what surfaces
+  /// the loss.
+  kDropFrame,
+  /// The frame is delivered twice back to back. Receivers must deduplicate
+  /// by request id (the server replays its cached response; the client
+  /// discards stale response frames).
+  kDuplicateFrame,
+  /// Only the first `byte_offset` bytes of the frame reach the peer, then
+  /// the connection dies — the network analogue of a torn write. The peer
+  /// sees a short or checksum-failing frame followed by a closed stream.
+  kTruncateFrame,
+  /// The frame is delivered intact but `delay_ms` late (tests keep this
+  /// small; it exists to exercise deadline propagation, not realism).
+  kDelayFrame,
+  /// The connection drops before the frame is sent (or, on the receive
+  /// side, before the next frame is read). Both endpoints observe a closed
+  /// stream.
+  kDisconnect,
+};
+
+/// A concrete network-fault instruction returned by NetProbe.
+struct NetFaultPlan {
+  NetFaultKind kind = NetFaultKind::kNone;
+  std::uint64_t byte_offset = 0;
+  std::uint32_t delay_ms = 0;
+};
+
 /// Deterministic fault-injection harness for the resource-governed kernels
 /// and the durability layer.
 ///
@@ -110,6 +144,26 @@ class FaultInjector {
   static FaultInjector BitFlipAt(std::uint64_t nth, std::uint64_t byte_offset,
                                  std::uint8_t bit_mask = 0x01);
 
+  // -- Network-fault factories (consulted by framed connections) --------------
+
+  /// The `nth` network operation's frame is silently dropped.
+  static FaultInjector DropFrameAt(std::uint64_t nth);
+
+  /// The `nth` network operation's frame is delivered twice.
+  static FaultInjector DuplicateFrameAt(std::uint64_t nth);
+
+  /// The `nth` network operation delivers only the first `byte_offset` bytes
+  /// of its frame, then the connection dies.
+  static FaultInjector TruncateFrameAt(std::uint64_t nth,
+                                       std::uint64_t byte_offset);
+
+  /// The `nth` network operation's frame is delayed by `delay_ms`.
+  static FaultInjector DelayFrameAt(std::uint64_t nth, std::uint32_t delay_ms);
+
+  /// The connection disconnects at the `nth` network operation, before its
+  /// frame moves.
+  static FaultInjector DisconnectAt(std::uint64_t nth);
+
   /// Consults the injector at a probe point. Returns OK (and counts the
   /// probe) or the injected fault, whose message carries the probe name and
   /// ordinal so test failures pinpoint the firing site.
@@ -119,6 +173,12 @@ class FaultInjector {
   /// or fsync). Returns the fault to apply to the bytes, or kNone. Counted
   /// separately from exec probes.
   StorageFaultPlan StorageProbe(std::string_view probe_point);
+
+  /// Consults the injector before a framed network send/receive. Returns the
+  /// fault to apply to the frame, or kNone. Counted separately from exec and
+  /// storage probes, so a frame-sweep test enumerates network operations
+  /// without disturbing the exec-probe crash matrix.
+  NetFaultPlan NetProbe(std::string_view probe_point);
 
   /// Total probes seen so far (fired or not).
   std::uint64_t probes_seen() const {
@@ -135,6 +195,14 @@ class FaultInjector {
   /// How many storage operations received a non-kNone plan.
   std::uint64_t storage_faults_fired() const {
     return storage_fired_.load(std::memory_order_relaxed);
+  }
+  /// Total network operations consulted so far.
+  std::uint64_t net_ops_seen() const {
+    return net_ops_.load(std::memory_order_relaxed);
+  }
+  /// How many network operations received a non-kNone plan.
+  std::uint64_t net_faults_fired() const {
+    return net_fired_.load(std::memory_order_relaxed);
   }
 
   /// When on, every probe name is appended to recorded_probes() in order —
@@ -167,6 +235,11 @@ class FaultInjector {
   // Storage-fault mode.
   StorageFaultPlan storage_plan_;
   std::uint64_t storage_fire_at_ = 0;
+  // Network-fault mode.
+  std::atomic<std::uint64_t> net_ops_{0};
+  std::atomic<std::uint64_t> net_fired_{0};
+  NetFaultPlan net_plan_;
+  std::uint64_t net_fire_at_ = 0;
   bool recording_ = false;
   mutable std::mutex log_mu_;
   std::vector<std::string> log_;

@@ -95,6 +95,14 @@ void ThreadPool::ParallelFor(std::size_t num_tasks,
                       [&] { return state->completed == state->num_tasks; });
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
 std::size_t ThreadPool::DefaultWorkerCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) return 1;

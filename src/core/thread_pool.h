@@ -49,6 +49,14 @@ class ThreadPool {
   void ParallelFor(std::size_t num_tasks,
                    const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues a fire-and-forget task on the pool (the network server posts
+  /// its session loops this way). Unlike ParallelFor there is no completion
+  /// barrier: the caller is responsible for its own lifecycle signalling
+  /// (the server counts active sessions under a condition variable). Tasks
+  /// posted before destruction are drained: the destructor lets workers
+  /// finish the queue before joining, so a posted task always runs.
+  void Post(std::function<void()> task);
+
   /// std::thread::hardware_concurrency clamped to [1, 64] (0 on exotic
   /// platforms means "unknown", which we treat as 1).
   static std::size_t DefaultWorkerCount();

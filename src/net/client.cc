@@ -1,0 +1,235 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace setrec {
+
+namespace {
+
+/// Transport-layer failures (dead connection, corrupt frame, recv deadline)
+/// all funnel into kResourceExhausted so one RetrySchedule governs both
+/// network flakiness and server backpressure.
+Status TransportError(const char* what, const Status& cause) {
+  return Status::ResourceExhausted(std::string("transport: ") + what + ": " +
+                                   cause.ToString());
+}
+
+}  // namespace
+
+Client::Client(Options options) : options_(std::move(options)) {}
+
+Client::~Client() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conn_ != nullptr) {
+    Frame goodbye;
+    goodbye.type = FrameType::kGoodbye;
+    (void)conn_->SendFrame(goodbye);
+    conn_->Close();
+  }
+}
+
+Status Client::EnsureConnectedLocked() {
+  if (conn_ != nullptr && !conn_->closed()) return Status::OK();
+  conn_.reset();
+  Result<ConnectionPtr> dialed = options_.dial();
+  if (!dialed.ok()) return TransportError("dial", dialed.status());
+  conn_ = std::make_unique<FramedConnection>(
+      std::move(dialed).value(), options_.injector, options_.metrics);
+  return Status::OK();
+}
+
+Result<Response> Client::AttemptLocked(const Request& request,
+                                       std::uint64_t id) {
+  SETREC_RETURN_IF_ERROR(EnsureConnectedLocked());
+  Frame out;
+  out.type = FrameType::kRequest;
+  out.request_id = id;
+  out.payload = EncodeRequest(request);
+  Status sent = conn_->SendFrame(out);
+  if (!sent.ok()) {
+    conn_.reset();
+    return TransportError("send", sent);
+  }
+  for (;;) {
+    Result<Frame> in = conn_->RecvFrame(options_.recv_timeout);
+    if (!in.ok()) {
+      conn_.reset();
+      return TransportError("recv", in.status());
+    }
+    if (in->type == FrameType::kGoodbye) {
+      conn_.reset();
+      return Status::ResourceExhausted("transport: server said goodbye");
+    }
+    if (in->type == FrameType::kResponse && in->request_id == id) {
+      Result<Response> decoded = DecodeResponse(in->payload);
+      if (!decoded.ok()) {
+        conn_.reset();
+        return TransportError("decode", decoded.status());
+      }
+      return decoded;
+    }
+    // A stale response from an abandoned attempt, or a stray replication
+    // frame: not ours, keep waiting for the matching id.
+  }
+}
+
+void Client::DumpTerminal(const Status& status) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->CounterNamed("net.client.terminal_failures").Add(1);
+  }
+  if (options_.recorder == nullptr || options_.flight_dump_path.empty()) {
+    return;
+  }
+  options_.recorder->Record(FlightRecorder::EventKind::kStatus,
+                            "net/call-terminal",
+                            static_cast<std::uint64_t>(status.code()), 0,
+                            status.message());
+  (void)options_.recorder->DumpToFile(options_.flight_dump_path);
+}
+
+Result<Response> Client::Call(Request request) {
+  TraceSpan span(options_.tracer, "net/call");
+  if (request.tenant.empty()) request.tenant = options_.tenant;
+  if (request.deadline_ms == 0) {
+    request.deadline_ms =
+        static_cast<std::uint64_t>(options_.default_deadline.count());
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->CounterNamed("net.client.calls").Add(1);
+  }
+
+  RetrySchedule schedule(options_.retry);
+  std::lock_guard<std::mutex> lock(mu_);
+  last_call_retries_ = 0;
+  std::uint64_t id = next_request_id_++;
+  for (;;) {
+    Result<Response> attempt = AttemptLocked(request, id);
+    const bool served = attempt.ok();
+    Status failure = Status::OK();
+    if (served) {
+      if (attempt->code == StatusCode::kOk) return attempt;
+      failure = StatusFromCode(attempt->code, attempt->message);
+    } else {
+      failure = attempt.status();
+      if (options_.metrics != nullptr) {
+        options_.metrics->CounterNamed("net.client.transport_errors").Add(1);
+      }
+    }
+    if (!schedule.ShouldRetry(failure)) {
+      DumpTerminal(failure);
+      // A served non-OK response goes back whole (the caller reads code and
+      // message); only transport-terminal calls surface as a bare status.
+      return attempt;
+    }
+    ++last_call_retries_;
+    if (options_.metrics != nullptr) {
+      options_.metrics->CounterNamed("net.client.retries").Add(1);
+    }
+    std::chrono::nanoseconds delay = schedule.NextDelay();
+    if (served && attempt->retry_after_ms != 0) {
+      // Honor the server's backpressure hint when it is the stricter bound.
+      delay = std::max(delay,
+                       std::chrono::nanoseconds(std::chrono::milliseconds(
+                           attempt->retry_after_ms)));
+    }
+    if (delay > std::chrono::nanoseconds::zero()) {
+      std::this_thread::sleep_for(delay);
+    }
+    // Served-but-retryable (a shed, a deadline): the statement did not run,
+    // and the session would replay the cached shed for the old id — take a
+    // fresh id. Transport failure: the server may or may not have executed;
+    // KEEP the id so a still-alive session dedups instead of re-executing.
+    if (served) id = next_request_id_++;
+  }
+}
+
+Result<Response> Client::Ping() {
+  Request request;
+  request.op = "ping";
+  return Call(std::move(request));
+}
+
+Result<Response> Client::Update(const std::string& property,
+                                const std::string& receiver_query) {
+  Request request;
+  request.op = "update";
+  request.params["property"] = property;
+  request.body = receiver_query;
+  return Call(std::move(request));
+}
+
+Result<Response> Client::ApplyDelta(const std::string& delta_text) {
+  Request request;
+  request.op = "delta";
+  request.body = delta_text;
+  return Call(std::move(request));
+}
+
+Result<Response> Client::Query(const std::string& expression) {
+  Request request;
+  request.op = "query";
+  request.body = expression;
+  return Call(std::move(request));
+}
+
+Result<Response> Client::Explain(const std::string& expression) {
+  Request request;
+  request.op = "explain";
+  request.body = expression;
+  return Call(std::move(request));
+}
+
+std::uint64_t Client::last_call_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_call_retries_;
+}
+
+FailoverReadClient::FailoverReadClient(std::vector<Target> targets,
+                                       std::uint64_t max_lag,
+                                       MetricsRegistry* metrics)
+    : targets_(std::move(targets)), max_lag_(max_lag), metrics_(metrics) {}
+
+Result<Response> FailoverReadClient::Query(const std::string& expression) {
+  Status last = Status::FailedPrecondition("failover: no targets configured");
+  for (const Target& target : targets_) {
+    Result<Response> response = target.client->Query(expression);
+    if (!response.ok()) {
+      ++dead_;
+      if (metrics_ != nullptr) {
+        metrics_->CounterNamed("net.failover.dead").Add(1);
+      }
+      last = response.status();
+      continue;
+    }
+    if (response->code != StatusCode::kOk) {
+      ++dead_;
+      if (metrics_ != nullptr) {
+        metrics_->CounterNamed("net.failover.dead").Add(1);
+      }
+      last = StatusFromCode(response->code, response->message);
+      continue;
+    }
+    if (!target.is_leader) {
+      const std::uint64_t lag =
+          response->leader_sequence > response->applied_sequence
+              ? response->leader_sequence - response->applied_sequence
+              : 0;
+      if (lag > max_lag_) {
+        ++stale_;
+        if (metrics_ != nullptr) {
+          metrics_->CounterNamed("net.failover.stale").Add(1);
+        }
+        last = Status::FailedPrecondition(
+            "failover: follower lag " + std::to_string(lag) +
+            " exceeds bound " + std::to_string(max_lag_));
+        continue;
+      }
+    }
+    return response;
+  }
+  return last;
+}
+
+}  // namespace setrec

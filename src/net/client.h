@@ -1,0 +1,142 @@
+#ifndef SETREC_NET_CLIENT_H_
+#define SETREC_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/fault_injection.h"
+#include "net/frame.h"
+#include "net/message.h"
+#include "net/replica.h"  // Dialer
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "store/retry.h"
+
+namespace setrec {
+
+/// A retrying client for one tenant on one server.
+///
+/// Retry discipline (the heart of the at-most-once story):
+///   - A *transport* failure (connection died, frame corrupted, recv
+///     deadline) is mapped to kResourceExhausted so the shared RetrySchedule
+///     governs it, and the retry re-sends the SAME request id on a fresh
+///     connection-session. If the server executed the original and the
+///     response was lost, the session dedup cache... does not apply across
+///     connections — but the server-side statement is idempotent by
+///     construction (set-oriented updates converge), so at-least-once across
+///     reconnects is safe. Within one connection a re-sent id returns the
+///     cached response without re-executing.
+///   - A *retryable response* (a shed with kResourceExhausted, a deadline)
+///     means the server answered: the statement did NOT execute. The retry
+///     uses a NEW id — reusing the old one would replay the cached shed
+///     forever — and waits max(schedule delay, server's retry_after_ms
+///     hint): explicit backpressure, honored.
+///   - Everything else is terminal; if a flight recorder is wired, a
+///     redacted dump lands at `flight_dump_path` before the error returns.
+///
+/// Thread-safe: calls are serialized on an internal mutex (one connection,
+/// one outstanding request). For parallel load, use one Client per thread —
+/// they may share a RetryPolicy; determinism survives (see RetrySchedule).
+class Client {
+ public:
+  struct Options {
+    std::string tenant;
+    Dialer dial;
+    /// Backoff for retryable failures (transport faults and sheds).
+    RetryPolicy retry;
+    /// Deadline attached to every request that does not set its own.
+    std::chrono::milliseconds default_deadline{1000};
+    /// How long to wait for each response frame.
+    std::chrono::milliseconds recv_timeout{1000};
+    FaultInjector* injector = nullptr;
+    MetricsRegistry* metrics = nullptr;
+    Tracer* tracer = nullptr;
+    /// When non-null, terminal call failures dump here.
+    FlightRecorder* recorder = nullptr;
+    std::string flight_dump_path;
+  };
+
+  explicit Client(Options options);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One governed round trip: fills in tenant/deadline defaults, retries per
+  /// the policy, and returns the server's response (which may itself carry a
+  /// non-OK code that was not retryable — callers check `code`).
+  Result<Response> Call(Request request);
+
+  // Convenience wrappers over Call(); each returns the response so callers
+  // can read sequences and bodies.
+  Result<Response> Ping();
+  /// UPDATE `property` for the receiver set of `receiver_query` (expression
+  /// text, as in the text format).
+  Result<Response> Update(const std::string& property,
+                          const std::string& receiver_query);
+  /// Applies a delta (text format) as one committed statement.
+  Result<Response> ApplyDelta(const std::string& delta_text);
+  /// Evaluates a query; the response body is the rendered relation.
+  Result<Response> Query(const std::string& expression);
+  Result<Response> Explain(const std::string& expression);
+
+  /// Retries consumed by the most recent Call (0 = first attempt sufficed).
+  std::uint64_t last_call_retries() const;
+
+ private:
+  Status EnsureConnectedLocked();
+  /// One attempt: send + await the matching response. Transport failures
+  /// come back as kResourceExhausted("transport: ...") with the connection
+  /// torn down.
+  Result<Response> AttemptLocked(const Request& request, std::uint64_t id);
+  void DumpTerminal(const Status& status);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unique_ptr<FramedConnection> conn_;  // guarded by mu_
+  std::uint64_t next_request_id_ = 1;       // guarded by mu_
+  std::uint64_t last_call_retries_ = 0;     // guarded by mu_
+};
+
+/// Read failover across a replicated deployment: queries prefer follower
+/// endpoints (cheap, horizontally scaled) and fall back to the leader when a
+/// follower is unreachable or too stale — `max_lag` bounds the acceptable
+/// gap between the follower's applied and leader sequences.
+///
+/// `targets` are tried in order; the leader (last entry by convention, or
+/// flagged) is the final authority. Counters: net.failover.stale (follower
+/// answered but lagged too far), net.failover.dead (follower call failed).
+class FailoverReadClient {
+ public:
+  struct Target {
+    Client* client = nullptr;  // borrowed; must outlive this object
+    bool is_leader = false;
+  };
+
+  FailoverReadClient(std::vector<Target> targets, std::uint64_t max_lag,
+                     MetricsRegistry* metrics = nullptr);
+
+  /// Queries the first acceptable target. OK responses from a follower
+  /// whose lag exceeds max_lag are rejected (counted stale) and the search
+  /// continues; if every target fails, the last error wins.
+  Result<Response> Query(const std::string& expression);
+
+  std::uint64_t stale_rejections() const { return stale_; }
+  std::uint64_t dead_targets_seen() const { return dead_; }
+
+ private:
+  std::vector<Target> targets_;
+  std::uint64_t max_lag_;
+  MetricsRegistry* metrics_;
+  std::uint64_t stale_ = 0;
+  std::uint64_t dead_ = 0;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_CLIENT_H_

@@ -1,0 +1,226 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "store/wal.h"
+
+namespace setrec {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'R', 'N', '1'};
+constexpr std::size_t kHeaderBytes = 24;
+
+void PutU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t GetU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+std::uint64_t GetU64(const char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         static_cast<std::uint64_t>(GetU32(p + 4)) << 32;
+}
+
+/// The checksummed region: type | flags | reserved | request id | payload,
+/// exactly the bytes after the CRC field on the wire.
+std::uint32_t FrameCrc(const Frame& frame) {
+  std::string covered;
+  covered.reserve(12 + frame.payload.size());
+  covered.push_back(static_cast<char>(frame.type));
+  covered.push_back(0);  // flags
+  covered.push_back(0);  // reserved
+  covered.push_back(0);
+  PutU64(covered, frame.request_id);
+  return Crc32(frame.payload, Crc32(covered));
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  out.append(kMagic, sizeof kMagic);
+  PutU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  PutU32(out, FrameCrc(frame));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(0);  // flags
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  PutU64(out, frame.request_id);
+  out.append(frame.payload);
+  return out;
+}
+
+bool ValidFrameType(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         t <= static_cast<std::uint8_t>(FrameType::kGoodbye);
+}
+
+}  // namespace
+
+FramedConnection::FramedConnection(ConnectionPtr conn, FaultInjector* injector,
+                                   MetricsRegistry* metrics)
+    : conn_(std::move(conn)), injector_(injector), metrics_(metrics) {}
+
+void FramedConnection::Close() {
+  if (conn_ != nullptr) conn_->Close();
+}
+
+Status FramedConnection::WriteAll(std::string_view bytes) {
+  Status sent = conn_->Send(bytes);
+  if (sent.ok() && metrics_ != nullptr) {
+    metrics_->CounterNamed("net.bytes_sent").Add(bytes.size());
+  }
+  return sent;
+}
+
+Status FramedConnection::SendFrame(const Frame& frame) {
+  if (conn_ == nullptr || conn_->closed()) {
+    return Status::FailedPrecondition("connection closed");
+  }
+  if (frame.payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame payload exceeds the wire cap");
+  }
+  const std::string bytes = EncodeFrame(frame);
+  NetFaultPlan plan;
+  if (injector_ != nullptr) plan = injector_->NetProbe("net/send");
+  switch (plan.kind) {
+    case NetFaultKind::kNone:
+      break;
+    case NetFaultKind::kDropFrame:
+      // The network ate it: the sender cannot tell, so report success.
+      return Status::OK();
+    case NetFaultKind::kDuplicateFrame: {
+      SETREC_RETURN_IF_ERROR(WriteAll(bytes));
+      break;  // fall through to the (second) regular send below
+    }
+    case NetFaultKind::kTruncateFrame: {
+      const std::size_t cut =
+          std::min<std::size_t>(plan.byte_offset, bytes.size());
+      Status partial = WriteAll(std::string_view(bytes).substr(0, cut));
+      conn_->Close();
+      if (!partial.ok()) return partial;
+      return Status::Internal("injected truncated frame: " +
+                              std::to_string(cut) + " of " +
+                              std::to_string(bytes.size()) + " bytes sent");
+    }
+    case NetFaultKind::kDelayFrame:
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+      break;
+    case NetFaultKind::kDisconnect:
+      conn_->Close();
+      return Status::FailedPrecondition("injected disconnect on send");
+  }
+  SETREC_RETURN_IF_ERROR(WriteAll(bytes));
+  if (metrics_ != nullptr) metrics_->CounterNamed("net.frames_sent").Add(1);
+  return Status::OK();
+}
+
+Result<Frame> FramedConnection::RecvFrame(std::chrono::milliseconds timeout) {
+  if (conn_ == nullptr) {
+    return Status::FailedPrecondition("connection closed");
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    NetFaultPlan plan;
+    if (injector_ != nullptr) plan = injector_->NetProbe("net/recv");
+    switch (plan.kind) {
+      case NetFaultKind::kNone:
+      case NetFaultKind::kDropFrame:      // applied after decode, below
+      case NetFaultKind::kDuplicateFrame: // meaningless on receive: ignored
+      case NetFaultKind::kTruncateFrame:  // a receiver cannot truncate the
+        break;                            // stream: treated as none
+      case NetFaultKind::kDelayFrame:
+        std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+        break;
+      case NetFaultKind::kDisconnect:
+        conn_->Close();
+        return Status::FailedPrecondition("injected disconnect on recv");
+    }
+
+    // Buffer until a complete frame is decodable, validating what is
+    // already visible first — a bad magic or an absurd length will never
+    // become a valid frame, so fail on them without waiting for more bytes.
+    for (;;) {
+      if (inbox_.size() >= sizeof kMagic &&
+          inbox_.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+        conn_->Close();
+        return Status::CorruptedLog("bad frame magic");
+      }
+      if (inbox_.size() >= kHeaderBytes) {
+        const std::uint32_t want = GetU32(inbox_.data() + 4);
+        if (want > kMaxFramePayloadBytes) {
+          conn_->Close();
+          return Status::CorruptedLog("frame length exceeds the wire cap");
+        }
+        if (inbox_.size() >= kHeaderBytes + want) break;  // frame complete
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded("recv timed out");
+      }
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now);
+      Result<std::size_t> got = conn_->Recv(
+          1 << 16, std::max(remaining, std::chrono::milliseconds(1)),
+          &inbox_);
+      SETREC_RETURN_IF_ERROR(got.status());
+      if (metrics_ != nullptr && *got > 0) {
+        metrics_->CounterNamed("net.bytes_recv").Add(*got);
+      }
+      if (*got == 0) {
+        // Peer closed. Silence between frames is a clean goodbye-less
+        // close; a partial frame means the stream tore mid-frame.
+        if (inbox_.empty()) {
+          return Status::FailedPrecondition("connection closed by peer");
+        }
+        conn_->Close();
+        return Status::CorruptedLog("connection closed mid-frame");
+      }
+    }
+
+    const std::uint32_t length = GetU32(inbox_.data() + 4);
+    const std::uint32_t wire_crc = GetU32(inbox_.data() + 8);
+    const std::uint8_t type = static_cast<std::uint8_t>(inbox_[12]);
+    // Checksum the wire bytes themselves (everything after the CRC field),
+    // not a reconstruction of the frame — a flipped flags/reserved byte
+    // must be detected even though the decoder otherwise ignores those.
+    const std::uint32_t computed = Crc32(
+        std::string_view(inbox_.data() + 12, (kHeaderBytes - 12) + length));
+    Frame frame;
+    frame.request_id = GetU64(inbox_.data() + 16);
+    frame.payload = inbox_.substr(kHeaderBytes, length);
+    inbox_.erase(0, kHeaderBytes + length);
+    if (!ValidFrameType(type)) {
+      conn_->Close();
+      return Status::CorruptedLog("unknown frame type " +
+                                  std::to_string(type));
+    }
+    frame.type = static_cast<FrameType>(type);
+    if (computed != wire_crc) {
+      conn_->Close();
+      return Status::CorruptedLog("frame crc mismatch");
+    }
+    if (plan.kind == NetFaultKind::kDropFrame) {
+      continue;  // the network ate it after all: decode the next one
+    }
+    if (metrics_ != nullptr) metrics_->CounterNamed("net.frames_recv").Add(1);
+    return frame;
+  }
+}
+
+}  // namespace setrec

@@ -1,0 +1,100 @@
+#ifndef SETREC_NET_FRAME_H_
+#define SETREC_NET_FRAME_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "core/fault_injection.h"
+#include "core/status.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace setrec {
+
+/// Length-prefixed, checksummed framing over a byte stream.
+///
+/// Wire layout (little-endian, 24-byte header + payload):
+///
+///   "SRN1" magic | u32 payload length | u32 CRC-32 | u8 type | u8 flags
+///   | u16 reserved | u64 request id | payload bytes
+///
+/// The CRC (the WAL's Crc32) covers everything after itself: type, flags,
+/// reserved, request id, payload — so a flipped bit anywhere in the frame
+/// body or a truncated payload is detected, not interpreted. The magic makes
+/// a desynchronized stream (a frame cut mid-payload by a fault, a foreign
+/// protocol) fail fast with kCorruptedLog instead of a huge bogus length
+/// allocation; a sanity cap on the length field backstops that.
+///
+/// Like the hardened text parsers, the decoder is a funnel: every byte of
+/// the peer passes through it before any other code sees the payload, and
+/// every malformed input maps to a typed error (never a crash, never a
+/// hang — reads carry deadlines).
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,   // payload: an encoded Request (net/message.h)
+  kResponse = 2,  // payload: an encoded Response
+  kWalRecord = 3, // replication: payload is a WAL record payload, request id
+                  // carries the record's sequence number
+  kGoodbye = 4,   // clean shutdown notice; no payload
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Hard cap on a frame payload (64 MiB). A length field above this is
+/// corruption by definition, mirroring the WAL reader's kMaxPayloadBytes.
+constexpr std::uint32_t kMaxFramePayloadBytes = 1u << 26;
+
+/// Framing over a Connection, with fault injection and metrics on both
+/// directions. Not internally synchronized: a FramedConnection belongs to
+/// one session/call at a time (the server gives each session its own; the
+/// client serializes calls on a mutex).
+class FramedConnection {
+ public:
+  /// `injector` and `metrics` are borrowed and may be null. The injector is
+  /// consulted once per physical send ("net/send") and once per frame
+  /// decode ("net/recv") — see FaultInjector's NetFaultKind for the menu.
+  explicit FramedConnection(ConnectionPtr conn,
+                            FaultInjector* injector = nullptr,
+                            MetricsRegistry* metrics = nullptr);
+
+  /// Encodes and writes one frame. Injected faults surface as:
+  ///   drop      → OK, nothing written (a silently lost frame; the peer's
+  ///               read deadline converts it into kDeadlineExceeded there)
+  ///   duplicate → the frame is written twice (dedup is the receiver's job)
+  ///   truncate  → a prefix is written, then the connection closes;
+  ///               returns kInternal
+  ///   delay     → the write happens after the configured pause
+  ///   disconnect→ the connection closes; returns kFailedPrecondition
+  Status SendFrame(const Frame& frame);
+
+  /// Reads one complete frame, buffering partial reads, within `timeout`
+  /// overall. Corrupt input (bad magic, oversized length, CRC mismatch,
+  /// unknown type) returns kCorruptedLog and poisons the stream — framing
+  /// cannot resynchronize, so the connection is closed. A clean peer close
+  /// mid-silence returns kFailedPrecondition("connection closed by peer");
+  /// a close *inside* a frame is kCorruptedLog (the frame was torn).
+  /// An injected recv-side `drop` discards the decoded frame and keeps
+  /// reading; `disconnect` closes and fails; `delay` pauses first.
+  Result<Frame> RecvFrame(std::chrono::milliseconds timeout);
+
+  void Close();
+  bool closed() const { return conn_ == nullptr || conn_->closed(); }
+
+ private:
+  Status WriteAll(std::string_view bytes);
+
+  ConnectionPtr conn_;
+  FaultInjector* injector_;
+  MetricsRegistry* metrics_;
+  /// Bytes received but not yet consumed as a frame.
+  std::string inbox_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_FRAME_H_

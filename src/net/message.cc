@@ -1,0 +1,277 @@
+#include "net/message.h"
+
+#include <array>
+#include <cctype>
+#include <limits>
+#include <vector>
+
+namespace setrec {
+
+namespace {
+
+/// Decoder hardening caps. A header line longer than this, or more lines
+/// than this, is a malformed message by fiat — real headers are tiny.
+constexpr std::size_t kMaxHeaderLineBytes = 4096;
+constexpr std::size_t kMaxHeaderLines = 256;
+
+/// Overflow-checked base-10 u64 parse of a full token.
+Result<std::uint64_t> ParseU64(std::string_view token,
+                               const char* what) {
+  if (token.empty()) {
+    return Status::InvalidArgument(std::string(what) + ": empty number");
+  }
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": not a decimal number");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return Status::InvalidArgument(std::string(what) + ": overflow");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Splits `line` at the first space into (key, rest). No space: rest empty.
+std::pair<std::string_view, std::string_view> SplitKey(
+    std::string_view line) {
+  const std::size_t space = line.find(' ');
+  if (space == std::string_view::npos) return {line, {}};
+  return {line.substr(0, space), line.substr(space + 1)};
+}
+
+/// Shared header-walking core for both decoders: calls `on_line(key, rest)`
+/// per header line until the `body <len>` terminator, then validates the
+/// length and hands back the raw body.
+template <typename OnLine>
+Result<std::string> WalkMessage(std::string_view bytes, OnLine&& on_line) {
+  std::size_t offset = 0;
+  std::size_t lines = 0;
+  while (offset < bytes.size()) {
+    if (++lines > kMaxHeaderLines) {
+      return Status::InvalidArgument("message: too many header lines");
+    }
+    const std::size_t newline = bytes.find('\n', offset);
+    if (newline == std::string_view::npos) {
+      return Status::InvalidArgument("message: unterminated header line");
+    }
+    if (newline - offset > kMaxHeaderLineBytes) {
+      return Status::InvalidArgument("message: header line too long");
+    }
+    const std::string_view line = bytes.substr(offset, newline - offset);
+    offset = newline + 1;
+    const auto [key, rest] = SplitKey(line);
+    if (key == "body") {
+      SETREC_ASSIGN_OR_RETURN(const std::uint64_t len,
+                              ParseU64(rest, "body length"));
+      if (len != bytes.size() - offset) {
+        return Status::InvalidArgument(
+            "message: body length " + std::to_string(len) + " but " +
+            std::to_string(bytes.size() - offset) + " bytes present");
+      }
+      return std::string(bytes.substr(offset));
+    }
+    SETREC_RETURN_IF_ERROR(on_line(key, rest));
+  }
+  return Status::InvalidArgument("message: missing body terminator");
+}
+
+void AppendLine(std::string& out, std::string_view key,
+                std::string_view value) {
+  out.append(key);
+  out.push_back(' ');
+  out.append(SanitizeHeaderValue(value));
+  out.push_back('\n');
+}
+
+void AppendU64(std::string& out, std::string_view key, std::uint64_t value) {
+  out.append(key);
+  out.push_back(' ');
+  out.append(std::to_string(value));
+  out.push_back('\n');
+}
+
+void AppendBody(std::string& out, const std::string& body) {
+  AppendU64(out, "body", body.size());
+  out.append(body);
+}
+
+/// A parameter name travels as part of a header line, so it must be a
+/// single space-free token; values are sanitized like any header value.
+bool ValidParamName(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SanitizeHeaderValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    out.push_back(static_cast<unsigned char>(c) < 0x20 || c == 0x7f ? '?'
+                                                                    : c);
+  }
+  return out;
+}
+
+Result<StatusCode> StatusCodeFromName(std::string_view name) {
+  static constexpr std::array<StatusCode, 15> kCodes = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,      StatusCode::kDiverges,
+      StatusCode::kUnimplemented,      StatusCode::kInternal,
+      StatusCode::kResourceExhausted,  StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,          StatusCode::kCorruptedLog,
+      StatusCode::kTxnConflict,        StatusCode::kRetryExhausted,
+      StatusCode::kOk};
+  for (StatusCode code : kCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return Status::InvalidArgument("unknown status code name '" +
+                                 std::string(name) + "'");
+}
+
+Status StatusFromCode(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kDiverges:
+      return Status::Diverges(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kCorruptedLog:
+      return Status::CorruptedLog(std::move(message));
+    case StatusCode::kTxnConflict:
+      return Status::TxnConflict(std::move(message));
+    case StatusCode::kRetryExhausted:
+      return Status::RetryExhausted(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  AppendLine(out, "op", request.op);
+  if (!request.tenant.empty()) AppendLine(out, "tenant", request.tenant);
+  if (request.deadline_ms != 0) {
+    AppendU64(out, "deadline_ms", request.deadline_ms);
+  }
+  for (const auto& [name, value] : request.params) {
+    out.append("param ");
+    out.append(SanitizeHeaderValue(name));
+    out.push_back(' ');
+    out.append(SanitizeHeaderValue(value));
+    out.push_back('\n');
+  }
+  AppendBody(out, request.body);
+  return out;
+}
+
+Result<Request> DecodeRequest(std::string_view bytes) {
+  Request request;
+  SETREC_ASSIGN_OR_RETURN(
+      request.body,
+      WalkMessage(bytes, [&](std::string_view key,
+                             std::string_view rest) -> Status {
+        if (key == "op") {
+          request.op = std::string(rest);
+        } else if (key == "tenant") {
+          request.tenant = std::string(rest);
+        } else if (key == "deadline_ms") {
+          SETREC_ASSIGN_OR_RETURN(request.deadline_ms,
+                                  ParseU64(rest, "deadline_ms"));
+        } else if (key == "param") {
+          const auto [name, value] = SplitKey(rest);
+          if (!ValidParamName(name)) {
+            return Status::InvalidArgument("request: bad parameter name");
+          }
+          request.params[std::string(name)] = std::string(value);
+        } else {
+          // Unknown keys are tolerated (skipped) for forward compatibility:
+          // an older server must not choke on a newer client's extras.
+          return Status::OK();
+        }
+        return Status::OK();
+      }));
+  if (request.op.empty()) {
+    return Status::InvalidArgument("request: missing op");
+  }
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string out;
+  AppendLine(out, "code", StatusCodeName(response.code));
+  if (!response.message.empty()) {
+    AppendLine(out, "message", response.message);
+  }
+  if (response.retry_after_ms != 0) {
+    AppendU64(out, "retry_after_ms", response.retry_after_ms);
+  }
+  if (response.applied_sequence != 0) {
+    AppendU64(out, "applied_sequence", response.applied_sequence);
+  }
+  if (response.leader_sequence != 0) {
+    AppendU64(out, "leader_sequence", response.leader_sequence);
+  }
+  AppendBody(out, response.body);
+  return out;
+}
+
+Result<Response> DecodeResponse(std::string_view bytes) {
+  Response response;
+  bool saw_code = false;
+  SETREC_ASSIGN_OR_RETURN(
+      response.body,
+      WalkMessage(bytes, [&](std::string_view key,
+                             std::string_view rest) -> Status {
+        if (key == "code") {
+          SETREC_ASSIGN_OR_RETURN(response.code, StatusCodeFromName(rest));
+          saw_code = true;
+        } else if (key == "message") {
+          response.message = std::string(rest);
+        } else if (key == "retry_after_ms") {
+          SETREC_ASSIGN_OR_RETURN(response.retry_after_ms,
+                                  ParseU64(rest, "retry_after_ms"));
+        } else if (key == "applied_sequence") {
+          SETREC_ASSIGN_OR_RETURN(response.applied_sequence,
+                                  ParseU64(rest, "applied_sequence"));
+        } else if (key == "leader_sequence") {
+          SETREC_ASSIGN_OR_RETURN(response.leader_sequence,
+                                  ParseU64(rest, "leader_sequence"));
+        }
+        return Status::OK();  // unknown keys tolerated, as in requests
+      }));
+  if (!saw_code) {
+    return Status::InvalidArgument("response: missing code");
+  }
+  return response;
+}
+
+}  // namespace setrec

@@ -1,0 +1,92 @@
+#ifndef SETREC_NET_MESSAGE_H_
+#define SETREC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace setrec {
+
+/// Request/response payloads carried inside kRequest/kResponse frames.
+///
+/// The encoding follows the repo's text-format discipline — line-oriented,
+/// human-readable, hardened against hostile input — with one twist: the
+/// free-form body (an expression, a delta, an instance) is *length-prefixed*
+/// rather than escaped, so arbitrary bytes ride through without an escaping
+/// layer:
+///
+///   op update
+///   tenant acme
+///   deadline_ms 250
+///   param property f
+///   body 38
+///   <exactly 38 raw bytes>
+///
+/// Header lines are `key value`; the `body <len>` line is always last. The
+/// decoder is the funnel every peer byte passes through: line length and
+/// count are capped, integers are overflow-checked, the body length is
+/// validated against what is physically present, and every defect returns
+/// kInvalidArgument — never a crash, never an allocation driven by an
+/// unvalidated length (the frame layer already capped the payload).
+///
+/// Values that travel in header lines (status messages, tenant names) pass
+/// through SanitizeHeaderValue, which replaces control bytes — so a payload
+/// can never smuggle a line break into a header and desynchronize the
+/// decoder. This mirrors the obs/json_escape.h funnel rule: one chokepoint,
+/// applied at encode time, checked at decode time.
+
+struct Request {
+  /// Operation name: ping | update | delta | query | explain | pull
+  /// | snapshot | stats.
+  std::string op;
+  std::string tenant;
+  /// Client-imposed deadline for serving this request, in milliseconds
+  /// (0 = server default). The server clamps its ExecContext timeout to the
+  /// remaining allowance, so an expensive receiver query is cut off by the
+  /// *request's* deadline, not just the store-wide budget.
+  std::uint64_t deadline_ms = 0;
+  /// Small string parameters (property names, pull cursors).
+  std::map<std::string, std::string> params;
+  /// Raw statement body (expression text, delta text); may be empty.
+  std::string body;
+};
+
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  /// One sanitized line of detail for non-OK codes.
+  std::string message;
+  /// For kResourceExhausted sheds: the server's suggested backoff before
+  /// retrying, which the client folds into its RetrySchedule delay.
+  std::uint64_t retry_after_ms = 0;
+  /// Sequence the serving store/replica had applied when answering.
+  std::uint64_t applied_sequence = 0;
+  /// The leader's last committed sequence as known to the server — on a
+  /// follower the gap to applied_sequence is the replication lag the
+  /// failover client screens on.
+  std::uint64_t leader_sequence = 0;
+  std::string body;
+};
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::string_view bytes);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view bytes);
+
+/// Replaces every control byte (including CR/LF) with '?'; header values
+/// must stay single-line (see the funnel note above).
+std::string SanitizeHeaderValue(std::string_view value);
+
+/// Inverse of StatusCodeName (core/status.h); unknown names fail.
+Result<StatusCode> StatusCodeFromName(std::string_view name);
+
+/// Rebuilds a Status from a wire (code, message) pair — the client-side
+/// counterpart of Response::code. kOk yields OK (the message is ignored).
+Status StatusFromCode(StatusCode code, std::string message);
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_MESSAGE_H_

@@ -1,0 +1,240 @@
+#include "net/replica.h"
+
+#include <utility>
+
+#include "text/parser.h"
+
+namespace setrec {
+
+namespace {
+
+/// First line of a snapshot body: "sequence <u64>\n"; the rest is the
+/// instance text. Kept deliberately simpler than the on-disk snapshot
+/// header — the frame CRC already covers integrity in flight.
+Result<std::pair<std::uint64_t, std::string_view>> SplitSnapshotBody(
+    std::string_view body) {
+  const std::size_t newline = body.find('\n');
+  if (newline == std::string_view::npos || body.compare(0, 9, "sequence ") != 0) {
+    return Status::InvalidArgument("snapshot body: missing sequence line");
+  }
+  std::uint64_t sequence = 0;
+  for (char c : body.substr(9, newline - 9)) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("snapshot body: bad sequence");
+    }
+    sequence = sequence * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return std::make_pair(sequence, body.substr(newline + 1));
+}
+
+}  // namespace
+
+FollowerReplica::FollowerReplica(Options options)
+    : options_(std::move(options)), instance_(options_.schema) {}
+
+Result<std::unique_ptr<FollowerReplica>> FollowerReplica::Create(
+    Options options) {
+  if (options.schema == nullptr) {
+    return Status::InvalidArgument("replica: schema is required");
+  }
+  if (!options.dial) {
+    return Status::InvalidArgument("replica: dialer is required");
+  }
+  if (options.pull_batch == 0) options.pull_batch = 1;
+  return std::unique_ptr<FollowerReplica>(
+      new FollowerReplica(std::move(options)));
+}
+
+FollowerReplica::~FollowerReplica() { StopTailing(); }
+
+Status FollowerReplica::EnsureConnected() {
+  if (conn_ != nullptr && !conn_->closed()) return Status::OK();
+  Result<ConnectionPtr> dialed = options_.dial();
+  if (!dialed.ok()) {
+    conn_.reset();
+    return dialed.status();
+  }
+  conn_ = std::make_unique<FramedConnection>(
+      std::move(dialed).value(), options_.injector, options_.metrics);
+  return Status::OK();
+}
+
+Result<Response> FollowerReplica::RoundTrip(
+    const Request& request,
+    const std::function<Status(std::uint64_t, const std::string&)>&
+        on_record) {
+  SETREC_RETURN_IF_ERROR(EnsureConnected());
+  const std::uint64_t id = next_request_id_++;
+  Frame out;
+  out.type = FrameType::kRequest;
+  out.request_id = id;
+  out.payload = EncodeRequest(request);
+  Status sent = conn_->SendFrame(out);
+  if (!sent.ok()) {
+    conn_.reset();
+    return sent;
+  }
+  for (;;) {
+    Result<Frame> in = conn_->RecvFrame(options_.recv_timeout);
+    if (!in.ok()) {
+      conn_.reset();
+      return in.status();
+    }
+    if (in->type == FrameType::kWalRecord) {
+      SETREC_RETURN_IF_ERROR(on_record(in->request_id, in->payload));
+      continue;
+    }
+    if (in->type == FrameType::kResponse && in->request_id == id) {
+      return DecodeResponse(in->payload);
+    }
+    // A stale response (an earlier round's trailer raced a timeout) or a
+    // goodbye; stale frames are discarded, a goodbye ends the stream.
+    if (in->type == FrameType::kGoodbye) {
+      conn_.reset();
+      return Status::FailedPrecondition("leader said goodbye mid-round");
+    }
+  }
+}
+
+Status FollowerReplica::ApplyRecord(std::uint64_t sequence,
+                                    const std::string& payload) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (sequence <= applied_) return Status::OK();  // duplicate: idempotent
+  if (sequence != applied_ + 1) {
+    return Status::CorruptedLog(
+        "replication gap: expected sequence " +
+        std::to_string(applied_ + 1) + ", got " + std::to_string(sequence));
+  }
+  Result<InstanceDelta> delta = ParseDelta(payload, options_.schema);
+  if (!delta.ok()) {
+    return Status::CorruptedLog("unreplayable replicated record: " +
+                                delta.status().ToString());
+  }
+  SETREC_RETURN_IF_ERROR(ApplyDelta(instance_, *delta));
+  applied_ = sequence;
+  if (options_.metrics != nullptr) {
+    options_.metrics->CounterNamed("net.replication.records_applied").Add(1);
+  }
+  return Status::OK();
+}
+
+Status FollowerReplica::TailOnce() {
+  TraceSpan span(options_.tracer, "net/pull");
+  Request request;
+  request.op = "pull";
+  request.tenant = options_.tenant;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    request.params["from"] = std::to_string(applied_ + 1);
+  }
+  request.params["max"] = std::to_string(options_.pull_batch);
+
+  // Record-level damage (gap, unparsable payload) is remembered and turned
+  // into a resync after the stream drains — never applied.
+  Status apply_failure = Status::OK();
+  Result<Response> trailer = RoundTrip(
+      request, [&](std::uint64_t sequence, const std::string& payload) {
+        if (!apply_failure.ok()) return Status::OK();  // drain the stream
+        apply_failure = ApplyRecord(sequence, payload);
+        return Status::OK();
+      });
+  if (!trailer.ok()) {
+    healthy_.store(false, std::memory_order_relaxed);
+    return trailer.status();
+  }
+  if (trailer->code == StatusCode::kNotFound || !apply_failure.ok()) {
+    // The leader truncated past our position, or the stream was damaged:
+    // either way the snapshot is the only safe resume point.
+    Status resynced = Resync();
+    if (!resynced.ok()) {
+      healthy_.store(false, std::memory_order_relaxed);
+      return resynced;
+    }
+    healthy_.store(true, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (trailer->code != StatusCode::kOk) {
+    healthy_.store(false, std::memory_order_relaxed);
+    return StatusFromCode(trailer->code, "pull failed: " + trailer->message);
+  }
+  leader_.store(trailer->leader_sequence, std::memory_order_relaxed);
+  healthy_.store(true, std::memory_order_relaxed);
+  if (options_.metrics != nullptr) {
+    const std::uint64_t lag =
+        trailer->leader_sequence > applied_sequence()
+            ? trailer->leader_sequence - applied_sequence()
+            : 0;
+    options_.metrics->GaugeNamed("net.replication.lag")
+        .Set(static_cast<std::int64_t>(lag));
+  }
+  return Status::OK();
+}
+
+Status FollowerReplica::Resync() {
+  TraceSpan span(options_.tracer, "net/resync");
+  Request request;
+  request.op = "snapshot";
+  request.tenant = options_.tenant;
+  Result<Response> response = RoundTrip(
+      request, [](std::uint64_t, const std::string&) { return Status::OK(); });
+  SETREC_RETURN_IF_ERROR(response.status());
+  if (response->code != StatusCode::kOk) {
+    return StatusFromCode(response->code,
+                          "snapshot fetch failed: " + response->message);
+  }
+  SETREC_ASSIGN_OR_RETURN(const auto split, SplitSnapshotBody(response->body));
+  SETREC_ASSIGN_OR_RETURN(Instance fresh,
+                          ParseInstance(split.second, options_.schema));
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    instance_ = std::move(fresh);
+    applied_ = split.first;
+  }
+  leader_.store(std::max(response->leader_sequence, split.first),
+                std::memory_order_relaxed);
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.metrics != nullptr) {
+    options_.metrics->CounterNamed("net.replication.resyncs").Add(1);
+  }
+  return Status::OK();
+}
+
+void FollowerReplica::StartTailing(std::chrono::milliseconds interval) {
+  StopTailing();
+  stop_tailing_.store(false, std::memory_order_relaxed);
+  tailer_ = std::thread([this, interval] {
+    while (!stop_tailing_.load(std::memory_order_relaxed)) {
+      (void)TailOnce();  // failures show up as healthy() == false
+      std::this_thread::sleep_for(interval);
+    }
+  });
+}
+
+void FollowerReplica::StopTailing() {
+  if (!tailer_.joinable()) return;
+  stop_tailing_.store(true, std::memory_order_relaxed);
+  tailer_.join();
+}
+
+Instance FollowerReplica::Read(std::uint64_t* applied,
+                               std::uint64_t* leader) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (applied != nullptr) *applied = applied_;
+  if (leader != nullptr) {
+    *leader = std::max(leader_.load(std::memory_order_relaxed), applied_);
+  }
+  return instance_;
+}
+
+std::uint64_t FollowerReplica::applied_sequence() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return applied_;
+}
+
+std::uint64_t FollowerReplica::leader_sequence() const {
+  const std::uint64_t l = leader_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return std::max(l, applied_);
+}
+
+}  // namespace setrec

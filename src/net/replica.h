@@ -1,0 +1,135 @@
+#ifndef SETREC_NET_REPLICA_H_
+#define SETREC_NET_REPLICA_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/instance.h"
+#include "net/frame.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace setrec {
+
+/// A WAL-shipping follower: pulls the leader's committed log over the
+/// request protocol and replays it through the *same* path recovery uses
+/// (ParseDelta + ApplyDelta), so a follower's state is byte-for-byte what
+/// the leader would recover after a crash — the tests assert bit-identical
+/// InstanceToText.
+///
+/// Protocol per TailOnce() round:
+///
+///   1. send `pull` with from = applied + 1 (and a batch cap); the leader
+///      streams kWalRecord frames — request id carries the record's WAL
+///      sequence, the payload is the record's delta text — and finishes
+///      with a kResponse trailer carrying its last committed sequence;
+///   2. each record is applied under the state mutex after a contiguity
+///      check (sequence == applied + 1; lower = already applied, skipped);
+///   3. a trailer of kNotFound means the leader checkpointed past our
+///      position (the WAL records we need were truncated): the follower
+///      resyncs — fetches `snapshot`, installs it, and resumes tailing
+///      from the snapshot's sequence. A non-contiguous or unparsable
+///      record (stream corruption below the CRC's radar) forces the same
+///      resync, never a divergent apply.
+///
+/// Reads (Read()) are served at whatever sequence is applied; the kResponse
+/// trailer's leader sequence is retained so readers — and the failover
+/// client — can see the current replication lag.
+///
+/// TailOnce() is the deterministic unit the tests drive directly;
+/// StartTailing() wraps it in a background thread for live deployments.
+class FollowerReplica {
+ public:
+  struct Options {
+    /// Tenant to replicate (the leader serves one store per tenant).
+    std::string tenant;
+    /// Dials a fresh connection to the leader (called on first use and
+    /// after any connection failure).
+    Dialer dial;
+    const Schema* schema = nullptr;
+    /// Records requested per pull round.
+    std::uint64_t pull_batch = 256;
+    /// Per-frame receive allowance while pulling.
+    std::chrono::milliseconds recv_timeout{1000};
+    /// Network-plane fault injector for this endpoint (may be null).
+    FaultInjector* injector = nullptr;
+    MetricsRegistry* metrics = nullptr;
+    Tracer* tracer = nullptr;
+  };
+
+  static Result<std::unique_ptr<FollowerReplica>> Create(Options options);
+  ~FollowerReplica();
+  FollowerReplica(const FollowerReplica&) = delete;
+  FollowerReplica& operator=(const FollowerReplica&) = delete;
+
+  /// One pull-and-apply round. Returns OK when the round completed (even
+  /// if zero records arrived — being caught up is success); a connection
+  /// or protocol failure marks the replica unhealthy and returns the
+  /// error. Safe to call from one thread at a time (the background tailer
+  /// or a test, not both).
+  Status TailOnce();
+
+  /// Fetches the leader's current snapshot and installs it, replacing
+  /// local state; tailing resumes from the snapshot's sequence. Called
+  /// automatically when a pull reports truncated history.
+  Status Resync();
+
+  /// Starts/stops a background thread calling TailOnce() every `interval`
+  /// (errors are absorbed into healthy()).
+  void StartTailing(std::chrono::milliseconds interval);
+  void StopTailing();
+
+  /// Copy of the replicated state with the sequences describing it (both
+  /// out-params optional). `leader` is the leader's last committed
+  /// sequence as of the most recent completed pull; `leader - applied` is
+  /// the replication lag a failover client screens on.
+  Instance Read(std::uint64_t* applied = nullptr,
+                std::uint64_t* leader = nullptr) const;
+
+  std::uint64_t applied_sequence() const;
+  std::uint64_t leader_sequence() const;
+  /// False until the first successful round, and after any failed one.
+  bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
+  std::uint64_t resyncs() const {
+    return resyncs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit FollowerReplica(Options options);
+
+  /// Ensures connected_ holds a live framed connection (dialing if needed).
+  Status EnsureConnected();
+  /// Sends `request` and returns the kResponse trailer, handing every
+  /// kWalRecord frame seen on the way to `on_record`.
+  Result<Response> RoundTrip(
+      const Request& request,
+      const std::function<Status(std::uint64_t, const std::string&)>&
+          on_record);
+  Status ApplyRecord(std::uint64_t sequence, const std::string& payload);
+
+  Options options_;
+  std::unique_ptr<FramedConnection> conn_;
+  std::uint64_t next_request_id_ = 1;
+
+  mutable std::mutex state_mu_;
+  Instance instance_;           // guarded by state_mu_
+  std::uint64_t applied_ = 0;   // guarded by state_mu_
+  std::atomic<std::uint64_t> leader_{0};
+  std::atomic<bool> healthy_{false};
+  std::atomic<std::uint64_t> resyncs_{0};
+
+  std::thread tailer_;
+  std::atomic<bool> stop_tailing_{false};
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_REPLICA_H_

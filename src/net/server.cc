@@ -1,0 +1,643 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "obs/explain.h"
+#include "objrel/encoding.h"
+#include "relational/evaluator.h"
+#include "sql/engine.h"
+#include "store/wal.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace setrec {
+
+namespace {
+
+Response ErrorResponse(const Status& status) {
+  Response response;
+  response.code = status.code();
+  response.message = SanitizeHeaderValue(status.message());
+  return response;
+}
+
+Response OkResponse() { return Response{}; }
+
+/// Renders a query result deterministically: one line per tuple in sorted
+/// order, values as ClassName(index) — the same object-literal spelling the
+/// text format uses, so results are directly comparable across servers.
+std::string RenderRelation(const Relation& relation, const Schema& schema) {
+  std::string out;
+  for (const Tuple* tuple : relation.SortedTuples()) {
+    for (std::size_t i = 0; i < tuple->arity(); ++i) {
+      if (i != 0) out.push_back(' ');
+      const ObjectId o = tuple->at(i);
+      out.append(schema.class_name(o.class_id()));
+      out.push_back('(');
+      out.append(std::to_string(o.index()));
+      out.push_back(')');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::uint64_t> ParamU64(const Request& request, const char* name,
+                               std::uint64_t fallback) {
+  const auto it = request.params.find(name);
+  if (it == request.params.end()) return fallback;
+  std::uint64_t value = 0;
+  if (it->second.empty()) {
+    return Status::InvalidArgument(std::string("param ") + name +
+                                   ": empty number");
+  }
+  for (char c : it->second) {
+    if (c < '0' || c > '9' || value > (~std::uint64_t{0} - 9) / 10) {
+      return Status::InvalidArgument(std::string("param ") + name +
+                                     ": bad number");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+/// One tenant: its store (or replica), and the admission gate. The gate is
+/// the tenant's *only* shared mutable state, so the lock never nests with
+/// the store's own mutex.
+struct Server::Tenant {
+  TenantConfig config;
+  std::unique_ptr<DurableStore> store;
+  FollowerReplica* replica = nullptr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t active = 0;   // guarded by mu
+  std::size_t waiting = 0;  // guarded by mu
+};
+
+Server::Server(ServerOptions options, std::unique_ptr<ThreadPool> owned_pool)
+    : options_(std::move(options)),
+      owned_pool_(std::move(owned_pool)),
+      pool_(options_.pool != nullptr ? options_.pool : owned_pool_.get()) {}
+
+Server::~Server() { Drain(); }
+
+Result<std::unique_ptr<Server>> Server::Create(
+    ServerOptions options, std::vector<TenantConfig> tenants) {
+  if (options.schema == nullptr) {
+    return Status::InvalidArgument("server: schema is required");
+  }
+  std::unique_ptr<ThreadPool> owned;
+  if (options.pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(
+        std::max<std::size_t>(1, options.own_pool_workers));
+  }
+  std::unique_ptr<Server> server(
+      new Server(std::move(options), std::move(owned)));
+  for (TenantConfig& config : tenants) {
+    if (config.name.empty()) {
+      return Status::InvalidArgument("server: tenant name must not be empty");
+    }
+    auto tenant = std::make_unique<Tenant>();
+    const std::string dir =
+        (std::filesystem::path(server->options_.data_dir) / config.name)
+            .string();
+    tenant->config = std::move(config);
+    SETREC_ASSIGN_OR_RETURN(
+        tenant->store,
+        DurableStore::Open(dir, server->options_.schema,
+                           tenant->config.store_options));
+    const std::string name = tenant->config.name;
+    server->tenants_.emplace(name, std::move(tenant));
+  }
+  return server;
+}
+
+Status Server::ServeReplica(const std::string& tenant_name,
+                            FollowerReplica* replica) {
+  if (replica == nullptr) {
+    return Status::InvalidArgument("server: replica must not be null");
+  }
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto [it, inserted] =
+      tenants_.emplace(tenant_name, std::make_unique<Tenant>());
+  if (!inserted) {
+    return Status::AlreadyExists("server: tenant '" + tenant_name +
+                                 "' already exists");
+  }
+  it->second->config.name = tenant_name;
+  it->second->replica = replica;
+  return Status::OK();
+}
+
+Server::Tenant* Server::FindTenant(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+DurableStore* Server::store(const std::string& tenant) {
+  Tenant* t = FindTenant(tenant);
+  return t == nullptr ? nullptr : t->store.get();
+}
+
+std::size_t Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return active_sessions_;
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return draining_;
+}
+
+void Server::Serve(ConnectionPtr conn) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (draining_) {
+      conn->Close();
+      return;
+    }
+    ++active_sessions_;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GaugeNamed("net.sessions").Add(1);
+  }
+  // std::function requires a copyable closure; the shared_ptr wrapper
+  // carries the unique_ptr until the task runs and takes sole ownership.
+  auto holder = std::make_shared<ConnectionPtr>(std::move(conn));
+  pool_->Post([this, holder] { SessionLoop(std::move(*holder)); });
+}
+
+void Server::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (draining_) {
+      // Already draining: still wait for stragglers below.
+    }
+    draining_ = true;
+  }
+  // Wake every queued request so it sheds instead of waiting out its
+  // deadline against a server that will never admit it.
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    for (auto& [name, tenant] : tenants_) {
+      std::lock_guard<std::mutex> tenant_lock(tenant->mu);
+      tenant->cv.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lock(sessions_mu_);
+  sessions_cv_.wait(lock, [this] { return active_sessions_ == 0; });
+}
+
+void Server::SessionLoop(ConnectionPtr conn) {
+  TraceSpan session_span(options_.tracer, "net/session");
+  FramedConnection framed(std::move(conn), options_.injector,
+                          options_.metrics);
+  std::uint64_t last_id = 0;
+  bool has_cached = false;
+  Frame cached_response;
+
+  for (;;) {
+    Result<Frame> in = framed.RecvFrame(options_.recv_timeout);
+    if (!in.ok()) {
+      if (in.status().code() == StatusCode::kDeadlineExceeded) {
+        if (!draining()) continue;  // idle tick; keep serving
+        Frame goodbye;
+        goodbye.type = FrameType::kGoodbye;
+        (void)framed.SendFrame(goodbye);
+        break;
+      }
+      if (in.status().code() == StatusCode::kCorruptedLog) {
+        if (options_.metrics != nullptr) {
+          options_.metrics->CounterNamed("net.protocol_errors").Add(1);
+        }
+        if (options_.recorder != nullptr) {
+          options_.recorder->Record(
+              FlightRecorder::EventKind::kStatus, "net/session-corrupt",
+              static_cast<std::uint64_t>(in.status().code()), last_id,
+              in.status().message());
+        }
+      }
+      break;  // peer closed, injected disconnect, or poisoned stream
+    }
+    if (in->type == FrameType::kGoodbye) break;
+    if (in->type != FrameType::kRequest) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->CounterNamed("net.protocol_errors").Add(1);
+      }
+      break;
+    }
+    // At-most-once per connection: a replayed id gets the cached response
+    // (the client retried because our response was lost), a *regressing*
+    // id is a protocol violation.
+    if (in->request_id == last_id && has_cached) {
+      if (!framed.SendFrame(cached_response).ok()) break;
+      continue;
+    }
+    if (in->request_id <= last_id) {
+      Frame reply;
+      reply.type = FrameType::kResponse;
+      reply.request_id = in->request_id;
+      reply.payload = EncodeResponse(ErrorResponse(Status::InvalidArgument(
+          "request id went backwards; ids must increase per session")));
+      (void)framed.SendFrame(reply);
+      if (options_.metrics != nullptr) {
+        options_.metrics->CounterNamed("net.protocol_errors").Add(1);
+      }
+      break;
+    }
+
+    TraceSpan request_span(options_.tracer, "net/request");
+    const auto started = std::chrono::steady_clock::now();
+    Response response;
+    Result<Request> request = DecodeRequest(in->payload);
+    if (!request.ok()) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->CounterNamed("net.protocol_errors").Add(1);
+      }
+      response = ErrorResponse(request.status());
+    } else {
+      if (options_.recorder != nullptr) {
+        options_.recorder->Record(FlightRecorder::EventKind::kNote,
+                                  "net/request", in->request_id, 0,
+                                  request->op);
+      }
+      response = Dispatch(*request, framed);
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->CounterNamed("net.requests").Add(1);
+      options_.metrics->HistogramNamed("net.request_ns")
+          .Observe(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - started)
+                  .count()));
+    }
+    Frame reply;
+    reply.type = FrameType::kResponse;
+    reply.request_id = in->request_id;
+    reply.payload = EncodeResponse(response);
+    last_id = in->request_id;
+    cached_response = reply;
+    has_cached = true;
+    if (!framed.SendFrame(reply).ok()) break;
+  }
+
+  framed.Close();
+  if (options_.metrics != nullptr) {
+    options_.metrics->GaugeNamed("net.sessions").Add(-1);
+  }
+  {
+    // Notify under the mutex: a Drain()er woken by the final decrement may
+    // destroy this cv the instant it can re-acquire the lock, so the
+    // broadcast must complete before we release it.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    --active_sessions_;
+    sessions_cv_.notify_all();
+  }
+}
+
+Response Server::Dispatch(const Request& request, FramedConnection& framed) {
+  if (request.op == "stats") return HandleStats();
+  Tenant* tenant = FindTenant(request.tenant);
+  if (tenant == nullptr) {
+    return ErrorResponse(
+        Status::NotFound("unknown tenant '" +
+                         SanitizeHeaderValue(request.tenant) + "'"));
+  }
+  const std::chrono::milliseconds allowance =
+      request.deadline_ms != 0
+          ? std::chrono::milliseconds(request.deadline_ms)
+          : tenant->config.default_deadline;
+  const auto deadline = std::chrono::steady_clock::now() + allowance;
+
+  if (request.op == "ping") return HandlePing(*tenant);
+  if (request.op == "pull") return HandlePull(*tenant, request, framed);
+  if (request.op == "snapshot") return HandleSnapshot(*tenant);
+  if (request.op == "explain") return HandleExplain(*tenant, request);
+
+  if (request.op == "update" || request.op == "delta" ||
+      request.op == "query") {
+    bool admitted = false;
+    Response gate = Admit(*tenant, deadline, &admitted);
+    if (!admitted) return gate;
+    Response response;
+    {
+      TraceSpan span(options_.tracer, "net/execute");
+      if (request.op == "update") {
+        response = HandleUpdate(*tenant, request, deadline);
+      } else if (request.op == "delta") {
+        response = HandleDelta(*tenant, request, deadline);
+      } else {
+        response = HandleQuery(*tenant, request, deadline);
+      }
+    }
+    Release(*tenant);
+    return response;
+  }
+  return ErrorResponse(Status::Unimplemented(
+      "unknown op '" + SanitizeHeaderValue(request.op) + "'"));
+}
+
+Response Server::Admit(Tenant& tenant,
+                       std::chrono::steady_clock::time_point deadline,
+                       bool* admitted) {
+  TraceSpan span(options_.tracer, "net/admission");
+  *admitted = false;
+  const auto shed = [&](std::size_t queue_depth) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->CounterNamed("net.shed").Add(1);
+    }
+    Response response = ErrorResponse(Status::ResourceExhausted(
+        "tenant '" + tenant.config.name + "' is saturated"));
+    // The hint grows with the pile-up: the deeper the queue at shed time,
+    // the further away clients are pushed.
+    response.retry_after_ms =
+        options_.suggested_backoff_ms * (1 + queue_depth);
+    return response;
+  };
+
+  std::unique_lock<std::mutex> lock(tenant.mu);
+  if (draining()) return shed(tenant.waiting);
+  if (tenant.active < tenant.config.max_concurrency) {
+    ++tenant.active;
+    *admitted = true;
+    return OkResponse();
+  }
+  if (tenant.waiting >= tenant.config.max_queue) return shed(tenant.waiting);
+  ++tenant.waiting;
+  while (tenant.active >= tenant.config.max_concurrency) {
+    if (tenant.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      --tenant.waiting;
+      return ErrorResponse(Status::DeadlineExceeded(
+          "deadline expired in tenant '" + tenant.config.name +
+          "' admission queue"));
+    }
+    if (draining()) {
+      --tenant.waiting;
+      return shed(tenant.waiting);
+    }
+  }
+  --tenant.waiting;
+  ++tenant.active;
+  *admitted = true;
+  return OkResponse();
+}
+
+void Server::Release(Tenant& tenant) {
+  {
+    std::lock_guard<std::mutex> lock(tenant.mu);
+    --tenant.active;
+  }
+  tenant.cv.notify_one();
+}
+
+ExecContext::Limits Server::RequestLimits(
+    const Tenant& tenant,
+    std::chrono::steady_clock::time_point deadline) const {
+  ExecContext::Limits limits = tenant.config.store_options.limits;
+  const auto now = std::chrono::steady_clock::now();
+  const auto remaining =
+      deadline > now
+          ? std::chrono::duration_cast<std::chrono::nanoseconds>(deadline -
+                                                                 now)
+          : std::chrono::nanoseconds(1);
+  // The statement's clock allowance is the *smaller* of the tenant budget
+  // and what is left of the request deadline (queue time already spent
+  // counts against the client's allowance).
+  if (limits.timeout == std::chrono::nanoseconds::zero() ||
+      limits.timeout > remaining) {
+    limits.timeout = remaining;
+  }
+  return limits;
+}
+
+Response Server::HandlePing(Tenant& tenant) {
+  Response response = OkResponse();
+  if (tenant.replica != nullptr) {
+    std::uint64_t applied = 0;
+    std::uint64_t leader = 0;
+    (void)tenant.replica->Read(&applied, &leader);
+    response.applied_sequence = applied;
+    response.leader_sequence = leader;
+  } else if (tenant.store != nullptr) {
+    response.applied_sequence = tenant.store->last_sequence();
+    response.leader_sequence = response.applied_sequence;
+  }
+  return response;
+}
+
+Response Server::HandleUpdate(
+    Tenant& tenant, const Request& request,
+    std::chrono::steady_clock::time_point deadline) {
+  if (tenant.store == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "tenant '" + tenant.config.name + "' is a read-only replica"));
+  }
+  const auto property_it = request.params.find("property");
+  if (property_it == request.params.end()) {
+    return ErrorResponse(
+        Status::InvalidArgument("update: missing 'property' param"));
+  }
+  Result<PropertyId> property =
+      options_.schema->FindProperty(property_it->second);
+  if (!property.ok()) return ErrorResponse(property.status());
+  Result<ExprPtr> query = ParseExpression(request.body);
+  if (!query.ok()) return ErrorResponse(query.status());
+
+  const ExprPtr& receiver_query = *query;
+  const PropertyId prop = *property;
+  Status committed = tenant.store->Commit(
+      [&](Instance& instance, ExecContext& ctx,
+          const CommitHook& hook) -> Status {
+        return SetOrientedUpdateInPlace(instance, prop, receiver_query, ctx,
+                                        hook);
+      },
+      RequestLimits(tenant, deadline));
+  if (!committed.ok()) return ErrorResponse(committed);
+  Response response = OkResponse();
+  response.applied_sequence = tenant.store->last_sequence();
+  response.leader_sequence = response.applied_sequence;
+  return response;
+}
+
+Response Server::HandleDelta(Tenant& tenant, const Request& request,
+                             std::chrono::steady_clock::time_point deadline) {
+  if (tenant.store == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "tenant '" + tenant.config.name + "' is a read-only replica"));
+  }
+  Result<InstanceDelta> delta =
+      ParseDelta(request.body, options_.schema);
+  if (!delta.ok()) return ErrorResponse(delta.status());
+  const InstanceDelta& parsed = *delta;
+  Status committed = tenant.store->Commit(
+      [&](Instance& instance, ExecContext& ctx,
+          const CommitHook& hook) -> Status {
+        SETREC_RETURN_IF_ERROR(ctx.CheckPoint("net/apply-delta"));
+        Instance before = instance;
+        Status applied = ApplyDelta(instance, parsed);
+        if (applied.ok()) applied = hook(before, instance);
+        if (!applied.ok()) {
+          instance = std::move(before);
+          return applied;
+        }
+        return Status::OK();
+      },
+      RequestLimits(tenant, deadline));
+  if (!committed.ok()) return ErrorResponse(committed);
+  Response response = OkResponse();
+  response.applied_sequence = tenant.store->last_sequence();
+  response.leader_sequence = response.applied_sequence;
+  return response;
+}
+
+Response Server::HandleQuery(Tenant& tenant, const Request& request,
+                             std::chrono::steady_clock::time_point deadline) {
+  Result<ExprPtr> query = ParseExpression(request.body);
+  if (!query.ok()) return ErrorResponse(query.status());
+
+  std::uint64_t applied = 0;
+  std::uint64_t leader = 0;
+  Instance state(options_.schema);
+  if (tenant.replica != nullptr) {
+    state = tenant.replica->Read(&applied, &leader);
+  } else if (tenant.store != nullptr) {
+    state = tenant.store->SnapshotState(&applied);
+    leader = applied;
+  } else {
+    return ErrorResponse(Status::Internal("tenant has no backing state"));
+  }
+  Result<Database> database = EncodeInstance(state);
+  if (!database.ok()) return ErrorResponse(database.status());
+
+  ExecContext ctx(RequestLimits(tenant, deadline));
+  ctx.set_fault_injector(tenant.config.store_options.injector);
+  ctx.set_tracer(options_.tracer);
+  ctx.set_metrics(options_.metrics);
+  ctx.set_recorder(options_.recorder);
+  Result<Relation> result = Evaluate(*query, *database, ctx);
+  if (!result.ok()) return ErrorResponse(result.status());
+
+  Response response = OkResponse();
+  response.body = RenderRelation(*result, *options_.schema);
+  response.applied_sequence = applied;
+  response.leader_sequence = leader;
+  return response;
+}
+
+Response Server::HandleExplain(Tenant& tenant, const Request& request) {
+  Result<ExprPtr> query = ParseExpression(request.body);
+  if (!query.ok()) return ErrorResponse(query.status());
+  Result<Catalog> catalog = EncodeCatalog(*options_.schema);
+  if (!catalog.ok()) return ErrorResponse(catalog.status());
+  Result<ExplainPlan> plan = ExplainExpression(*query, *catalog);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+  Response response = OkResponse();
+  response.body = plan->ToText();
+  if (tenant.replica != nullptr) {
+    std::uint64_t applied = 0;
+    std::uint64_t leader = 0;
+    (void)tenant.replica->Read(&applied, &leader);
+    response.applied_sequence = applied;
+    response.leader_sequence = leader;
+  } else if (tenant.store != nullptr) {
+    response.applied_sequence = tenant.store->last_sequence();
+    response.leader_sequence = response.applied_sequence;
+  }
+  return response;
+}
+
+Response Server::HandlePull(Tenant& tenant, const Request& request,
+                            FramedConnection& framed) {
+  TraceSpan span(options_.tracer, "net/pull");
+  if (tenant.store == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "tenant '" + tenant.config.name +
+        "' cannot serve replication (not a leader)"));
+  }
+  Result<std::uint64_t> from = ParamU64(request, "from", 1);
+  if (!from.ok()) return ErrorResponse(from.status());
+  Result<std::uint64_t> max_records = ParamU64(request, "max", 256);
+  if (!max_records.ok()) return ErrorResponse(max_records.status());
+
+  // Read the leader's own WAL — the replication stream IS the recovery
+  // log, bit for bit. Reading a prefix while commits append is safe: a
+  // concurrently half-written tail parses as torn and simply isn't
+  // shipped this round.
+  const std::string wal_path =
+      (std::filesystem::path(tenant.store->dir()) / "wal.log").string();
+  Result<WalReplay> replay = ReadWal(wal_path);
+  if (!replay.ok()) return ErrorResponse(replay.status());
+  const std::uint64_t leader_sequence = tenant.store->last_sequence();
+
+  const std::uint64_t first_available =
+      replay->records.empty() ? leader_sequence + 1
+                              : replay->records.front().sequence;
+  if (*from < first_available && *from <= leader_sequence) {
+    // The follower's position was checkpointed away: its next record no
+    // longer exists in the log. Only the snapshot can bridge the gap.
+    Response response = ErrorResponse(Status::NotFound(
+        "log history starts at sequence " +
+        std::to_string(first_available) + "; resync from snapshot"));
+    response.leader_sequence = leader_sequence;
+    return response;
+  }
+
+  std::uint64_t shipped = 0;
+  std::uint64_t last_shipped = 0;
+  for (const WalRecord& record : replay->records) {
+    if (record.sequence < *from) continue;
+    if (shipped >= *max_records) break;
+    Frame frame;
+    frame.type = FrameType::kWalRecord;
+    frame.request_id = record.sequence;
+    frame.payload = record.payload;
+    Status sent = framed.SendFrame(frame);
+    if (!sent.ok()) return ErrorResponse(sent);
+    ++shipped;
+    last_shipped = record.sequence;
+    if (options_.metrics != nullptr) {
+      options_.metrics->CounterNamed("net.replication.records_shipped")
+          .Add(1);
+    }
+  }
+  Response response = OkResponse();
+  response.applied_sequence = last_shipped;
+  response.leader_sequence = leader_sequence;
+  return response;
+}
+
+Response Server::HandleSnapshot(Tenant& tenant) {
+  TraceSpan span(options_.tracer, "net/snapshot");
+  if (tenant.store == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "tenant '" + tenant.config.name +
+        "' cannot serve snapshots (not a leader)"));
+  }
+  std::uint64_t sequence = 0;
+  const Instance state = tenant.store->SnapshotState(&sequence);
+  Response response = OkResponse();
+  response.body =
+      "sequence " + std::to_string(sequence) + "\n" + InstanceToText(state);
+  response.applied_sequence = sequence;
+  response.leader_sequence = sequence;
+  return response;
+}
+
+Response Server::HandleStats() {
+  Response response = OkResponse();
+  if (options_.metrics != nullptr) {
+    std::ostringstream out;
+    options_.metrics->WriteText(out);
+    response.body = out.str();
+  }
+  return response;
+}
+
+}  // namespace setrec

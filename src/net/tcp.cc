@@ -1,0 +1,179 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace setrec {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Waits until `fd` is ready for `events` or the timeout passes. Returns
+/// OK on ready, kDeadlineExceeded on timeout.
+Status PollFor(int fd, short events, std::chrono::milliseconds timeout) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  const int ms = timeout.count() > 0x7fffffff
+                     ? 0x7fffffff
+                     : static_cast<int>(timeout.count());
+  for (;;) {
+    const int rc = ::poll(&p, 1, ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::DeadlineExceeded("poll timeout");
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+
+  ~TcpConnection() override {
+    Close();
+    ::close(fd_);
+  }
+
+  Status Send(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("tcp: connection closed");
+    }
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + offset,
+                               data.size() - offset, MSG_NOSIGNAL);
+      if (n >= 0) {
+        offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return Status::FailedPrecondition(
+          std::string("tcp: send failed: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Result<std::size_t> Recv(std::size_t max, std::chrono::milliseconds timeout,
+                           std::string* out) override {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("tcp: connection closed");
+    }
+    SETREC_RETURN_IF_ERROR(PollFor(fd_, POLLIN, timeout));
+    if (closed_.load(std::memory_order_acquire)) {
+      // Close() raced the poll; the shutdown made the fd readable.
+      return Status::FailedPrecondition("tcp: connection closed");
+    }
+    std::string buffer(max, '\0');
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buffer.data(), max, 0);
+      if (n > 0) {
+        out->append(buffer.data(), static_cast<std::size_t>(n));
+        return static_cast<std::size_t>(n);
+      }
+      if (n == 0) return std::size_t{0};  // peer EOF
+      if (errno == EINTR) continue;
+      return Status::FailedPrecondition(
+          std::string("tcp: recv failed: ") + std::strerror(errno));
+    }
+  }
+
+  void Close() override {
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+    // Shut both directions but keep the fd open until destruction: a
+    // blocked reader in another thread wakes on the shutdown and must
+    // never find its fd number recycled under it.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  bool closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const int fd_;
+  std::mutex send_mu_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("tcp: socket");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Errno("tcp: bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status status = Errno("tcp: listen");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status status = Errno("tcp: getsockname");
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<ConnectionPtr> TcpListener::Accept(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return Status::FailedPrecondition("tcp: listener closed");
+  SETREC_RETURN_IF_ERROR(PollFor(fd_, POLLIN, timeout));
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    return Status::FailedPrecondition(
+        std::string("tcp: accept failed: ") + std::strerror(errno));
+  }
+  return ConnectionPtr(new TcpConnection(conn));
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<ConnectionPtr> TcpDial(std::uint16_t port,
+                              std::chrono::milliseconds timeout) {
+  (void)timeout;  // loopback connect() completes (or fails) immediately
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("tcp: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Errno("tcp: connect");
+    ::close(fd);
+    return status;
+  }
+  return ConnectionPtr(new TcpConnection(fd));
+}
+
+}  // namespace setrec

@@ -1,0 +1,55 @@
+#ifndef SETREC_NET_TCP_H_
+#define SETREC_NET_TCP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+
+namespace setrec {
+
+/// Minimal loopback TCP transport: the same Connection contract as the
+/// in-process pair, over real sockets. Deliberately small — IPv4 loopback
+/// only, blocking I/O with poll()-bounded reads, no TLS — because the tests
+/// that need "a real socket" need exactly that and nothing more. The
+/// deterministic transport for everything else is CreateInProcessPair.
+///
+/// Cross-thread Close() is implemented with shutdown(2): the file
+/// descriptor stays open until destruction (so a concurrent blocked read
+/// polls on a valid fd, never a recycled one) but both directions are shut,
+/// which wakes the blocked call per the Connection contract.
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned; read the
+  /// outcome from port()). Fails with kUnimplemented-flavored kInternal on
+  /// systems without sockets — callers treat that as "skip".
+  static Result<std::unique_ptr<TcpListener>> Listen(std::uint16_t port = 0);
+
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Accepts one connection, waiting at most `timeout`; kDeadlineExceeded
+  /// when none arrives, kFailedPrecondition after Close().
+  Result<ConnectionPtr> Accept(std::chrono::milliseconds timeout);
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting; safe from another thread while Accept blocks.
+  void Close();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  int fd_;
+  std::uint16_t port_;
+};
+
+/// Connects to 127.0.0.1:`port`, waiting at most `timeout`.
+Result<ConnectionPtr> TcpDial(std::uint16_t port,
+                              std::chrono::milliseconds timeout);
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_TCP_H_

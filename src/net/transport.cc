@@ -1,0 +1,122 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace setrec {
+
+namespace {
+
+/// One direction of the in-process pair: a bounded byte buffer with
+/// writer-blocks-when-full / reader-blocks-when-empty semantics. `closed`
+/// covers both endpoints — the pipe does not distinguish which side closed,
+/// because a stream transport's failure mode is symmetric ("the connection
+/// is gone"), and the Connection contract only needs reads to distinguish
+/// clean EOF (drained + closed) from abort (closed with the reader's own
+/// endpoint shut).
+struct Pipe {
+  explicit Pipe(std::size_t cap) : capacity(cap) {}
+
+  std::mutex mu;
+  std::condition_variable readable;
+  std::condition_variable writable;
+  std::string buffer;
+  const std::size_t capacity;
+  bool closed = false;
+};
+
+class InProcessConnection final : public Connection {
+ public:
+  InProcessConnection(std::shared_ptr<Pipe> read_from,
+                      std::shared_ptr<Pipe> write_to)
+      : read_from_(std::move(read_from)), write_to_(std::move(write_to)) {}
+
+  ~InProcessConnection() override { Close(); }
+
+  Status Send(std::string_view data) override {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      std::unique_lock<std::mutex> lock(write_to_->mu);
+      write_to_->writable.wait(lock, [&] {
+        return write_to_->closed ||
+               write_to_->buffer.size() < write_to_->capacity;
+      });
+      if (write_to_->closed) {
+        return Status::FailedPrecondition("connection closed");
+      }
+      const std::size_t room = write_to_->capacity - write_to_->buffer.size();
+      const std::size_t n = std::min(room, data.size() - sent);
+      write_to_->buffer.append(data.data() + sent, n);
+      sent += n;
+      write_to_->readable.notify_one();
+    }
+    return Status::OK();
+  }
+
+  Result<std::size_t> Recv(std::size_t max, std::chrono::milliseconds timeout,
+                           std::string* out) override {
+    std::unique_lock<std::mutex> lock(read_from_->mu);
+    const bool ready = read_from_->readable.wait_for(lock, timeout, [&] {
+      return read_from_->closed || !read_from_->buffer.empty();
+    });
+    if (!ready) {
+      return Status::DeadlineExceeded("recv timed out");
+    }
+    if (read_from_->buffer.empty()) {
+      // Closed and drained. A close initiated by *this* endpoint is an
+      // abort; the peer's close with no bytes left is clean EOF.
+      if (locally_closed_) {
+        return Status::FailedPrecondition("connection closed");
+      }
+      return std::size_t{0};
+    }
+    const std::size_t n = std::min(max, read_from_->buffer.size());
+    out->append(read_from_->buffer.data(), n);
+    read_from_->buffer.erase(0, n);
+    read_from_->writable.notify_one();
+    return n;
+  }
+
+  void Close() override {
+    locally_closed_ = true;
+    for (const std::shared_ptr<Pipe>& pipe : {read_from_, write_to_}) {
+      {
+        std::lock_guard<std::mutex> lock(pipe->mu);
+        pipe->closed = true;
+      }
+      pipe->readable.notify_all();
+      pipe->writable.notify_all();
+    }
+  }
+
+  bool closed() const override {
+    std::lock_guard<std::mutex> lock(write_to_->mu);
+    return write_to_->closed;
+  }
+
+ private:
+  std::shared_ptr<Pipe> read_from_;
+  std::shared_ptr<Pipe> write_to_;
+  /// Set only by this endpoint's Close(); lets Recv distinguish "I was shut
+  /// down" (kFailedPrecondition) from "peer finished" (EOF). Atomicity is
+  /// not needed: written before the pipes' locked close, read after a
+  /// locked observation of `closed`.
+  std::atomic<bool> locally_closed_{false};
+};
+
+}  // namespace
+
+std::pair<ConnectionPtr, ConnectionPtr> CreateInProcessPair(
+    std::size_t buffer_capacity) {
+  auto a_to_b = std::make_shared<Pipe>(buffer_capacity);
+  auto b_to_a = std::make_shared<Pipe>(buffer_capacity);
+  ConnectionPtr a =
+      std::make_unique<InProcessConnection>(b_to_a, a_to_b);
+  ConnectionPtr b =
+      std::make_unique<InProcessConnection>(a_to_b, b_to_a);
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace setrec

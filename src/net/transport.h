@@ -1,0 +1,67 @@
+#ifndef SETREC_NET_TRANSPORT_H_
+#define SETREC_NET_TRANSPORT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/status.h"
+
+namespace setrec {
+
+/// A blocking, bidirectional, ordered byte stream — the one abstraction the
+/// framing layer needs from a transport. Two implementations exist:
+///
+///   * the in-process pipe pair below, the deterministic test transport
+///     (bounded buffers, no sockets, no ports, works under every sanitizer);
+///   * net/tcp.h, a minimal loopback TCP transport for the smoke tests and
+///     real deployments.
+///
+/// Semantics every implementation honors:
+///
+///   * Send() blocks until the bytes are accepted (buffered or on the wire)
+///     and delivers all-or-error; after either side closed it returns
+///     kFailedPrecondition.
+///   * Recv() blocks until at least one byte is available, appending up to
+///     `max` bytes to `*out` and returning the count. Returning 0 means the
+///     peer closed cleanly (EOF). A timeout returns kDeadlineExceeded; a
+///     locally closed connection returns kFailedPrecondition.
+///   * Close() is idempotent and safe to call from *another thread* while a
+///     Recv is blocked — the blocked call wakes and returns
+///     kFailedPrecondition. This is how a server drains sessions stuck in
+///     reads.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  virtual Status Send(std::string_view data) = 0;
+  virtual Result<std::size_t> Recv(std::size_t max,
+                                   std::chrono::milliseconds timeout,
+                                   std::string* out) = 0;
+  virtual void Close() = 0;
+  virtual bool closed() const = 0;
+};
+
+using ConnectionPtr = std::unique_ptr<Connection>;
+
+/// Produces a fresh connection to some fixed endpoint; called on first use
+/// and again after any connection failure. Both the follower replica and
+/// the retrying client reconnect through one of these, so transports are
+/// swappable (in-process pair in tests, TCP in deployments).
+using Dialer = std::function<Result<ConnectionPtr>()>;
+
+/// Creates a connected in-process pair: bytes sent on one endpoint are
+/// received on the other, through two bounded buffers (default 1 MiB each —
+/// a sender outrunning its receiver blocks, modeling transport backpressure
+/// rather than unbounded queueing). Closing either endpoint wakes and fails
+/// every blocked operation on both.
+std::pair<ConnectionPtr, ConnectionPtr> CreateInProcessPair(
+    std::size_t buffer_capacity = 1 << 20);
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_TRANSPORT_H_

@@ -196,7 +196,14 @@ Status DurableStore::Commit(const Statement& statement) {
   return CommitLocked(statement);
 }
 
-Status DurableStore::CommitLocked(const Statement& statement) {
+Status DurableStore::Commit(const Statement& statement,
+                            const ExecContext::Limits& limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked(statement, &limits);
+}
+
+Status DurableStore::CommitLocked(const Statement& statement,
+                                  const ExecContext::Limits* limits) {
   if (wal_.broken()) {
     return Status::FailedPrecondition(
         "store hit a storage fault; reopen to recover");
@@ -217,7 +224,7 @@ Status DurableStore::CommitLocked(const Statement& statement) {
   const auto commit_start = std::chrono::steady_clock::now();
   RetrySchedule schedule(options_.retry);
   for (;;) {
-    ExecContext ctx(options_.limits);
+    ExecContext ctx(limits != nullptr ? *limits : options_.limits);
     if (options_.injector != nullptr) {
       ctx.set_fault_injector(options_.injector);
     }
@@ -409,8 +416,8 @@ Status DurableStore::CheckpointLocked() {
   }
   TraceSpan span(options_.tracer, "store/checkpoint");
   const std::uint64_t sequence = wal_.next_sequence() - 1;
-  SETREC_RETURN_IF_ERROR(
-      WriteSnapshot(SnapshotPath(dir_, sequence), instance_, sequence));
+  SETREC_RETURN_IF_ERROR(WriteSnapshot(SnapshotPath(dir_, sequence), instance_,
+                                       sequence, options_.injector));
   commits_since_checkpoint_ = 0;
   if (options_.metrics != nullptr) {
     options_.metrics->engine.store_checkpoints.Add(1);
@@ -430,8 +437,9 @@ Status DurableStore::CheckpointLocked() {
   return Status::OK();
 }
 
-Instance DurableStore::SnapshotState() const {
+Instance DurableStore::SnapshotState(std::uint64_t* sequence) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sequence != nullptr) *sequence = wal_.next_sequence() - 1;
   return instance_;
 }
 

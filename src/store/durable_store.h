@@ -144,6 +144,13 @@ class DurableStore {
   /// Runs a caller-shaped statement through the commit protocol.
   Status Commit(const Statement& statement);
 
+  /// Commit with a per-statement resource budget overriding the store-wide
+  /// `options.limits` for this one statement. This is how a network
+  /// request's deadline reaches the ExecContext governing its execution:
+  /// the server clamps `limits.deadline` to the request's remaining time and
+  /// every engine probe point then enforces it.
+  Status Commit(const Statement& statement, const ExecContext::Limits& limits);
+
   /// Group commit: runs the statements in order under one lock acquisition,
   /// appending each statement's delta to the WAL *without* syncing, then
   /// issues a single fsync covering the whole batch — durability cost is one
@@ -180,7 +187,10 @@ class DurableStore {
   // -- Observers --------------------------------------------------------------
 
   /// Copy of the current committed state (taken under the store mutex).
-  Instance SnapshotState() const;
+  /// When `sequence` is non-null it receives the last acknowledged commit
+  /// sequence *of that same state* — one atomic read, so a replication
+  /// snapshot is always labeled with exactly the sequence it covers.
+  Instance SnapshotState(std::uint64_t* sequence = nullptr) const;
 
   /// Borrowed view for single-threaded use; not synchronized against a
   /// concurrent Checkpoint/Commit from another thread.
@@ -200,7 +210,9 @@ class DurableStore {
                DurableStoreOptions options);
 
   Status CheckpointLocked();
-  Status CommitLocked(const Statement& statement);
+  /// `limits` overrides options_.limits when non-null (per-request budgets).
+  Status CommitLocked(const Statement& statement,
+                      const ExecContext::Limits* limits = nullptr);
 
   /// Records a terminal (non-retried) commit failure and dumps the flight
   /// recorder to <dir>/flight-commit.jsonl; returns `status` unchanged.

@@ -38,12 +38,19 @@ RetrySchedule::RetrySchedule(const RetryPolicy& policy)
 
 bool RetrySchedule::ShouldRetry(const Status& status) {
   if (!status.IsRetryable()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
   if (attempts_used_ >= policy_.max_attempts) return false;
   ++attempts_used_;
   return true;
 }
 
+std::uint32_t RetrySchedule::attempts_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_used_;
+}
+
 std::chrono::nanoseconds RetrySchedule::NextDelay() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::chrono::nanoseconds base = current_base_;
   if (base > policy_.max_delay) base = policy_.max_delay;
   // Advance the exponential base for the next round, saturating at the cap

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 
 #include "core/status.h"
 
@@ -50,6 +51,15 @@ RetryPolicy NormalizeRetryPolicy(RetryPolicy policy);
 /// The mutable iteration state for one governed operation: consult
 /// ShouldRetry after each failure; when it grants a retry, wait NextDelay()
 /// (the store sleeps it; tests use base_delay zero and just record it).
+///
+/// Thread-safe: the network client hands one schedule to many worker threads
+/// that retry independently, so the attempt counter and the jitter stream
+/// are guarded by a mutex. Determinism survives sharing — with a fixed
+/// `jitter_seed` the *multiset* of delays handed out across all threads is
+/// exactly the single-threaded delay sequence (each NextDelay() call draws
+/// the next element of one seeded stream; only the thread interleaving
+/// varies). The lock is uncontended-cheap and only ever held for a few
+/// arithmetic operations, never across a sleep.
 class RetrySchedule {
  public:
   explicit RetrySchedule(const RetryPolicy& policy);
@@ -62,13 +72,14 @@ class RetrySchedule {
   /// call once per granted retry.
   std::chrono::nanoseconds NextDelay();
 
-  std::uint32_t attempts_used() const { return attempts_used_; }
+  std::uint32_t attempts_used() const;
 
  private:
+  mutable std::mutex mu_;
   RetryPolicy policy_;
-  std::uint32_t attempts_used_ = 1;  // the initial attempt
-  std::chrono::nanoseconds current_base_;
-  std::uint64_t rng_state_;
+  std::uint32_t attempts_used_ = 1;  // the initial attempt; guarded by mu_
+  std::chrono::nanoseconds current_base_;  // guarded by mu_
+  std::uint64_t rng_state_;                // guarded by mu_
 };
 
 }  // namespace setrec

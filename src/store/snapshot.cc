@@ -1,5 +1,6 @@
 #include "store/snapshot.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -27,7 +28,7 @@ std::string HeaderLine(std::uint64_t sequence, const std::string& body) {
 }  // namespace
 
 Status WriteSnapshot(const std::string& path, const Instance& instance,
-                     std::uint64_t sequence) {
+                     std::uint64_t sequence, FaultInjector* injector) {
   const std::string body = InstanceToText(instance);
   const std::string header = HeaderLine(sequence, body);
   const std::string tmp_path = path + ".tmp";
@@ -51,7 +52,15 @@ Status WriteSnapshot(const std::string& path, const Instance& instance,
     return Status::Internal("cannot publish snapshot '" + path +
                             "': " + ec.message());
   }
-  return Status::OK();
+  // The rename is not durable until the directory entry is: a crash here may
+  // resurrect the pre-rename state. The probe lets tests kill the process in
+  // exactly this window and prove recovery copes with both outcomes.
+  if (injector != nullptr) {
+    SETREC_RETURN_IF_ERROR(injector->Probe("snapshot/dirsync"));
+  }
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  return FsyncDir(parent.empty() ? std::string(".") : parent.string());
 }
 
 Result<SnapshotData> ReadSnapshot(const std::string& path,

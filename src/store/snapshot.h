@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/fault_injection.h"
 #include "core/instance.h"
 #include "core/status.h"
 
@@ -19,7 +20,12 @@ namespace setrec {
 /// detected (kCorruptedLog) and recovery falls back to an older snapshot or
 /// to an empty instance plus full WAL replay. Snapshots are written to a
 /// temporary file, fsynced, and renamed into place — a crash mid-write never
-/// clobbers the previous snapshot.
+/// clobbers the previous snapshot. After the rename the *parent directory*
+/// is fsynced too: the rename itself lives in the directory's metadata, and
+/// without the directory sync a power failure can roll the publish back
+/// even though the data blocks survived. Recovery tolerates either outcome
+/// (the snapshot is present, or the previous state plus the WAL is), which
+/// the crash-probe between rename and directory-sync proves.
 
 struct SnapshotData {
   Instance instance;
@@ -27,8 +33,13 @@ struct SnapshotData {
   std::uint64_t sequence = 0;
 };
 
+/// Writes a snapshot atomically (tmp file, fsync, rename, directory fsync).
+/// `injector`, when given, is consulted at the exec probe point
+/// "snapshot/dirsync" *between* the rename and the directory sync — the
+/// crash window the durability tests must cover.
 Status WriteSnapshot(const std::string& path, const Instance& instance,
-                     std::uint64_t sequence);
+                     std::uint64_t sequence,
+                     FaultInjector* injector = nullptr);
 
 /// Reads and validates a snapshot. Header/length/CRC defects and body parse
 /// failures return kCorruptedLog; a missing file returns kNotFound.

@@ -1,5 +1,6 @@
 #include "store/wal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <array>
@@ -78,6 +79,21 @@ Status IoError(const std::string& what, const std::string& path) {
 
 }  // namespace
 
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory '" + dir +
+                            "' for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("cannot fsync directory '" + dir +
+                            "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 std::uint32_t Crc32(std::string_view data, std::uint32_t crc) {
   static const std::array<std::uint32_t, 256> kTable = MakeCrcTable();
   crc = ~crc;
@@ -104,6 +120,7 @@ Result<WalReplay> ReadWal(const std::string& path) {
   std::fclose(f);
   if (read_error) return IoError("cannot read WAL", path);
 
+  replay.file_present = true;
   replay.total_bytes = bytes.size();
   std::uint64_t offset = 0;
   auto stop = [&](const char* reason) {
@@ -184,6 +201,23 @@ Result<WalWriter> WalWriter::Open(const std::string& path,
       return Status::Internal("cannot truncate WAL '" + path +
                               "': " + ec.message());
     }
+    // The truncation must be durable before new records land after it: if
+    // the shrunk length were lost in a crash, stale torn bytes would
+    // resurface *after* fresh appends and corrupt the log mid-stream. Sync
+    // the file's data/metadata and the directory entry. The probe covers a
+    // crash inside this window.
+    if (injector != nullptr) {
+      SETREC_RETURN_IF_ERROR(injector->Probe("wal/truncate-dirsync"));
+    }
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) return IoError("cannot open truncated WAL for fsync", path);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return IoError("cannot fsync truncated WAL", path);
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    SETREC_RETURN_IF_ERROR(
+        FsyncDir(parent.empty() ? std::string(".") : parent.string()));
   }
   WalWriter w;
   w.file_ = std::fopen(path.c_str(), "ab");

@@ -38,6 +38,13 @@ namespace setrec {
 /// CRC-32 (IEEE 802.3 polynomial, bit-reflected), seedable for chaining.
 std::uint32_t Crc32(std::string_view data, std::uint32_t crc = 0);
 
+/// fsyncs directory `dir` itself. A rename or truncation performed inside a
+/// directory lives in the directory's metadata; until the directory entry is
+/// synced a power failure can undo the publish even though the file's data
+/// blocks survived. Every rename/truncate-for-durability in the store layer
+/// is followed by this call.
+Status FsyncDir(const std::string& dir);
+
 struct WalRecord {
   std::uint64_t sequence = 0;
   std::string payload;
@@ -45,6 +52,12 @@ struct WalRecord {
 
 /// Outcome of scanning a WAL file.
 struct WalReplay {
+  /// False when no file existed at the path. A missing-but-expected log and
+  /// a zero-length log are both *clean* empty replays (no torn tail): an
+  /// empty file is exactly what a crash between file creation and the first
+  /// append leaves behind, and a store that never committed has no log at
+  /// all. Neither relies on the longest-valid-prefix machinery.
+  bool file_present = false;
   std::vector<WalRecord> records;
   /// Byte offsets one-past-the-end of each good record (parallel to
   /// `records`) — the commit points a torn-tail test truncates between.

@@ -1,0 +1,922 @@
+// Tests for the network service (net/): the checksummed frame codec, the
+// hardened message codec, the multi-tenant blocking-I/O server with
+// admission control, the retrying client, WAL-shipping replication with
+// snapshot resync, and read failover. The acceptance core mirrors the
+// store's recovery matrix: every network fault mode (drop, duplicate,
+// truncate, delay, disconnect) injected at each of the first frames of a
+// conversation must leave the service consistent — a governed retry either
+// completes the call or surfaces a typed, retryable error, and never
+// executes a deduplicated statement twice on one session.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/fault_injection.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/status.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/message.h"
+#include "net/replica.h"
+#include "net/server.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "store/durable_store.h"
+#include "text/printer.h"
+
+namespace setrec {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string MakeTempDir(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "setrec_net_test" /
+      (std::string(info->test_suite_name()) + "." + info->name() + "." + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// -- Transport ---------------------------------------------------------------
+
+TEST(TransportTest, PairDeliversBytesInOrderAndEofOnClose) {
+  auto [left, right] = CreateInProcessPair();
+  ASSERT_TRUE(left->Send("hello ").ok());
+  ASSERT_TRUE(left->Send("world").ok());
+  std::string got;
+  while (got.size() < 11) {
+    Result<std::size_t> n = right->Recv(64, milliseconds(200), &got);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_GT(*n, 0u);
+  }
+  EXPECT_EQ(got, "hello world");
+  left->Close();
+  Result<std::size_t> eof = right->Recv(64, milliseconds(200), &got);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);  // clean EOF
+}
+
+TEST(TransportTest, RecvTimesOutAndCrossThreadCloseWakesIt) {
+  auto [left, right] = CreateInProcessPair();
+  std::string out;
+  EXPECT_EQ(right->Recv(8, milliseconds(10), &out).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  std::thread closer([&conn = *right] {
+    std::this_thread::sleep_for(milliseconds(20));
+    conn.Close();
+  });
+  // A long blocking read must wake when the connection is closed from a
+  // different thread — the drain path depends on this.
+  const Status woken =
+      right->Recv(8, milliseconds(10'000), &out).status();
+  closer.join();
+  EXPECT_EQ(woken.code(), StatusCode::kFailedPrecondition);
+  (void)left;
+}
+
+// -- Frame codec -------------------------------------------------------------
+
+/// Sends `frame` through a fresh pair and returns its raw wire bytes.
+std::string WireBytes(const Frame& frame) {
+  auto [a, b] = CreateInProcessPair();
+  FramedConnection sender(std::move(a));
+  EXPECT_TRUE(sender.SendFrame(frame).ok());
+  std::string bytes;
+  while (true) {
+    Result<std::size_t> n = b->Recv(1 << 16, milliseconds(10), &bytes);
+    if (!n.ok() || *n == 0) break;
+  }
+  return bytes;
+}
+
+Frame PingFrame() {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.request_id = 42;
+  f.payload = "op ping\nbody 0\n";
+  return f;
+}
+
+TEST(FrameTest, RoundTripsTypeIdAndPayload) {
+  auto [a, b] = CreateInProcessPair();
+  FramedConnection left(std::move(a));
+  FramedConnection right(std::move(b));
+  Frame f;
+  f.type = FrameType::kWalRecord;
+  f.request_id = 7;
+  f.payload = std::string("\x00\x01\xff payload", 11);
+  ASSERT_TRUE(left.SendFrame(f).ok());
+  Result<Frame> got = right.RecvFrame(milliseconds(200));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->type, FrameType::kWalRecord);
+  EXPECT_EQ(got->request_id, 7u);
+  EXPECT_EQ(got->payload, f.payload);
+}
+
+TEST(FrameTest, EveryTruncationOfAFrameIsCorruptionNeverAHangOrCrash) {
+  const std::string bytes = WireBytes(PingFrame());
+  ASSERT_GT(bytes.size(), 24u);
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    auto [a, b] = CreateInProcessPair();
+    ASSERT_TRUE(a->Send(bytes.substr(0, cut)).ok());
+    a->Close();  // the rest of the frame never arrives
+    FramedConnection receiver(std::move(b));
+    const Status status = receiver.RecvFrame(milliseconds(200)).status();
+    EXPECT_EQ(status.code(), StatusCode::kCorruptedLog) << "cut " << cut;
+  }
+}
+
+TEST(FrameTest, EverySingleByteFlipIsDetected) {
+  const std::string bytes = WireBytes(PingFrame());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] ^= 0x01;
+    auto [a, b] = CreateInProcessPair();
+    ASSERT_TRUE(a->Send(flipped).ok());
+    a->Close();
+    FramedConnection receiver(std::move(b));
+    Result<Frame> got = receiver.RecvFrame(milliseconds(200));
+    // A flip in the length field may manifest as a short read (mid-frame
+    // close) instead of a CRC mismatch, but it must never decode cleanly.
+    EXPECT_FALSE(got.ok()) << "flip at byte " << i;
+    EXPECT_EQ(got.status().code(), StatusCode::kCorruptedLog)
+        << "flip at byte " << i;
+  }
+}
+
+TEST(FrameTest, OversizedLengthAndForeignMagicAreRejectedEagerly) {
+  auto [a, b] = CreateInProcessPair();
+  // A foreign protocol speaking first.
+  ASSERT_TRUE(a->Send("GET / HTTP/1.1\r\n\r\n").ok());
+  FramedConnection receiver(std::move(b));
+  EXPECT_EQ(receiver.RecvFrame(milliseconds(200)).status().code(),
+            StatusCode::kCorruptedLog);
+
+  // A length field far past the cap must be rejected from the header alone
+  // (no allocation, no waiting for 4 GiB that never comes).
+  std::string huge = WireBytes(PingFrame());
+  huge[4] = '\xff';
+  huge[5] = '\xff';
+  huge[6] = '\xff';
+  huge[7] = '\x7f';
+  auto [c, d] = CreateInProcessPair();
+  ASSERT_TRUE(c->Send(huge).ok());
+  FramedConnection receiver2(std::move(d));
+  EXPECT_EQ(receiver2.RecvFrame(milliseconds(200)).status().code(),
+            StatusCode::kCorruptedLog);
+}
+
+// -- Message codec -----------------------------------------------------------
+
+TEST(MessageTest, RequestRoundTripsAllFields) {
+  Request request;
+  request.op = "update";
+  request.tenant = "acme";
+  request.deadline_ms = 250;
+  request.params["property"] = "f";
+  request.params["from"] = "17";
+  request.body = "product(A, B)\nwith raw \x01 bytes";
+  Result<Request> back = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->op, "update");
+  EXPECT_EQ(back->tenant, "acme");
+  EXPECT_EQ(back->deadline_ms, 250u);
+  EXPECT_EQ(back->params, request.params);
+  EXPECT_EQ(back->body, request.body);  // bodies travel verbatim
+}
+
+TEST(MessageTest, ResponseRoundTripsAllFields) {
+  Response response;
+  response.code = StatusCode::kResourceExhausted;
+  response.message = "tenant saturated";
+  response.retry_after_ms = 12;
+  response.applied_sequence = 9;
+  response.leader_sequence = 11;
+  response.body = "A(1) B(2)\n";
+  Result<Response> back = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(back->message, "tenant saturated");
+  EXPECT_EQ(back->retry_after_ms, 12u);
+  EXPECT_EQ(back->applied_sequence, 9u);
+  EXPECT_EQ(back->leader_sequence, 11u);
+  EXPECT_EQ(back->body, "A(1) B(2)\n");
+}
+
+TEST(MessageTest, HeaderValuesCannotSmuggleLineBreaks) {
+  Request request;
+  request.op = "ping";
+  request.tenant = "evil\nop shutdown";  // header-injection attempt
+  Result<Request> back = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->tenant, "evil?op shutdown");
+}
+
+TEST(MessageTest, EveryTruncationAndFlipOfAMessageIsTypedNeverACrash) {
+  Request request;
+  request.op = "update";
+  request.tenant = "acme";
+  request.deadline_ms = 99;
+  request.params["property"] = "f";
+  request.body = "join[self = A](A, Af)";
+  const std::string bytes = EncodeRequest(request);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const Status status =
+        DecodeRequest(std::string_view(bytes).substr(0, cut)).status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << "cut " << cut;
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] ^= 0x04;
+    (void)DecodeRequest(flipped);  // must not crash; outcome may be either
+  }
+  EXPECT_EQ(DecodeRequest("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeResponse("body 0\n").status().code(),
+            StatusCode::kInvalidArgument);  // missing code
+  EXPECT_EQ(DecodeRequest("op ping\nbody 5\nab").status().code(),
+            StatusCode::kInvalidArgument);  // body length lies
+}
+
+// -- Service fixture ---------------------------------------------------------
+
+class NetServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = schema_.AddClass("A").value();
+    b_ = schema_.AddClass("B").value();
+    f_ = schema_.AddProperty("f", a_, b_).value();
+  }
+
+  TenantConfig Tenant(const std::string& name) const {
+    TenantConfig config;
+    config.name = name;
+    return config;
+  }
+
+  std::unique_ptr<Server> MakeServer(const std::string& dir,
+                                     std::vector<TenantConfig> tenants,
+                                     ServerOptions options = {}) {
+    options.data_dir = dir;
+    options.schema = &schema_;
+    Result<std::unique_ptr<Server>> server =
+        Server::Create(std::move(options), std::move(tenants));
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(server).value();
+  }
+
+  /// A dialer that opens an in-process session on `server` per call.
+  static Dialer DialerFor(Server* server) {
+    return [server]() -> Result<ConnectionPtr> {
+      auto [client_end, server_end] = CreateInProcessPair();
+      server->Serve(std::move(server_end));
+      return std::move(client_end);
+    };
+  }
+
+  Client::Options ClientOptions(Server* server, const std::string& tenant,
+                                std::uint32_t max_attempts = 5) const {
+    Client::Options options;
+    options.tenant = tenant;
+    options.dial = DialerFor(server);
+    options.retry.max_attempts = max_attempts;
+    options.recv_timeout = milliseconds(200);
+    return options;
+  }
+
+  /// Asserts the call succeeded end to end and returns the response.
+  Response MustOk(Result<Response> result) {
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return Response{};
+    EXPECT_EQ(result->code, StatusCode::kOk) << result->message;
+    return *std::move(result);
+  }
+
+  Schema schema_;
+  ClassId a_ = 0, b_ = 0;
+  PropertyId f_ = 0;
+};
+
+// -- End-to-end request/response ---------------------------------------------
+
+TEST_F(NetServiceTest, PingUpdateDeltaQueryExplainEndToEnd) {
+  auto server = MakeServer(MakeTempDir("srv"), {Tenant("acme")});
+  Client client(ClientOptions(server.get(), "acme"));
+
+  Response pong = MustOk(client.Ping());
+  EXPECT_EQ(pong.applied_sequence, 0u);
+
+  MustOk(client.ApplyDelta(
+      "delta { add object A(1); add object A(2); add object B(5); }"));
+  Response updated = MustOk(client.Update("f", "product(A, B)"));
+  EXPECT_EQ(updated.applied_sequence, 2u);
+
+  Response rows = MustOk(client.Query("Af"));
+  EXPECT_EQ(rows.body, "A(1) B(5)\nA(2) B(5)\n");
+  EXPECT_EQ(rows.applied_sequence, 2u);
+  EXPECT_EQ(rows.leader_sequence, 2u);
+
+  Response plan = MustOk(client.Explain("project[A](join[self = A]("
+                                        "rename[A -> self](A), Af))"));
+  EXPECT_FALSE(plan.body.empty());
+  EXPECT_NE(plan.body.find("Project"), std::string::npos);
+
+  // The server state is the durable store's state.
+  DurableStore* store = server->store("acme");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->last_sequence(), 2u);
+
+  // Semantic errors come back typed, not as transport failures.
+  Result<Response> bad = client.Query("union(A)");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->code, StatusCode::kInvalidArgument);
+  Result<Response> unknown_rel = client.Query("Nope");
+  ASSERT_TRUE(unknown_rel.ok());
+  EXPECT_NE(unknown_rel->code, StatusCode::kOk);
+}
+
+TEST_F(NetServiceTest, TenantsAreIsolatedStores) {
+  auto server = MakeServer(MakeTempDir("srv"),
+                           {Tenant("alpha"), Tenant("beta")});
+  Client alpha(ClientOptions(server.get(), "alpha"));
+  Client beta(ClientOptions(server.get(), "beta"));
+
+  MustOk(alpha.ApplyDelta("delta { add object A(1); }"));
+  MustOk(beta.ApplyDelta("delta { add object A(2); add object A(3); }"));
+
+  EXPECT_EQ(MustOk(alpha.Query("A")).body, "A(1)\n");
+  EXPECT_EQ(MustOk(beta.Query("A")).body, "A(2)\nA(3)\n");
+  EXPECT_EQ(server->store("alpha")->last_sequence(), 1u);
+  EXPECT_EQ(server->store("beta")->last_sequence(), 1u);
+
+  Result<Response> missing = alpha.Call([] {
+    Request r;
+    r.op = "ping";
+    r.tenant = "nobody";
+    return r;
+  }());
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->code, StatusCode::kNotFound);
+}
+
+TEST_F(NetServiceTest, RequestDeadlineBoundsTheAdmissionQueueWait) {
+  // A tenant that can never admit anything: every request waits in the
+  // queue until its own deadline expires. This isolates the deadline
+  // plumbing from timing flakiness — no execution is involved at all.
+  TenantConfig never = Tenant("never");
+  never.max_concurrency = 0;
+  auto server = MakeServer(MakeTempDir("srv"), {never});
+  Client client(ClientOptions(server.get(), "never", /*max_attempts=*/1));
+
+  Request request;
+  request.op = "update";
+  request.deadline_ms = 30;
+  request.params["property"] = "f";
+  request.body = "Af";
+  const auto started = std::chrono::steady_clock::now();
+  Result<Response> response = client.Call(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+  EXPECT_GE(std::chrono::steady_clock::now() - started, milliseconds(25));
+}
+
+TEST_F(NetServiceTest, RequestDeadlineCutsOffAnExpensiveQueryMidExecution) {
+  auto server = MakeServer(MakeTempDir("srv"), {Tenant("acme")});
+  Client client(ClientOptions(server.get(), "acme", /*max_attempts=*/1));
+
+  // 400 x 400 product: enough materialization work that a 1 ms budget
+  // trips the ExecContext clock long before the result is complete.
+  std::string delta = "delta {\n";
+  for (int i = 1; i <= 400; ++i) {
+    delta += "  add object A(" + std::to_string(i) + ");\n";
+    delta += "  add object B(" + std::to_string(i) + ");\n";
+  }
+  delta += "}";
+  MustOk(client.ApplyDelta(delta));
+
+  Request request;
+  request.op = "query";
+  request.deadline_ms = 1;
+  request.body = "product(A, B)";
+  Result<Response> response = client.Call(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded)
+      << response->message;
+}
+
+// -- Admission control -------------------------------------------------------
+
+TEST_F(NetServiceTest, SaturatedTenantShedsWithRetryableBackoffHint) {
+  TenantConfig tiny = Tenant("tiny");
+  tiny.max_concurrency = 0;  // never admits
+  tiny.max_queue = 0;        // never queues: every arrival is shed
+  ServerOptions options;
+  options.suggested_backoff_ms = 3;
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  auto server = MakeServer(MakeTempDir("srv"), {tiny}, std::move(options));
+
+  Client::Options client_options =
+      ClientOptions(server.get(), "tiny", /*max_attempts=*/3);
+  client_options.metrics = &metrics;
+  Client client(std::move(client_options));
+  Result<Response> response = client.Update("f", "Af");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kResourceExhausted);
+  EXPECT_GE(response->retry_after_ms, 3u);  // the server's explicit hint
+  // The client consumed its whole retry budget honoring the hint.
+  EXPECT_EQ(client.last_call_retries(), 2u);
+  EXPECT_EQ(metrics.CounterNamed("net.shed").value(), 3u);
+  EXPECT_EQ(metrics.CounterNamed("net.client.retries").value(), 2u);
+
+  // Reads on a *different* tenant of the same server are unaffected:
+  // back-pressure is per tenant, not per server.
+}
+
+TEST_F(NetServiceTest, QueuedRequestsAdmitInTurnUnderConcurrencyOne) {
+  TenantConfig one = Tenant("one");
+  one.max_concurrency = 1;
+  one.max_queue = 32;
+  one.default_deadline = milliseconds(5000);
+  ServerOptions options;
+  options.own_pool_workers = 8;
+  auto server = MakeServer(MakeTempDir("srv"), {one}, std::move(options));
+
+  // Eight threads each commit four disjoint deltas through the width-one
+  // admission gate. Everything must eventually commit; nothing may be lost
+  // or doubled.
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      Client client(ClientOptions(server.get(), "one", /*max_attempts=*/8));
+      for (int i = 0; i < 4; ++i) {
+        const int id = t * 100 + i;
+        Result<Response> r = client.ApplyDelta(
+            "delta { add object A(" + std::to_string(id) + "); }");
+        if (!r.ok() || r->code != StatusCode::kOk) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server->store("one")->last_sequence(), 32u);
+  std::uint64_t sequence = 0;
+  const Instance state = server->store("one")->SnapshotState(&sequence);
+  EXPECT_EQ(sequence, 32u);
+  std::size_t objects = 0;
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      objects += state.HasObject(ObjectId(a_, t * 100 + i)) ? 1u : 0u;
+    }
+  }
+  EXPECT_EQ(objects, 32u);
+}
+
+// -- Session dedup and protocol errors ---------------------------------------
+
+TEST_F(NetServiceTest, ReplayedRequestIdReturnsCachedResponseWithoutRerun) {
+  auto server = MakeServer(MakeTempDir("srv"), {Tenant("acme")});
+  auto [client_end, server_end] = CreateInProcessPair();
+  server->Serve(std::move(server_end));
+  FramedConnection conn(std::move(client_end));
+
+  Request update;
+  update.op = "delta";
+  update.tenant = "acme";
+  update.body = "delta { add object A(7); }";
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request_id = 10;
+  frame.payload = EncodeRequest(update);
+
+  ASSERT_TRUE(conn.SendFrame(frame).ok());
+  Result<Frame> first = conn.RecvFrame(milliseconds(500));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<Response> decoded = DecodeResponse(first->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kOk);
+  EXPECT_EQ(server->store("acme")->last_sequence(), 1u);
+
+  // The client "lost" the response and retries the same id: the session
+  // resends its cached response and the store does NOT commit again.
+  ASSERT_TRUE(conn.SendFrame(frame).ok());
+  Result<Frame> replay = conn.RecvFrame(milliseconds(500));
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->payload, first->payload);
+  EXPECT_EQ(server->store("acme")->last_sequence(), 1u);
+
+  // A regressing id is a protocol violation: typed error, session closed.
+  frame.request_id = 3;
+  ASSERT_TRUE(conn.SendFrame(frame).ok());
+  Result<Frame> violation = conn.RecvFrame(milliseconds(500));
+  ASSERT_TRUE(violation.ok()) << violation.status().ToString();
+  Result<Response> verdict = DecodeResponse(violation->payload);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict->code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(server->store("acme")->last_sequence(), 1u);
+}
+
+// -- Fault matrix ------------------------------------------------------------
+
+TEST_F(NetServiceTest, ClientSurvivesEveryFaultModeAtEachEarlyFrame) {
+  // Fault mode x frame ordinal: inject each network fault at each of the
+  // first frames of the client's conversation and require the governed
+  // retry loop to finish the call anyway. Queries are repeated after each
+  // storm on a *clean* client to prove the server survived undamaged.
+  const std::string dir = MakeTempDir("srv");
+  auto server = MakeServer(dir, {Tenant("acme")});
+  {
+    Client seed(ClientOptions(server.get(), "acme"));
+    MustOk(seed.ApplyDelta(
+        "delta { add object A(1); add object B(5); }"));
+    MustOk(seed.Update("f", "product(A, B)"));
+  }
+  const std::string baseline = "A(1) B(5)\n";
+
+  struct Mode {
+    const char* name;
+    FaultInjector (*make)(std::uint64_t nth);
+  };
+  const Mode kModes[] = {
+      {"drop", [](std::uint64_t n) { return FaultInjector::DropFrameAt(n); }},
+      {"duplicate",
+       [](std::uint64_t n) { return FaultInjector::DuplicateFrameAt(n); }},
+      {"truncate",
+       [](std::uint64_t n) { return FaultInjector::TruncateFrameAt(n, 9); }},
+      {"delay",
+       [](std::uint64_t n) { return FaultInjector::DelayFrameAt(n, 5); }},
+      {"disconnect",
+       [](std::uint64_t n) { return FaultInjector::DisconnectAt(n); }},
+  };
+
+  for (const Mode& mode : kModes) {
+    // A clean round trip is two net ops (one send probe, one recv probe),
+    // so two back-to-back calls cover ordinals 1..4 densely.
+    for (std::uint64_t nth = 1; nth <= 4; ++nth) {
+      FaultInjector injector = mode.make(nth);
+      Client::Options options = ClientOptions(server.get(), "acme",
+                                              /*max_attempts=*/6);
+      options.injector = &injector;
+      Client client(std::move(options));
+      for (int call = 0; call < 2; ++call) {
+        Result<Response> response = client.Query("Af");
+        ASSERT_TRUE(response.ok())
+            << mode.name << " at op " << nth << " call " << call << ": "
+            << response.status().ToString();
+        EXPECT_EQ(response->code, StatusCode::kOk)
+            << mode.name << " at op " << nth << ": " << response->message;
+        EXPECT_EQ(response->body, baseline)
+            << mode.name << " at op " << nth;
+      }
+      EXPECT_GE(injector.net_faults_fired(), 1u)
+          << mode.name << " at op " << nth << " never fired";
+    }
+    // The server must still be pristine for a clean client.
+    Client clean(ClientOptions(server.get(), "acme"));
+    EXPECT_EQ(MustOk(clean.Query("Af")).body, baseline) << mode.name;
+  }
+  // No fault mode may have smuggled in an extra commit: the dedup and
+  // idempotence story, checked at the WAL.
+  EXPECT_EQ(server->store("acme")->last_sequence(), 2u);
+}
+
+TEST_F(NetServiceTest, ServerSideFaultsCannotCorruptTenantState) {
+  // The server's own endpoints inject faults this time (shared injector
+  // across all sessions); writes keep retrying until acknowledged, and the
+  // acknowledged state must survive.
+  const std::string dir = MakeTempDir("srv");
+  FaultInjector injector = FaultInjector::DropFrameAt(2);
+  ServerOptions options;
+  options.injector = &injector;
+  auto server = MakeServer(dir, {Tenant("acme")}, std::move(options));
+
+  Client client(ClientOptions(server.get(), "acme", /*max_attempts=*/6));
+  Result<Response> response =
+      client.ApplyDelta("delta { add object A(3); }");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kOk) << response->message;
+  EXPECT_EQ(server->store("acme")->last_sequence(), 1u);
+  EXPECT_TRUE(
+      server->store("acme")->SnapshotState().HasObject(ObjectId(a_, 3)));
+}
+
+// -- Graceful drain ----------------------------------------------------------
+
+TEST_F(NetServiceTest, DrainSaysGoodbyeAndRefusesNewSessions) {
+  ServerOptions options;
+  options.recv_timeout = milliseconds(10);  // fast drain detection
+  auto server = MakeServer(MakeTempDir("srv"), {Tenant("acme")},
+                           std::move(options));
+  Client client(ClientOptions(server.get(), "acme"));
+  MustOk(client.Ping());  // session established and idle
+
+  server->Drain();
+  EXPECT_EQ(server->active_sessions(), 0u);
+  EXPECT_TRUE(server->draining());
+
+  // The old session was told goodbye; a new dial gets a closed connection.
+  Client late(ClientOptions(server.get(), "acme", /*max_attempts=*/2));
+  Result<Response> refused = late.Ping();
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+
+  server->Drain();  // idempotent
+}
+
+// -- Replication -------------------------------------------------------------
+
+class ReplicationTest : public NetServiceTest {
+ protected:
+  FollowerReplica::Options ReplicaOptions(Server* leader,
+                                          const std::string& tenant) {
+    FollowerReplica::Options options;
+    options.tenant = tenant;
+    options.dial = DialerFor(leader);
+    options.schema = &schema_;
+    options.recv_timeout = milliseconds(500);
+    return options;
+  }
+
+  /// Pulls until the follower reports no lag (bounded rounds).
+  void CatchUp(FollowerReplica& replica) {
+    for (int round = 0; round < 32; ++round) {
+      ASSERT_TRUE(replica.TailOnce().ok());
+      std::uint64_t applied = 0, leader = 0;
+      (void)replica.Read(&applied, &leader);
+      if (applied == leader) return;
+    }
+    FAIL() << "replica never caught up";
+  }
+};
+
+TEST_F(ReplicationTest, FollowerConvergesToBitIdenticalState) {
+  auto leader = MakeServer(MakeTempDir("leader"), {Tenant("acme")});
+  Client client(ClientOptions(leader.get(), "acme"));
+  MustOk(client.ApplyDelta(
+      "delta { add object A(1); add object A(2); add object B(9); }"));
+  MustOk(client.Update("f", "product(A, B)"));
+  MustOk(client.ApplyDelta("delta { del object A(2); }"));
+
+  auto replica = std::move(FollowerReplica::Create(
+                               ReplicaOptions(leader.get(), "acme")))
+                     .value();
+  CatchUp(*replica);
+
+  std::uint64_t applied = 0, leader_seq = 0;
+  const Instance follower_state = replica->Read(&applied, &leader_seq);
+  EXPECT_EQ(applied, 3u);
+  EXPECT_EQ(leader_seq, 3u);
+  EXPECT_TRUE(replica->healthy());
+  EXPECT_EQ(replica->resyncs(), 0u);
+  // Bit-identical: the replication stream is the WAL, and the WAL replay
+  // path is the recovery path.
+  EXPECT_EQ(InstanceToText(follower_state),
+            InstanceToText(leader->store("acme")->SnapshotState()));
+
+  // Incremental: more commits, another round, still identical.
+  MustOk(client.ApplyDelta("delta { add object A(4); }"));
+  CatchUp(*replica);
+  EXPECT_EQ(InstanceToText(replica->Read(nullptr, nullptr)),
+            InstanceToText(leader->store("acme")->SnapshotState()));
+}
+
+TEST_F(ReplicationTest, TruncatedLeaderHistoryForcesSnapshotResync) {
+  // Checkpoints truncate the leader's WAL, so a follower starting from
+  // sequence 1 cannot pull the early records — it must detect the gap and
+  // resync from the snapshot instead of serving a divergent state.
+  TenantConfig tenant = Tenant("acme");
+  tenant.store_options.snapshot_every_n_commits = 2;
+  auto leader = MakeServer(MakeTempDir("leader"), {tenant});
+  Client client(ClientOptions(leader.get(), "acme"));
+  for (int i = 1; i <= 4; ++i) {
+    MustOk(client.ApplyDelta("delta { add object A(" + std::to_string(i) +
+                             "); }"));
+  }
+
+  auto replica = std::move(FollowerReplica::Create(
+                               ReplicaOptions(leader.get(), "acme")))
+                     .value();
+  CatchUp(*replica);
+  EXPECT_EQ(replica->resyncs(), 1u);
+  EXPECT_EQ(replica->applied_sequence(), 4u);
+  EXPECT_EQ(InstanceToText(replica->Read(nullptr, nullptr)),
+            InstanceToText(leader->store("acme")->SnapshotState()));
+
+  // After the resync, tailing resumes incrementally — no further resyncs.
+  MustOk(client.ApplyDelta("delta { add object A(9); }"));
+  CatchUp(*replica);
+  EXPECT_EQ(replica->resyncs(), 1u);
+  EXPECT_EQ(replica->applied_sequence(), 5u);
+}
+
+TEST_F(ReplicationTest, LeaderCrashAtEveryCommitProbeThenReopenAndRetail) {
+  // The replication analogue of the store's recovery matrix: a leader that
+  // dies mid-commit (at each exec/storage probe ordinal) is reopened, and
+  // the follower re-tails. The follower must land exactly on the leader's
+  // recovered state — the committed prefix — at every ordinal.
+  for (std::uint64_t nth = 1; nth <= 8; ++nth) {
+    const std::string dir = MakeTempDir("leader" + std::to_string(nth));
+    bool acked = false;
+    {
+      auto healthy = MakeServer(dir, {Tenant("acme")});
+      Client seed(ClientOptions(healthy.get(), "acme"));
+      MustOk(seed.ApplyDelta("delta { add object A(1); }"));
+    }
+    {
+      // Observe-only while the server opens (recovery replay fires exec
+      // probes of its own); armed just before the wounded commit.
+      FaultInjector injector;
+      TenantConfig tenant = Tenant("acme");
+      tenant.store_options.injector = &injector;
+      auto wounded = MakeServer(dir, {tenant});
+      injector = FaultInjector::FireAtNthProbe(nth);
+      Client client(ClientOptions(wounded.get(), "acme",
+                                  /*max_attempts=*/1));
+      Result<Response> response =
+          client.ApplyDelta("delta { add object A(2); }");
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      acked = response->code == StatusCode::kOk;
+      wounded->Drain();
+    }
+    // Reopen (recovery) and re-tail.
+    auto reopened = MakeServer(dir, {Tenant("acme")});
+    const Instance recovered = reopened->store("acme")->SnapshotState();
+    if (acked) {
+      EXPECT_TRUE(recovered.HasObject(ObjectId(a_, 2))) << "probe " << nth;
+    }
+    EXPECT_TRUE(recovered.HasObject(ObjectId(a_, 1))) << "probe " << nth;
+
+    auto replica = std::move(FollowerReplica::Create(
+                                 ReplicaOptions(reopened.get(), "acme")))
+                       .value();
+    CatchUp(*replica);
+    EXPECT_EQ(InstanceToText(replica->Read(nullptr, nullptr)),
+              InstanceToText(recovered))
+        << "probe " << nth;
+  }
+}
+
+TEST_F(ReplicationTest, ReplicaBackedTenantServesReadsAndRefusesWrites) {
+  auto leader = MakeServer(MakeTempDir("leader"), {Tenant("acme")});
+  Client leader_client(ClientOptions(leader.get(), "acme"));
+  MustOk(leader_client.ApplyDelta(
+      "delta { add object A(1); add object B(2); }"));
+  MustOk(leader_client.Update("f", "product(A, B)"));
+
+  auto replica = std::move(FollowerReplica::Create(
+                               ReplicaOptions(leader.get(), "acme")))
+                     .value();
+  CatchUp(*replica);
+
+  auto follower = MakeServer(MakeTempDir("follower"), {});
+  ASSERT_TRUE(follower->ServeReplica("acme", replica.get()).ok());
+  Client follower_client(ClientOptions(follower.get(), "acme"));
+
+  Response rows = MustOk(follower_client.Query("Af"));
+  EXPECT_EQ(rows.body, "A(1) B(2)\n");
+  EXPECT_EQ(rows.applied_sequence, 2u);
+  EXPECT_EQ(rows.leader_sequence, 2u);
+  // EXPLAIN works at the follower too — plans need only the catalog.
+  EXPECT_FALSE(MustOk(follower_client.Explain("Af")).body.empty());
+
+  Result<Response> write = follower_client.ApplyDelta(
+      "delta { add object A(5); }");
+  ASSERT_TRUE(write.ok());
+  EXPECT_EQ(write->code, StatusCode::kFailedPrecondition);
+  Result<Response> pull = follower_client.Call([] {
+    Request r;
+    r.op = "pull";
+    return r;
+  }());
+  ASSERT_TRUE(pull.ok());
+  EXPECT_EQ(pull->code, StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicationTest, FailoverClientScreensStaleFollowersAndDeadOnes) {
+  auto leader = MakeServer(MakeTempDir("leader"), {Tenant("acme")});
+  Client leader_seed(ClientOptions(leader.get(), "acme"));
+  MustOk(leader_seed.ApplyDelta(
+      "delta { add object A(1); add object A(2); }"));
+
+  FollowerReplica::Options replica_options =
+      ReplicaOptions(leader.get(), "acme");
+  replica_options.pull_batch = 1;  // so the follower can be behind knowingly
+  auto replica =
+      std::move(FollowerReplica::Create(std::move(replica_options))).value();
+  CatchUp(*replica);
+
+  auto follower = MakeServer(MakeTempDir("follower"), {});
+  ASSERT_TRUE(follower->ServeReplica("acme", replica.get()).ok());
+
+  Client via_follower(ClientOptions(follower.get(), "acme",
+                                    /*max_attempts=*/1));
+  Client via_leader(ClientOptions(leader.get(), "acme", /*max_attempts=*/1));
+  FailoverReadClient failover(
+      {{&via_follower, /*is_leader=*/false}, {&via_leader, true}},
+      /*max_lag=*/0);
+
+  // Fresh follower: reads are served there.
+  Response fresh = std::move(failover.Query("A")).value();
+  EXPECT_EQ(fresh.body, "A(1)\nA(2)\n");
+  EXPECT_EQ(failover.stale_rejections(), 0u);
+
+  // Leader advances by 2; one pull round applies 1 record (batch = 1), so
+  // the follower KNOWS it is 1 behind — the failover client must reject it
+  // and fall back to the leader for the authoritative answer.
+  MustOk(leader_seed.ApplyDelta("delta { add object A(3); }"));
+  MustOk(leader_seed.ApplyDelta("delta { add object A(4); }"));
+  ASSERT_TRUE(replica->TailOnce().ok());
+  EXPECT_LT(replica->applied_sequence(), replica->leader_sequence());
+  Response authoritative = std::move(failover.Query("A")).value();
+  EXPECT_EQ(authoritative.body, "A(1)\nA(2)\nA(3)\nA(4)\n");
+  EXPECT_EQ(failover.stale_rejections(), 1u);
+
+  // A drained (dead) follower: counted dead, leader still answers.
+  CatchUp(*replica);
+  follower->Drain();
+  Response survived = std::move(failover.Query("A")).value();
+  EXPECT_EQ(survived.body, "A(1)\nA(2)\nA(3)\nA(4)\n");
+  EXPECT_GE(failover.dead_targets_seen(), 1u);
+}
+
+// -- TCP smoke ---------------------------------------------------------------
+
+TEST_F(NetServiceTest, TcpTransportServesTheSameProtocol) {
+  Result<std::unique_ptr<TcpListener>> listener = TcpListener::Listen(0);
+  if (!listener.ok()) {
+    GTEST_SKIP() << "sockets unavailable: " << listener.status().ToString();
+  }
+  auto server = MakeServer(MakeTempDir("srv"), {Tenant("acme")});
+  std::atomic<bool> stop{false};
+  std::thread acceptor([&] {
+    while (!stop.load()) {
+      Result<ConnectionPtr> conn = (*listener)->Accept(milliseconds(50));
+      if (conn.ok()) server->Serve(std::move(conn).value());
+    }
+  });
+
+  const std::uint16_t port = (*listener)->port();
+  Client::Options options;
+  options.tenant = "acme";
+  options.dial = [port]() { return TcpDial(port, milliseconds(1000)); };
+  options.recv_timeout = milliseconds(1000);
+  options.retry.max_attempts = 3;
+  {
+    Client client(std::move(options));
+    Response pong = MustOk(client.Ping());
+    EXPECT_EQ(pong.applied_sequence, 0u);
+    MustOk(client.ApplyDelta(
+        "delta { add object A(1); add object B(2); }"));
+    MustOk(client.Update("f", "product(A, B)"));
+    EXPECT_EQ(MustOk(client.Query("Af")).body, "A(1) B(2)\n");
+  }
+  stop.store(true);
+  acceptor.join();
+  EXPECT_EQ(server->store("acme")->last_sequence(), 2u);
+}
+
+// -- Observability -----------------------------------------------------------
+
+TEST_F(NetServiceTest, ServiceEmitsNetMetricsAndStatsOp) {
+  MetricsRegistry metrics;
+  ServerOptions options;
+  options.metrics = &metrics;
+  auto server = MakeServer(MakeTempDir("srv"), {Tenant("acme")},
+                           std::move(options));
+  Client::Options client_options = ClientOptions(server.get(), "acme");
+  client_options.metrics = &metrics;
+  Client client(std::move(client_options));
+
+  MustOk(client.ApplyDelta("delta { add object A(1); }"));
+  MustOk(client.Query("A"));
+  Response stats = MustOk(client.Call([] {
+    Request r;
+    r.op = "stats";
+    return r;
+  }()));
+
+  EXPECT_GE(metrics.CounterNamed("net.requests").value(), 3u);
+  EXPECT_GE(metrics.CounterNamed("net.frames_sent").value(), 3u);
+  EXPECT_GE(metrics.CounterNamed("net.bytes_recv").value(), 1u);
+  EXPECT_GE(metrics.HistogramNamed("net.request_ns").count(), 3u);
+  EXPECT_NE(stats.body.find("net.requests"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -154,6 +154,28 @@ TEST(WalTest, RoundTripAndMissingFile) {
   EXPECT_FALSE(missing->torn_tail);
 }
 
+TEST(WalTest, ZeroLengthAndMissingLogsAreCleanEmptyReplays) {
+  const std::string dir = MakeTempDir("wal");
+  // Missing-but-expected: a store that never committed has no log at all.
+  WalReplay missing = std::move(ReadWal(WalFile(dir))).value();
+  EXPECT_FALSE(missing.file_present);
+  EXPECT_TRUE(missing.records.empty());
+  EXPECT_FALSE(missing.torn_tail);
+  EXPECT_EQ(missing.total_bytes, 0u);
+  EXPECT_EQ(missing.valid_bytes, 0u);
+
+  // Zero-length: exactly what a crash between file creation and the first
+  // append leaves behind. Clean, not a torn tail.
+  WriteFileBytes(WalFile(dir), "");
+  WalReplay empty = std::move(ReadWal(WalFile(dir))).value();
+  EXPECT_TRUE(empty.file_present);
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_FALSE(empty.torn_tail);
+  EXPECT_TRUE(empty.tail_reason.empty());
+  EXPECT_EQ(empty.total_bytes, 0u);
+  EXPECT_EQ(empty.dropped_bytes(), 0u);
+}
+
 TEST(WalTest, TruncationAtEveryByteRecoversTheLongestValidPrefix) {
   const std::string dir = MakeTempDir("wal");
   const WalReplay pristine = WriteThreeRecords(WalFile(dir));
@@ -486,6 +508,54 @@ TEST(RetryScheduleTest, DisablingJitterYieldsTheExactExponentialLadder) {
   RetryPolicy other = policy;
   other.jitter_seed = 43;
   EXPECT_EQ(delays(other), a);
+}
+
+TEST(RetryScheduleTest, ConcurrentConsumersShareOneDeterministicStream) {
+  // The net client hands one schedule to many sessions that retry
+  // independently: grants and jitter draws must interleave without races,
+  // and for a fixed seed the *set* of delays handed out must be exactly the
+  // single-threaded sequence — threads race for position in the stream, but
+  // the stream itself is deterministic and nothing is lost or duplicated.
+  RetryPolicy policy;
+  policy.max_attempts = 49;  // 48 grants split across the workers
+  policy.base_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(8);
+  policy.multiplier = 2.0;
+  policy.jitter_seed = 1234;
+
+  std::vector<std::chrono::nanoseconds> expected;
+  {
+    RetrySchedule reference(policy);
+    const Status transient = Status::ResourceExhausted("budget");
+    while (reference.ShouldRetry(transient)) {
+      expected.push_back(reference.NextDelay());
+    }
+  }
+  ASSERT_EQ(expected.size(), 48u);
+
+  constexpr std::size_t kWorkers = 8;
+  RetrySchedule shared(policy);
+  std::vector<std::vector<std::chrono::nanoseconds>> drained(kWorkers);
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&shared, &drained, w] {
+      const Status transient = Status::ResourceExhausted("budget");
+      while (shared.ShouldRetry(transient)) {
+        drained[w].push_back(shared.NextDelay());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::vector<std::chrono::nanoseconds> merged;
+  for (const auto& d : drained) {
+    merged.insert(merged.end(), d.begin(), d.end());
+  }
+  EXPECT_EQ(merged.size(), expected.size());
+  std::sort(merged.begin(), merged.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(merged, expected);
+  EXPECT_EQ(shared.attempts_used(), policy.max_attempts);
 }
 
 TEST(RetryScheduleTest, NormalizeRetryPolicyClampsPathologicalConfigs) {
@@ -945,10 +1015,15 @@ TEST_F(DurableStoreTest, RecoveryMatrixCrashWhileRecoveringATornLog) {
       2;
   const std::string bytes = ReadFileBytes(WalFile(dir));
 
-  // Every crashed Open happens *before* the writer truncates (the position
-  // probe precedes WalWriter::Open), but the clean recovery between rounds
-  // does truncate — so the tear is re-inflicted before each round. The loop
-  // ends at the first probe ordinal past what a torn recovery traverses.
+  // The tear is re-inflicted before each round (a clean recovery between
+  // rounds truncates it away). Most crashed Opens happen before the writer
+  // truncates, so the follow-up recovery sees the tear again; the final
+  // probe ordinal ("wal/truncate-dirsync") fires *after* the truncation, so
+  // there the follow-up sees an already-clean log. Either way the recovered
+  // state must be the committed prefix — that is the actual contract; the
+  // torn_tail flag just has to agree with what is physically on disk. The
+  // loop ends at the first probe ordinal past what a torn recovery
+  // traverses.
   std::uint64_t n = 0;
   while (true) {
     ++n;
@@ -960,14 +1035,83 @@ TEST_F(DurableStoreTest, RecoveryMatrixCrashWhileRecoveringATornLog) {
     if (crashed.ok()) break;  // n exceeded the probe count: ran to completion
     EXPECT_EQ(crashed.status().code(), StatusCode::kInternal) << "probe " << n;
 
+    const WalReplay after_crash =
+        std::move(ReadWal(WalFile(dir))).value();
     RecoveryReport clean;
     EXPECT_TRUE(Recover(dir, &clean) == states_[kSteps - 1]) << "probe " << n;
     EXPECT_EQ(clean.replayed_records, kSteps - 1) << "probe " << n;
-    EXPECT_TRUE(clean.torn_tail) << "probe " << n;
+    EXPECT_EQ(clean.torn_tail, after_crash.torn_tail) << "probe " << n;
   }
   // At least one replay probe per surviving record plus the position probe
   // were each crashed once.
   EXPECT_GE(n, kSteps);
+}
+
+TEST_F(DurableStoreTest, ZeroLengthOrMissingWalRecoversWithACleanReport) {
+  const std::string dir = MakeTempDir("store");
+  // Never-written store: no log at all. Clean report, empty instance.
+  RecoveryReport fresh;
+  EXPECT_TRUE(Recover(dir, &fresh) == states_[0]);
+  EXPECT_FALSE(fresh.torn_tail);
+  EXPECT_EQ(fresh.replayed_records, 0u);
+  EXPECT_EQ(fresh.dropped_bytes, 0u);
+  EXPECT_EQ(fresh.last_sequence, 0u);
+  EXPECT_TRUE(fresh.flight_dump_path.empty()) << fresh.flight_dump_path;
+
+  // Zero-length log — a crash between open and the first commit. Still a
+  // clean empty recovery, not a torn tail or an anomaly dump.
+  WriteFileBytes(WalFile(dir), "");
+  RecoveryReport empty;
+  EXPECT_TRUE(Recover(dir, &empty) == states_[0]);
+  EXPECT_FALSE(empty.torn_tail);
+  EXPECT_EQ(empty.dropped_bytes, 0u);
+  EXPECT_EQ(empty.last_sequence, 0u);
+  EXPECT_TRUE(empty.flight_dump_path.empty()) << empty.flight_dump_path;
+}
+
+TEST_F(DurableStoreTest, RecoveryMatrixCrashAtEveryCheckpointProbe) {
+  // A checkpoint is publish-then-truncate: snapshot tmp-write, fsync,
+  // rename, directory fsync ("snapshot/dirsync"), then WAL truncation and
+  // its own directory barrier ("wal/truncate-dirsync"). Crash at EVERY
+  // probe inside that window — most pointedly between the rename and the
+  // dir-fsync — and the reopened store must hold every committed step.
+  FaultInjector observer;
+  observer.set_recording(true);
+  std::uint64_t window = 0;
+  std::size_t commit_probes = 0;
+  {
+    const std::string dir = MakeTempDir("ckpt-observe");
+    DurableStoreOptions options;
+    options.injector = &observer;
+    auto store = OpenAndRun(dir, kSteps, options);
+    const std::uint64_t before = observer.probes_seen();
+    commit_probes = observer.recorded_probes().size();
+    ASSERT_TRUE(store->Checkpoint().ok());
+    window = observer.probes_seen() - before;
+  }
+  ASSERT_GT(window, 0u);
+  const std::vector<std::string> names = observer.recorded_probes();
+  const auto begin =
+      names.begin() + static_cast<std::ptrdiff_t>(commit_probes);
+  EXPECT_NE(std::find(begin, names.end(), "snapshot/dirsync"), names.end());
+  EXPECT_NE(std::find(begin, names.end(), "wal/truncate-dirsync"),
+            names.end());
+
+  for (std::uint64_t k = 1; k <= window; ++k) {
+    const std::string dir = MakeTempDir("ckpt" + std::to_string(k));
+    FaultInjector injector;  // observe-only while the commits run
+    DurableStoreOptions options;
+    options.injector = &injector;
+    {
+      auto store = OpenAndRun(dir, kSteps, options);
+      injector = FaultInjector::FireAtNthProbe(k);
+      EXPECT_FALSE(store->Checkpoint().ok()) << "probe " << k;
+    }  // crash: the store is dropped mid-checkpoint
+    RecoveryReport report;
+    EXPECT_TRUE(Recover(dir, &report) == states_[kSteps]) << "probe " << k;
+    EXPECT_EQ(report.last_sequence, kSteps) << "probe " << k;
+    EXPECT_FALSE(report.torn_tail) << "probe " << k;
+  }
 }
 
 // -- DurableStore over the SQL engine (payroll workload) ---------------------

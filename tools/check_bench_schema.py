@@ -43,6 +43,27 @@ def check_bench(path):
         if (not isinstance(stats, dict) or "count" not in stats
                 or "total_ns" not in stats):
             errors += fail(path, f'stage "{name}" lacks count/total_ns')
+    if "service" in os.path.basename(path):
+        errors += check_service(path, doc)
+    return errors
+
+
+def check_service(path, doc):
+    """The service bench must report tail latency and backpressure: every
+    benchmark row carries p50/p99/p999 plus shed/retry counters, and the
+    net.* instruments the server emits must appear in "metrics"."""
+    errors = 0
+    required = ("p50_us", "p99_us", "p999_us", "shed", "retries", "failures")
+    for row in doc.get("benchmarks") or []:
+        name = row.get("name", "?")
+        for key in required:
+            if not isinstance(row.get(key), (int, float)):
+                errors += fail(path, f'benchmark "{name}" lacks counter '
+                               f'"{key}"')
+    metrics = doc.get("metrics") or {}
+    for counter in ("net.requests", "net.frames_sent"):
+        if counter not in metrics:
+            errors += fail(path, f'missing "{counter}" in "metrics"')
     return errors
 
 
