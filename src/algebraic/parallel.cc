@@ -338,7 +338,14 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
   ParallelOptions par;
   par.num_workers = options.num_workers;
   par.pool = options.pool;
-  return ParallelApply(method, instance, receivers, par, scope.ctx());
+  Result<Instance> result =
+      ParallelApply(method, instance, receivers, par, scope.ctx());
+  if (result.ok() && options.view_cache != nullptr) {
+    // Advisory publication: the cache fails closed on its own when it
+    // cannot absorb a delta, so errors here do not fail the apply.
+    (void)options.view_cache->ApplyDelta(DiffInstances(instance, *result));
+  }
+  return result;
 }
 
 Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,

@@ -12,6 +12,27 @@ namespace setrec {
 
 class Instance;
 class ThreadPool;
+class ViewCache;
+struct InstanceDelta;
+
+/// Receiver of committed instance deltas. This is the layering seam between
+/// the governed entry points (which live in the core and cannot link the
+/// incremental library) and `ViewCache` (incremental/view_cache.h), which
+/// implements it: call sites publish through the abstract interface, while
+/// layers that need the concrete cache (the SQL engine's receiver-view
+/// path) recover it via AsViewCache() without RTTI.
+class DeltaSink {
+ public:
+  virtual ~DeltaSink() = default;
+
+  /// Absorbs one committed delta. Publication happens *after* the mutation
+  /// it describes durably succeeded; a sink that cannot absorb it must fail
+  /// closed (stop serving reads) rather than serve stale state as fresh.
+  virtual Status ApplyDelta(const InstanceDelta& delta) = 0;
+
+  /// The concrete incremental view cache, when this sink is one.
+  virtual ViewCache* AsViewCache() { return nullptr; }
+};
 
 /// A commit hook for mutating statements: invoked exactly once, after the
 /// statement's in-memory application succeeded, with the pre- and
@@ -59,6 +80,14 @@ struct ExecOptions {
   /// Commit interposition for the in-place SQL statements; ignored by
   /// read-only entry points.
   CommitHook commit_hook;
+
+  /// Incremental view cache (or any delta sink) to keep in sync with the
+  /// call's effects. Mutating entry points publish the committed delta to
+  /// it after they succeed; the SQL engine's set-oriented update also
+  /// derives its receiver set through the cache (falling back to
+  /// from-scratch evaluation on any cache miss or error). Null = no
+  /// incremental maintenance — the old behavior.
+  DeltaSink* view_cache = nullptr;
 };
 
 /// Resolves ExecOptions to a concrete ExecContext for the duration of one

@@ -158,8 +158,16 @@ Result<Instance> SequentialApply(const UpdateMethod& method,
                                  const ExecOptions& options,
                                  bool verify_order_independence) {
   ExecScope scope(options);
-  return SequentialApply(method, instance, receivers,
-                         verify_order_independence, scope.ctx());
+  Result<Instance> result = SequentialApply(method, instance, receivers,
+                                            verify_order_independence,
+                                            scope.ctx());
+  if (result.ok() && options.view_cache != nullptr) {
+    // The apply itself succeeded; the cache is advisory and fails closed on
+    // its own when it cannot absorb a delta, so publication errors do not
+    // fail the call.
+    (void)options.view_cache->ApplyDelta(DiffInstances(instance, *result));
+  }
+  return result;
 }
 
 }  // namespace setrec

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "incremental/view_cache.h"
 #include "obs/explain.h"
 #include "objrel/encoding.h"
 #include "relational/evaluator.h"
@@ -71,6 +72,10 @@ Result<std::uint64_t> ParamU64(const Request& request, const char* name,
 /// the store's own mutex.
 struct Server::Tenant {
   TenantConfig config;
+  /// Created before the store so DurableStore::Open can prime it; fed by
+  /// the store's post-fsync publication from then on. Null when
+  /// incremental_views is off or the tenant is replica-backed.
+  std::unique_ptr<ViewCache> view_cache;
   std::unique_ptr<DurableStore> store;
   FollowerReplica* replica = nullptr;
 
@@ -108,6 +113,18 @@ Result<std::unique_ptr<Server>> Server::Create(
         (std::filesystem::path(server->options_.data_dir) / config.name)
             .string();
     tenant->config = std::move(config);
+    if (tenant->config.incremental_views) {
+      if (tenant->config.store_options.view_cache != nullptr) {
+        return Status::InvalidArgument(
+            "server: store_options.view_cache is server-managed; leave null");
+      }
+      ViewCacheOptions cache_options;
+      cache_options.metrics = server->options_.metrics;
+      cache_options.tracer = server->options_.tracer;
+      tenant->view_cache = std::make_unique<ViewCache>(
+          server->options_.schema, cache_options);
+      tenant->config.store_options.view_cache = tenant->view_cache.get();
+    }
     SETREC_ASSIGN_OR_RETURN(
         tenant->store,
         DurableStore::Open(dir, server->options_.schema,
@@ -455,8 +472,10 @@ Response Server::HandleUpdate(
   Status committed = tenant.store->Commit(
       [&](Instance& instance, ExecContext& ctx,
           const CommitHook& hook) -> Status {
+        // The cache serves phase one (receiver set) when present; the
+        // store's own hook publication keeps it in lockstep afterwards.
         return SetOrientedUpdateInPlace(instance, prop, receiver_query, ctx,
-                                        hook);
+                                        hook, tenant.view_cache.get());
       },
       RequestLimits(tenant, deadline));
   if (!committed.ok()) return ErrorResponse(committed);
@@ -502,8 +521,34 @@ Response Server::HandleQuery(Tenant& tenant, const Request& request,
   Result<ExprPtr> query = ParseExpression(request.body);
   if (!query.ok()) return ErrorResponse(query.status());
 
+  ExecContext ctx(RequestLimits(tenant, deadline));
+  ctx.set_fault_injector(tenant.config.store_options.injector);
+  ctx.set_tracer(options_.tracer);
+  ctx.set_metrics(options_.metrics);
+  ctx.set_recorder(options_.recorder);
+
   std::uint64_t applied = 0;
   std::uint64_t leader = 0;
+  if (tenant.view_cache != nullptr && tenant.store != nullptr) {
+    // Leader fast path: answer from the incrementally-maintained view,
+    // governed by the same request context as from-scratch evaluation. The
+    // sequence is read *before* the view, so a commit racing the read can
+    // only make the response understate its own freshness. A governance
+    // stop (deadline, budget, cancellation) is the request's final answer;
+    // any other cache error (unprimed after a fault, unsupported
+    // expression) falls through to from-scratch evaluation below.
+    applied = tenant.store->last_sequence();
+    Result<std::shared_ptr<const Relation>> view =
+        tenant.view_cache->Query(*query, &ctx);
+    if (view.ok()) {
+      Response response = OkResponse();
+      response.body = RenderRelation(**view, *options_.schema);
+      response.applied_sequence = applied;
+      response.leader_sequence = applied;
+      return response;
+    }
+    if (IsGovernanceError(view.status())) return ErrorResponse(view.status());
+  }
   Instance state(options_.schema);
   if (tenant.replica != nullptr) {
     state = tenant.replica->Read(&applied, &leader);
@@ -516,11 +561,6 @@ Response Server::HandleQuery(Tenant& tenant, const Request& request,
   Result<Database> database = EncodeInstance(state);
   if (!database.ok()) return ErrorResponse(database.status());
 
-  ExecContext ctx(RequestLimits(tenant, deadline));
-  ctx.set_fault_injector(tenant.config.store_options.injector);
-  ctx.set_tracer(options_.tracer);
-  ctx.set_metrics(options_.metrics);
-  ctx.set_recorder(options_.recorder);
   Result<Relation> result = Evaluate(*query, *database, ctx);
   if (!result.ok()) return ErrorResponse(result.status());
 

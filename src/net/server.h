@@ -37,8 +37,17 @@ struct TenantConfig {
   std::chrono::milliseconds default_deadline{1000};
   /// Store configuration (durability cadence, per-attempt limits, retry
   /// policy, fault injector, sinks). Used verbatim — tests wire their
-  /// injectors and private recorders here.
+  /// injectors and private recorders here — except that when
+  /// `incremental_views` is on the server installs the tenant's own
+  /// ViewCache as `store_options.view_cache` (the field must be left null).
   DurableStoreOptions store_options;
+  /// Maintain a per-tenant incremental ViewCache: the store primes it at
+  /// recovery and feeds it every durable commit, queries are served from
+  /// incrementally-maintained views (falling back to from-scratch
+  /// evaluation on any cache error), and updates derive their receiver sets
+  /// through it. Replica-backed tenants have no cache either way — they
+  /// re-evaluate against the replicated state.
+  bool incremental_views = true;
 };
 
 struct ServerOptions {

@@ -23,8 +23,16 @@ MetricsRegistry::MetricsRegistry() {
   counters_.emplace("wal.fsyncs", &engine.wal_fsyncs);
   counters_.emplace("store.commits", &engine.store_commits);
   counters_.emplace("store.checkpoints", &engine.store_checkpoints);
+  counters_.emplace("incremental.hits", &engine.incremental_hits);
+  counters_.emplace("incremental.refreshes", &engine.incremental_refreshes);
+  counters_.emplace("incremental.fallbacks", &engine.incremental_fallbacks);
+  counters_.emplace("incremental.invalidations",
+                    &engine.incremental_invalidations);
+  counters_.emplace("incremental.delta_rows", &engine.incremental_delta_rows);
   histograms_.emplace("parallel.shard_merge_ns", &engine.shard_merge_ns);
   histograms_.emplace("store.commit_ns", &engine.commit_ns);
+  histograms_.emplace("incremental.refresh_ns",
+                      &engine.incremental_refresh_ns);
 }
 
 Counter& MetricsRegistry::CounterNamed(std::string_view name) {

@@ -102,8 +102,14 @@ class MetricsRegistry {
     Counter wal_fsyncs;            // wal.fsyncs
     Counter store_commits;         // store.commits
     Counter store_checkpoints;     // store.checkpoints
+    Counter incremental_hits;          // incremental.hits
+    Counter incremental_refreshes;     // incremental.refreshes
+    Counter incremental_fallbacks;     // incremental.fallbacks
+    Counter incremental_invalidations; // incremental.invalidations
+    Counter incremental_delta_rows;    // incremental.delta_rows
     Histogram shard_merge_ns;      // parallel.shard_merge_ns
     Histogram commit_ns;           // store.commit_ns
+    Histogram incremental_refresh_ns;  // incremental.refresh_ns
   };
 
   MetricsRegistry();

@@ -17,33 +17,41 @@ std::size_t out_arity(const Relation& l, const Relation& r) {
 
 }  // namespace
 
-const Catalog& Evaluator::DatabaseCatalog() {
+Result<const Catalog*> Evaluator::DatabaseCatalog() {
   if (!catalog_.has_value()) {
-    catalog_.emplace();
+    Catalog catalog;
     for (const std::string& name : database_->Names()) {
-      Result<const Relation*> rel = database_->Find(name);
-      if (rel.ok()) {
-        Status added = catalog_->AddRelation(name, (*rel)->scheme());
-        (void)added;
-      }
+      SETREC_ASSIGN_OR_RETURN(const Relation* rel, database_->Find(name));
+      SETREC_RETURN_IF_ERROR(catalog.AddRelation(name, rel->scheme()));
     }
+    catalog_ = std::move(catalog);
   }
-  return *catalog_;
+  return &*catalog_;
 }
 
 Result<Relation> Evaluator::Eval(const ExprPtr& expr) {
+  // Compatibility wrapper: one copy out of the shared memo, for callers
+  // that want an owned Relation. Read-only callers use EvalShared.
+  SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> result,
+                          EvalShared(expr));
+  return *result;
+}
+
+Result<std::shared_ptr<const Relation>> Evaluator::EvalShared(
+    const ExprPtr& expr) {
   auto it = cache_.find(expr.get());
   if (it != cache_.end()) {
     if (node_stats_ != nullptr) ++(*node_stats_)[expr.get()].cache_hits;
     return it->second;
   }
   if (node_stats_ == nullptr) {
-    SETREC_ASSIGN_OR_RETURN(Relation result, EvalUncached(*expr));
+    SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> result,
+                            EvalSharedUncached(*expr));
     cache_.emplace(expr.get(), result);
     return result;
   }
   const auto start = std::chrono::steady_clock::now();
-  Result<Relation> result = EvalUncached(*expr);
+  Result<std::shared_ptr<const Relation>> result = EvalSharedUncached(*expr);
   // Children evaluated inside EvalUncached already charged their own spans;
   // wall_ns is inclusive by design (EXPLAIN ANALYZE renders a tree, so the
   // reader sees child times indented under it).
@@ -52,9 +60,19 @@ Result<Relation> Evaluator::Eval(const ExprPtr& expr) {
           std::chrono::steady_clock::now() - start)
           .count());
   if (!result.ok()) return result;
-  (*node_stats_)[expr.get()].rows = result->size();
+  (*node_stats_)[expr.get()].rows = (*result)->size();
   cache_.emplace(expr.get(), *result);
   return result;
+}
+
+Result<std::shared_ptr<const Relation>> Evaluator::EvalSharedUncached(
+    const Expr& expr) {
+  if (expr.op() == Expr::Op::kRelation) {
+    // Leaf: alias the Database's shared storage — no copy at all.
+    return database_->FindShared(expr.relation_name());
+  }
+  SETREC_ASSIGN_OR_RETURN(Relation out, EvalUncached(expr));
+  return std::make_shared<const Relation>(std::move(out));
 }
 
 Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
@@ -66,8 +84,12 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
     }
     case Expr::Op::kUnion:
     case Expr::Op::kDifference: {
-      SETREC_ASSIGN_OR_RETURN(Relation l, Eval(expr.left()));
-      SETREC_ASSIGN_OR_RETURN(Relation r, Eval(expr.right()));
+      SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> lp,
+                              EvalShared(expr.left()));
+      SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> rp,
+                              EvalShared(expr.right()));
+      const Relation& l = *lp;
+      const Relation& r = *rp;
       if (!(l.scheme() == r.scheme())) {
         return Status::InvalidArgument(
             "union/difference operands must have identical schemes");
@@ -100,14 +122,20 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
             !guard_ptr->projection().empty()) {
           continue;
         }
-        SETREC_ASSIGN_OR_RETURN(Relation guard, Eval(guard_ptr));
-        if (!guard.empty()) break;  // no saving; fall through to full eval
+        SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> guard,
+                                EvalShared(guard_ptr));
+        if (!guard->empty()) break;  // no saving; fall through to full eval
+        SETREC_ASSIGN_OR_RETURN(const Catalog* catalog, DatabaseCatalog());
         SETREC_ASSIGN_OR_RETURN(RelationScheme other_scheme,
-                                InferScheme(*other_ptr, DatabaseCatalog()));
+                                InferScheme(*other_ptr, *catalog));
         return Relation(std::move(other_scheme));
       }
-      SETREC_ASSIGN_OR_RETURN(Relation l, Eval(expr.left()));
-      SETREC_ASSIGN_OR_RETURN(Relation r, Eval(expr.right()));
+      SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> lp,
+                              EvalShared(expr.left()));
+      SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> rp,
+                              EvalShared(expr.right()));
+      const Relation& l = *lp;
+      const Relation& r = *rp;
       std::vector<Attribute> attrs = l.scheme().attributes();
       for (const Attribute& a : r.scheme().attributes()) {
         if (l.scheme().HasAttribute(a.name)) {
@@ -145,7 +173,9 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
       if (bottom->op() == Expr::Op::kProduct) {
         return EvalSelectionChain(expr);
       }
-      SETREC_ASSIGN_OR_RETURN(Relation c, Eval(expr.child()));
+      SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> cp,
+                              EvalShared(expr.child()));
+      const Relation& c = *cp;
       SETREC_ASSIGN_OR_RETURN(std::size_t ia,
                               c.scheme().IndexOf(expr.attr_a()));
       SETREC_ASSIGN_OR_RETURN(std::size_t ib,
@@ -164,7 +194,9 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
       return out;
     }
     case Expr::Op::kProject: {
-      SETREC_ASSIGN_OR_RETURN(Relation c, Eval(expr.child()));
+      SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> cp,
+                              EvalShared(expr.child()));
+      const Relation& c = *cp;
       std::vector<std::size_t> indices;
       std::vector<Attribute> attrs;
       std::set<std::string> seen;
@@ -187,7 +219,9 @@ Result<Relation> Evaluator::EvalUncached(const Expr& expr) {
       return out;
     }
     case Expr::Op::kRename: {
-      SETREC_ASSIGN_OR_RETURN(Relation c, Eval(expr.child()));
+      SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> cp,
+                              EvalShared(expr.child()));
+      const Relation& c = *cp;
       SETREC_ASSIGN_OR_RETURN(std::size_t i,
                               c.scheme().IndexOf(expr.rename_from()));
       if (c.scheme().HasAttribute(expr.rename_to())) {
@@ -223,8 +257,12 @@ Result<Relation> Evaluator::EvalSelectionChain(const Expr& top) {
                                    node->attr_a(), node->attr_b()});
     node = node->child().get();
   }
-  SETREC_ASSIGN_OR_RETURN(Relation left, Eval(node->left()));
-  SETREC_ASSIGN_OR_RETURN(Relation right, Eval(node->right()));
+  SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> left_ptr,
+                          EvalShared(node->left()));
+  SETREC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> right_ptr,
+                          EvalShared(node->right()));
+  const Relation& left = *left_ptr;
+  const Relation& right = *right_ptr;
 
   // Output scheme = product scheme.
   std::vector<Attribute> attrs = left.scheme().attributes();

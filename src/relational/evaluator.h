@@ -1,6 +1,7 @@
 #ifndef SETREC_RELATIONAL_EVALUATOR_H_
 #define SETREC_RELATIONAL_EVALUATOR_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -67,7 +68,15 @@ class Evaluator {
 
   /// Evaluates `expr`. Scheme checks are performed on the fly against the
   /// actual relations, so a standalone catalog is not required here.
+  /// Returns a copy of the memoized result; callers that only read should
+  /// prefer EvalShared.
   Result<Relation> Eval(const ExprPtr& expr);
+
+  /// Evaluates `expr` and returns the memoized result behind shared
+  /// immutable storage: repeat evaluations of the same node (and leaf
+  /// relations, which alias the bound Database's storage) cost a hash
+  /// lookup plus a refcount bump, never a deep copy.
+  Result<std::shared_ptr<const Relation>> EvalShared(const ExprPtr& expr);
 
   /// Attaches a per-node statistics sink (borrowed; may be null to detach).
   /// While attached, every Eval records output rows, join build/probe
@@ -80,6 +89,7 @@ class Evaluator {
 
  private:
   Result<Relation> EvalUncached(const Expr& expr);
+  Result<std::shared_ptr<const Relation>> EvalSharedUncached(const Expr& expr);
 
   /// Join fusion: evaluates a chain of selections over a Cartesian product
   /// as a hash join instead of materializing the product. The paper's
@@ -91,15 +101,17 @@ class Evaluator {
 
   /// A lazily built catalog over the bound database's relations, used for
   /// type-only scheme inference (the guard short-circuit needs the scheme
-  /// of a subexpression whose data it can skip).
-  const Catalog& DatabaseCatalog();
+  /// of a subexpression whose data it can skip). Fails if any relation's
+  /// scheme cannot be registered (e.g. duplicate names with conflicting
+  /// schemes) instead of silently serving a partial catalog.
+  Result<const Catalog*> DatabaseCatalog();
 
   const Database* database_;
   std::optional<ExecScope> scope_;
   ExecContext* ctx_ = nullptr;
   ThreadPool* pool_ = nullptr;
   std::optional<Catalog> catalog_;
-  std::unordered_map<const Expr*, Relation> cache_;
+  std::unordered_map<const Expr*, std::shared_ptr<const Relation>> cache_;
   std::unordered_map<const Expr*, EvalNodeStats>* node_stats_ = nullptr;
 };
 

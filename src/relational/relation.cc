@@ -39,6 +39,11 @@ void Database::Put(std::string name, Relation relation) {
       std::move(name), std::make_shared<const Relation>(std::move(relation)));
 }
 
+void Database::PutShared(std::string name,
+                         std::shared_ptr<const Relation> relation) {
+  relations_.insert_or_assign(std::move(name), std::move(relation));
+}
+
 bool Database::Has(std::string_view name) const {
   return relations_.find(name) != relations_.end();
 }
@@ -49,6 +54,15 @@ Result<const Relation*> Database::Find(std::string_view name) const {
     return Status::NotFound("no relation named " + std::string(name));
   }
   return it->second.get();
+}
+
+Result<std::shared_ptr<const Relation>> Database::FindShared(
+    std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named " + std::string(name));
+  }
+  return it->second;
 }
 
 std::vector<std::string> Database::Names() const {

@@ -69,6 +69,14 @@ class Relation {
     InvalidateSortedCache();
   }
 
+  /// Removes a tuple; returns whether it was present. Like InsertValidated,
+  /// no scheme check — a tuple of the wrong shape is simply absent.
+  bool Erase(const Tuple& tuple) {
+    bool erased = tuples_.erase(tuple) > 0;
+    if (erased) InvalidateSortedCache();
+    return erased;
+  }
+
   /// Pre-sizes the hash table for `n` tuples.
   void Reserve(std::size_t n) { tuples_.reserve(n); }
 
@@ -121,8 +129,20 @@ class Database {
   /// Installs (or replaces) a relation under `name`.
   void Put(std::string name, Relation relation);
 
+  /// Installs a relation that is already behind shared storage. Callers that
+  /// assemble databases from relations they hold as shared_ptrs (the
+  /// incremental view cache, the evaluator's memo) use this to avoid a deep
+  /// copy; `relation` must not be null.
+  void PutShared(std::string name, std::shared_ptr<const Relation> relation);
+
   bool Has(std::string_view name) const;
   Result<const Relation*> Find(std::string_view name) const;
+
+  /// Like Find, but returns the shared handle, so callers can keep the
+  /// relation alive independently of this Database (the evaluator's memo
+  /// cache holds results this way, making cache hits O(1)).
+  Result<std::shared_ptr<const Relation>> FindShared(
+      std::string_view name) const;
 
   /// Names in deterministic (sorted) order.
   std::vector<std::string> Names() const;

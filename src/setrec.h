@@ -20,6 +20,8 @@
 ///               procedure (Theorem 5.12), par(E) and ParallelApply
 ///               (Section 6)
 ///   coloring/   the coloring soundness framework
+///   incremental/ delta-driven materialized receiver views with
+///               demand-driven invalidation
 ///   sql/        SQL-style statements: cursor vs set-oriented semantics
 ///               (Section 7)
 ///   text/       parsing and printing of instances and deltas
@@ -82,6 +84,9 @@
 #include "coloring/inference.h"
 #include "coloring/soundness.h"
 #include "coloring/witness.h"
+
+// Incremental view maintenance.
+#include "incremental/view_cache.h"
 
 // SQL-style statements.
 #include "sql/engine.h"

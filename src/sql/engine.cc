@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/sequential.h"
+#include "incremental/view_cache.h"
 
 namespace setrec {
 
@@ -161,18 +162,45 @@ Result<Instance> SetOrientedUpdate(const Instance& instance,
   return ApplySequence(*assign, instance, receivers, ctx);
 }
 
-Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
-                                const ExprPtr& receiver_query, ExecContext& ctx,
-                                const CommitHook& commit_hook) {
+namespace {
+
+/// Shared body of the two public SetOrientedUpdateInPlace overloads. When
+/// `sink` is a ViewCache, phase one reads the receiver set out of the cache
+/// (incrementally maintained) instead of evaluating from scratch, falling
+/// back to ReceiversFromQuery on any cache error; either way a successful
+/// commit publishes its delta to the sink. The caller is responsible for
+/// having fed the cache every prior mutation of `instance` — the per-row
+/// validity check below still rejects receivers that do not exist in the
+/// instance, but cannot detect a stale-but-valid receiver set.
+Status SetOrientedUpdateImpl(Instance& instance, PropertyId property,
+                             const ExprPtr& receiver_query, ExecContext& ctx,
+                             const CommitHook& commit_hook, DeltaSink* sink) {
   TraceSpan span = StartSpan(ctx, "sql/set-update");
   const Schema* schema = &instance.schema();
   SETREC_ASSIGN_OR_RETURN(std::unique_ptr<AlgebraicUpdateMethod> assign,
                           MakeAssignArgMethod(schema, property));
   // Phase one: compute the receiver key set against the input state. No
   // mutation has happened yet, so errors here need no rollback.
-  SETREC_ASSIGN_OR_RETURN(
-      std::vector<Receiver> receivers,
-      ReceiversFromQuery(receiver_query, instance, assign->signature(), ctx));
+  std::vector<Receiver> receivers;
+  bool from_cache = false;
+  if (ViewCache* cache = sink != nullptr ? sink->AsViewCache() : nullptr) {
+    Result<std::vector<Receiver>> cached =
+        ReceiversFromView(*cache, receiver_query, assign->signature(), &ctx);
+    if (cached.ok()) {
+      receivers = std::move(cached).value();
+      from_cache = true;
+    } else if (IsGovernanceError(cached.status())) {
+      // A deadline/budget/cancellation stop is not a cache miss: the answer
+      // was not computed and a from-scratch retry would blow the same
+      // budget. Propagate, exactly like the uncached path would.
+      return cached.status();
+    }
+  }
+  if (!from_cache) {
+    SETREC_ASSIGN_OR_RETURN(
+        receivers, ReceiversFromQuery(receiver_query, instance,
+                                      assign->signature(), ctx));
+  }
   if (!IsKeySet(receivers)) {
     return Status::FailedPrecondition(
         "set-oriented update would assign two values to one row; the "
@@ -201,23 +229,58 @@ Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
     instance = std::move(snapshot);
     return applied;
   }
+  if (sink != nullptr) {
+    // Post-commit, advisory: the sink fails closed on its own when it
+    // cannot absorb the delta.
+    (void)sink->ApplyDelta(DiffInstances(snapshot, instance));
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
+                                const ExprPtr& receiver_query, ExecContext& ctx,
+                                const CommitHook& commit_hook) {
+  return SetOrientedUpdateImpl(instance, property, receiver_query, ctx,
+                               commit_hook, /*sink=*/nullptr);
+}
+
+Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
+                                const ExprPtr& receiver_query, ExecContext& ctx,
+                                const CommitHook& commit_hook,
+                                DeltaSink* view_cache) {
+  return SetOrientedUpdateImpl(instance, property, receiver_query, ctx,
+                               commit_hook, view_cache);
 }
 
 Status SetOrientedDeleteInPlace(Instance& instance, ClassId cls,
                                 const RowPredicate& pred,
                                 const ExecOptions& options) {
   ExecScope scope(options);
-  return SetOrientedDeleteInPlace(instance, cls, pred, scope.ctx(),
-                                  options.commit_hook);
+  // Deletes have no receiver-query phase to serve from the cache, but their
+  // effects must still reach it or dependent views go permanently stale.
+  // The in-place API destroys the before-state, so publication rides the
+  // commit hook, which sees both states; it runs after the caller's own
+  // hook accepted the commit (a veto publishes nothing).
+  CommitHook hook = options.commit_hook;
+  if (DeltaSink* sink = options.view_cache; sink != nullptr) {
+    hook = [inner = std::move(hook), sink](const Instance& before,
+                                           const Instance& after) -> Status {
+      if (inner) SETREC_RETURN_IF_ERROR(inner(before, after));
+      (void)sink->ApplyDelta(DiffInstances(before, after));
+      return Status::OK();
+    };
+  }
+  return SetOrientedDeleteInPlace(instance, cls, pred, scope.ctx(), hook);
 }
 
 Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
                                 const ExprPtr& receiver_query,
                                 const ExecOptions& options) {
   ExecScope scope(options);
-  return SetOrientedUpdateInPlace(instance, property, receiver_query,
-                                  scope.ctx(), options.commit_hook);
+  return SetOrientedUpdateImpl(instance, property, receiver_query, scope.ctx(),
+                               options.commit_hook, options.view_cache);
 }
 
 }  // namespace setrec

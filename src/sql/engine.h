@@ -103,6 +103,17 @@ Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
                                 ExecContext& ctx = ExecContext::Default(),
                                 const CommitHook& commit_hook = {});
 
+/// As above, but additionally serving phase one from — and publishing the
+/// committed delta to — an incremental view cache (the
+/// ExecOptions::view_cache contract; see incremental/view_cache.h). Any
+/// cache error falls back to from-scratch receiver evaluation. `view_cache`
+/// may be null, which is exactly the overload above.
+Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,
+                                const ExprPtr& receiver_query,
+                                ExecContext& ctx,
+                                const CommitHook& commit_hook,
+                                DeltaSink* view_cache);
+
 /// Unified form: ExecOptions carries the context, the observability sinks,
 /// and the commit hook in one struct. Prefer this overload.
 Status SetOrientedUpdateInPlace(Instance& instance, PropertyId property,

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "incremental/view_cache.h"
 #include "store/snapshot.h"
 #include "text/parser.h"
 #include "text/printer.h"
@@ -188,6 +189,13 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
       store->wal_, WalWriter::Open(WalPath(dir), writer_valid_bytes,
                                    last_sequence + 1, options.injector));
   store->wal_.set_metrics(options.metrics);
+  // Recovery settled the authoritative state; only now may the view cache
+  // (re)build its mirror from it. A commit the WAL never acknowledged was
+  // dropped above, so its effects can never surface through a view. A
+  // failed Prime leaves the cache unprimed and failing closed — advisory.
+  if (options.view_cache != nullptr) {
+    (void)options.view_cache->Prime(store->instance_);
+  }
   return store;
 }
 
@@ -214,7 +222,13 @@ Status DurableStore::CommitLocked(const Statement& statement,
     if (delta.empty()) return Status::OK();  // no-op statement, no record
     SETREC_RETURN_IF_ERROR(
         wal_.Append(DeltaToText(delta, *schema_)).status());
-    return wal_.Sync();
+    SETREC_RETURN_IF_ERROR(wal_.Sync());
+    // Durable as of the fsync above; only now may a view see it. Advisory:
+    // a cache that cannot absorb the delta fails closed on its own.
+    if (options_.view_cache != nullptr) {
+      (void)options_.view_cache->ApplyDelta(delta);
+    }
+    return Status::OK();
   };
   TraceSpan commit_span(options_.tracer, "store/commit");
   if (options_.recorder != nullptr) {
@@ -281,12 +295,19 @@ Status DurableStore::CommitBatch(std::span<const Statement> statements,
   // Rollback point for the crash case: a storage fault voids the whole
   // batch, so the in-memory state must return to before the first statement.
   const Instance before_batch = instance_;
-  // Append-only hook: the fsync is hoisted out of the loop below.
-  const CommitHook hook = [this](const Instance& before,
-                                 const Instance& after) -> Status {
-    const InstanceDelta delta = DiffInstances(before, after);
+  // Append-only hook: the fsync is hoisted out of the loop below. Deltas
+  // are staged, not published — nothing in the batch is durable until the
+  // single covering fsync succeeds.
+  std::vector<InstanceDelta> staged_deltas;
+  const CommitHook hook = [this, &staged_deltas](
+                              const Instance& before,
+                              const Instance& after) -> Status {
+    InstanceDelta delta = DiffInstances(before, after);
     if (delta.empty()) return Status::OK();  // no-op statement, no record
-    return wal_.Append(DeltaToText(delta, *schema_)).status();
+    SETREC_RETURN_IF_ERROR(
+        wal_.Append(DeltaToText(delta, *schema_)).status());
+    staged_deltas.push_back(std::move(delta));
+    return Status::OK();
   };
   std::uint64_t committed = 0;
   for (std::size_t i = 0; i < statements.size(); ++i) {
@@ -318,6 +339,12 @@ Status DurableStore::CommitBatch(std::span<const Statement> statements,
         "storage fault during group commit; batch voided, reopen to recover");
     for (Status& r : res) r = fault;
     return DumpTerminalFailure("storage fault", fault);
+  }
+  if (options_.view_cache != nullptr) {
+    // The batch fsync covered every staged record: publish in commit order.
+    for (const InstanceDelta& delta : staged_deltas) {
+      (void)options_.view_cache->ApplyDelta(delta);
+    }
   }
   if (options_.metrics != nullptr) {
     options_.metrics->engine.store_commits.Add(committed);

@@ -77,6 +77,13 @@ struct DurableStoreOptions {
   /// recovery anomalies dump to <dir>/flight-recovery.jsonl (see
   /// RecoveryReport::flight_dump_path). Null disables recording and dumps.
   FlightRecorder* recorder = &FlightRecorder::Global();
+  /// Incremental view cache to keep in lockstep with the durable state
+  /// (borrowed; must outlive the store). Open() primes it from the
+  /// recovered instance after WAL replay, and each commit publishes its
+  /// delta only after the covering fsync succeeded — the cache can lag the
+  /// durable state (and then fails closed) but can never run ahead of it:
+  /// a commit that was never acknowledged is never visible through a view.
+  ViewCache* view_cache = nullptr;
 };
 
 /// A crash-consistent wrapper around Instance: every committed SQL-engine

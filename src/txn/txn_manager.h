@@ -65,7 +65,13 @@ struct TxnOptions {
 ///     giving up with kRetryExhausted plus a flight-recorder dump.
 ///   * **Group commit.** All commits funnel through a leader/follower batch:
 ///     the first arrival drains the queue into one DurableStore::CommitBatch
-///     (one fsync per batch) and distributes per-statement results.
+///     (one fsync per batch) and distributes per-statement results. This is
+///     also the transaction layer's incremental-view maintenance point: when
+///     the store was opened with a ViewCache (DurableStoreOptions.view_cache),
+///     CommitBatch publishes each statement's delta to it only after the
+///     covering fsync — so a transaction's effects reach materialized views
+///     strictly after validation *and* durability, never for an aborted or
+///     unacknowledged transaction.
 ///   * **Degradation.** A sliding window of commit outcomes drives a
 ///     two-state machine: a sustained conflict storm flips admission to
 ///     serial mode (every transaction runs exclusively; gauge

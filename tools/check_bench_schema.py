@@ -45,6 +45,8 @@ def check_bench(path):
             errors += fail(path, f'stage "{name}" lacks count/total_ns')
     if "service" in os.path.basename(path):
         errors += check_service(path, doc)
+    if "incremental" in os.path.basename(path):
+        errors += check_incremental(path, doc)
     return errors
 
 
@@ -64,6 +66,31 @@ def check_service(path, doc):
     for counter in ("net.requests", "net.frames_sent"):
         if counter not in metrics:
             errors += fail(path, f'missing "{counter}" in "metrics"')
+    return errors
+
+
+def check_incremental(path, doc):
+    """The incremental bench must carry both sides of the comparison the
+    sublinearity claim rests on (from-scratch vs ViewCache rows at the same
+    sizes), and the cached rows must prove the cache actually ran: every
+    BM_IncrementalViewUpdate row needs refreshes/fallbacks counters."""
+    errors = 0
+    rows = doc.get("benchmarks") or []
+    families = {"BM_FromScratchViewUpdate": 0, "BM_IncrementalViewUpdate": 0,
+                "BM_DeltaAbsorption": 0}
+    for row in rows:
+        name = row.get("name", "?")
+        family = name.split("/", 1)[0]
+        if family in families:
+            families[family] += 1
+        if family == "BM_IncrementalViewUpdate":
+            for key in ("refreshes", "fallbacks"):
+                if not isinstance(row.get(key), (int, float)):
+                    errors += fail(path, f'benchmark "{name}" lacks counter '
+                                   f'"{key}"')
+    for family, count in families.items():
+        if count == 0:
+            errors += fail(path, f'no "{family}" rows')
     return errors
 
 
