@@ -142,7 +142,8 @@ struct ShardResult {
 /// per shard is O(#relations), not O(instance).
 ShardResult EvalShard(const Database& base, const RelationScheme& rec_scheme,
                       std::span<const Receiver> shard,
-                      std::span<const ExprPtr> par_exprs, ExecContext& ctx) {
+                      std::span<const ExprPtr> par_exprs, ExecContext& ctx,
+                      ExecBackend backend) {
   ShardResult out;
   out.status = ctx.CheckPoint("parallel/shard");
   if (!out.status.ok()) return out;
@@ -164,6 +165,7 @@ ShardResult EvalShard(const Database& base, const RelationScheme& rec_scheme,
   db.Put(kRecRelation, std::move(rec));
 
   Evaluator evaluator(&db, ctx);
+  evaluator.set_backend(backend);
   out.per_statement.reserve(par_exprs.size());
   for (const ExprPtr& par_expr : par_exprs) {
     Result<Relation> r = evaluator.Eval(par_expr);
@@ -265,7 +267,7 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
           db, rec_scheme,
           std::span<const Receiver>(set).subspan(
               bounds[0].first, bounds[0].second - bounds[0].first),
-          par_exprs, ctx);
+          par_exprs, ctx, options.backend);
     }
   } else {
     std::vector<ExecContext> children;
@@ -278,7 +280,7 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
           db, rec_scheme,
           std::span<const Receiver>(set).subspan(
               bounds[s].first, bounds[s].second - bounds[s].first),
-          par_exprs, children[s]);
+          par_exprs, children[s], options.backend);
     };
     if (options.pool != nullptr) {
       options.pool->ParallelFor(bounds.size(), run_shard);
@@ -338,6 +340,7 @@ Result<Instance> ParallelApply(const AlgebraicUpdateMethod& method,
   ParallelOptions par;
   par.num_workers = options.num_workers;
   par.pool = options.pool;
+  par.backend = options.backend;
   Result<Instance> result =
       ParallelApply(method, instance, receivers, par, scope.ctx());
   if (result.ok() && options.view_cache != nullptr) {

@@ -45,6 +45,10 @@ struct ParallelOptions {
   /// num_workers > 1, a transient pool of num_workers threads is spawned
   /// for the call — attach a long-lived pool to amortize thread startup.
   ThreadPool* pool = nullptr;
+  /// Evaluation backend for the per-shard par(E) pipelines
+  /// (core/exec_backend.h). Shard results — and the logical evaluator
+  /// counters — are backend-invariant, like they are worker-count-invariant.
+  ExecBackend backend = ExecBackend::kAuto;
 };
 
 /// Parallel application M_par(I, T) (Definition 6.2): instantiates rec with

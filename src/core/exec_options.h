@@ -5,6 +5,7 @@
 #include <functional>
 #include <optional>
 
+#include "core/exec_backend.h"
 #include "core/exec_context.h"
 #include "core/status.h"
 
@@ -76,6 +77,14 @@ struct ExecOptions {
   /// borrowed; when null and num_workers > 1, a transient pool is spawned.
   std::size_t num_workers = 1;
   ThreadPool* pool = nullptr;
+
+  /// Execution backend for relational evaluation (core/exec_backend.h).
+  /// kAuto (the default) keeps the interpreter unless the compiled
+  /// vectorized backend covers the expression and the inputs are large
+  /// enough to pay for batching; kInterpreter and kVectorized force a
+  /// backend. Results, error statuses and logical counters are
+  /// backend-invariant, so this is a pure performance knob.
+  ExecBackend backend = ExecBackend::kAuto;
 
   /// Commit interposition for the in-place SQL statements; ignored by
   /// read-only entry points.

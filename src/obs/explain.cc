@@ -42,6 +42,7 @@ void AttachStats(
   node.probe_rows = it->second.probe_rows;
   node.cache_hits = it->second.cache_hits;
   node.wall_ns = it->second.wall_ns;
+  node.backend = it->second.backend;
 }
 
 /// True when the node is a σ-chain whose bottom is a Cartesian product —
@@ -215,6 +216,9 @@ void RenderNode(const PlanNode& node, const std::string& indent, bool root,
     if (node.cache_hits > 0) {
       out += " hits=" + std::to_string(node.cache_hits);
     }
+    if (!node.backend.empty()) {
+      out += " backend=" + node.backend;
+    }
     out += " time=" + FormatNs(node.wall_ns) + ")";
   }
   out += "\n";
@@ -230,7 +234,8 @@ void NodeToJson(const PlanNode& node, std::ostream& out) {
   if (node.analyzed) {
     out << ",\"rows\":" << node.actual_rows << ",\"build\":" << node.build_rows
         << ",\"probes\":" << node.probe_rows << ",\"cache_hits\":"
-        << node.cache_hits << ",\"wall_ns\":" << node.wall_ns;
+        << node.cache_hits << ",\"wall_ns\":" << node.wall_ns
+        << ",\"backend\":" << JsonQuoted(node.backend);
   }
   out << ",\"children\":[";
   for (std::size_t i = 0; i < node.children.size(); ++i) {
@@ -336,6 +341,7 @@ Result<ExplainPlan> ExplainExpressionAnalyze(const ExprPtr& expr,
   if (opts.metrics == nullptr) opts.metrics = &local_metrics;
   ExecScope scope(opts);
   Evaluator evaluator(&database, scope.ctx(), opts.pool);
+  evaluator.set_backend(opts.backend);
   std::unordered_map<const Expr*, EvalNodeStats> stats;
   evaluator.set_node_stats(&stats);
   SETREC_RETURN_IF_ERROR(evaluator.Eval(expr).status());
@@ -382,6 +388,7 @@ Result<ExplainPlan> ExplainSetOrientedUpdate(const Instance& instance,
     // state, collecting per-node statistics.
     SETREC_ASSIGN_OR_RETURN(Database db, EncodeInstance(instance));
     Evaluator evaluator(&db, ctx, opts.pool);
+    evaluator.set_backend(opts.backend);
     evaluator.set_node_stats(&stats);
     SETREC_ASSIGN_OR_RETURN(Relation rows, evaluator.Eval(receiver_query));
     if (rows.scheme().arity() != assign->signature().size()) {
@@ -481,6 +488,7 @@ Result<ExplainPlan> ExplainParallelApply(const AlgebraicUpdateMethod& method,
     }
     db.Put(kRecRelation, std::move(rec));
     Evaluator evaluator(&db, scope.ctx(), opts.pool);
+    evaluator.set_backend(opts.backend);
     evaluator.set_node_stats(&stats);
     for (const auto& [property, par_expr] : pipelines) {
       SETREC_RETURN_IF_ERROR(evaluator.Eval(par_expr).status());

@@ -37,6 +37,10 @@ struct PlanNode {
   std::uint64_t probe_rows = 0;   // hash-join probe-side tuples
   std::uint64_t cache_hits = 0;   // memo hits (DAG-shaped expressions)
   std::uint64_t wall_ns = 0;      // inclusive wall time
+  /// Which backend computed this operator on the analyzed run:
+  /// "interpreter", "vectorized" or "bytecode" (see EvalNodeStats::backend).
+  /// Empty for plain EXPLAIN and for synthetic (non-evaluator) nodes.
+  std::string backend;
 
   std::vector<PlanNode> children;
 };

@@ -6,7 +6,22 @@
 #include <unordered_map>
 #include <vector>
 
+#include "relational/vectorized/engine.h"
+
 namespace setrec {
+
+Evaluator::Evaluator(const Database* database, ExecContext& ctx,
+                     ThreadPool* pool)
+    : database_(database), ctx_(&ctx), pool_(pool) {}
+
+Evaluator::Evaluator(const Database* database, const ExecOptions& options)
+    : database_(database), scope_(std::in_place, options) {
+  ctx_ = &scope_->ctx();
+  pool_ = options.pool;
+  backend_ = options.backend;
+}
+
+Evaluator::~Evaluator() = default;
 
 namespace {
 
@@ -37,8 +52,36 @@ Result<Relation> Evaluator::Eval(const ExprPtr& expr) {
   return *result;
 }
 
+bool Evaluator::UseVectorized(const Expr& expr) {
+  switch (backend_) {
+    case ExecBackend::kInterpreter:
+      return false;
+    case ExecBackend::kVectorized:
+      return vectorized::Covers(expr);
+    case ExecBackend::kAuto:
+      break;
+  }
+  if (!auto_vectorize_.has_value()) {
+    // Latched once per evaluator: mixing backends within one evaluator
+    // would split the result memo into two domains and skew the cache-hit
+    // counters that EXPLAIN ANALYZE reports. A pool with real parallelism
+    // keeps the interpreter so large joins retain the partitioned probe.
+    const bool parallel = pool_ != nullptr && pool_->num_workers() > 1;
+    auto_vectorize_ =
+        !parallel && vectorized::EstimatedInputRows(expr, *database_) >=
+                         kAutoVectorizeInputRows;
+  }
+  return *auto_vectorize_ && vectorized::Covers(expr);
+}
+
 Result<std::shared_ptr<const Relation>> Evaluator::EvalShared(
     const ExprPtr& expr) {
+  if (UseVectorized(*expr)) {
+    if (engine_ == nullptr) {
+      engine_ = std::make_unique<vectorized::Engine>(database_, ctx_);
+    }
+    return engine_->Execute(expr, node_stats_);
+  }
   auto it = cache_.find(expr.get());
   if (it != cache_.end()) {
     if (node_stats_ != nullptr) ++(*node_stats_)[expr.get()].cache_hits;

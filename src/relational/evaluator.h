@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/exec_backend.h"
 #include "core/exec_context.h"
 #include "core/exec_options.h"
 #include "core/thread_pool.h"
@@ -12,6 +13,10 @@
 #include "relational/relation.h"
 
 namespace setrec {
+
+namespace vectorized {
+class Engine;
+}  // namespace vectorized
 
 /// Per-expression-node execution statistics, filled in when a sink map is
 /// attached to the evaluator (the EXPLAIN ANALYZE path). Keyed by node
@@ -26,6 +31,11 @@ struct EvalNodeStats {
   std::uint64_t probe_rows = 0;  // hash-join probe-side tuples probed
   std::uint64_t cache_hits = 0;  // memo hits for this node
   std::uint64_t wall_ns = 0;     // time in this node, children included
+  // Which backend computed this node: "interpreter" (tuple-at-a-time tree
+  // walk), "vectorized" (columnar batch operator) or "bytecode" (fused
+  // σ-chain compiled into the flat-program hash join). Purely descriptive —
+  // every logical field above is backend-invariant. Static strings only.
+  const char* backend = "interpreter";
 };
 
 /// Evaluates relational algebra expressions against a Database. The
@@ -45,6 +55,11 @@ class Evaluator {
   /// dominates).
   static constexpr std::size_t kParallelProbeThreshold = 1024;
 
+  /// kAuto picks the vectorized backend only when the referenced base
+  /// relations hold at least this many rows in total: below it, transposing
+  /// inputs into columns costs more than batching saves.
+  static constexpr std::size_t kAutoVectorizeInputRows = 4096;
+
   /// `pool`, when given (and sized > 1), parallelizes the probe phase of
   /// large hash joins: the probe side is partitioned across the workers,
   /// each partition charges a Fork() of `ctx` (so row/memory budgets stay
@@ -53,18 +68,17 @@ class Evaluator {
   /// not owned.
   explicit Evaluator(const Database* database,
                      ExecContext& ctx = ExecContext::Default(),
-                     ThreadPool* pool = nullptr)
-      : database_(database), ctx_(&ctx), pool_(pool) {}
+                     ThreadPool* pool = nullptr);
 
   /// Unified form: resolves ExecOptions (context, observability sinks,
   /// probe-parallelism pool) for the evaluator's lifetime. The scope is
   /// held by the evaluator, so a borrowed context is restored when the
   /// evaluator is destroyed.
-  Evaluator(const Database* database, const ExecOptions& options)
-      : database_(database), scope_(std::in_place, options) {
-    ctx_ = &scope_->ctx();
-    pool_ = options.pool;
-  }
+  Evaluator(const Database* database, const ExecOptions& options);
+
+  // Constructors and destructor are out of line: the vectorized engine
+  // member is incomplete here.
+  ~Evaluator();
 
   /// Evaluates `expr`. Scheme checks are performed on the fly against the
   /// actual relations, so a standalone catalog is not required here.
@@ -87,6 +101,14 @@ class Evaluator {
     node_stats_ = sink;
   }
 
+  /// Selects the execution backend (core/exec_backend.h). Must be called
+  /// before the first Eval: the kAuto decision latches on first use so that
+  /// every expression this evaluator touches runs under one backend — the
+  /// memo cache, and therefore the cache-hit counters, have one semantic
+  /// domain. Results and logical counters are backend-invariant either way.
+  void set_backend(ExecBackend backend) { backend_ = backend; }
+  ExecBackend backend() const { return backend_; }
+
  private:
   Result<Relation> EvalUncached(const Expr& expr);
   Result<std::shared_ptr<const Relation>> EvalSharedUncached(const Expr& expr);
@@ -106,22 +128,37 @@ class Evaluator {
   /// schemes) instead of silently serving a partial catalog.
   Result<const Catalog*> DatabaseCatalog();
 
+  /// Whether `expr` should run on the compiled vectorized backend. Forced
+  /// backends answer directly (kVectorized still requires coverage); kAuto
+  /// latches its cost decision on the first call — a pool with real
+  /// parallelism keeps the interpreter (its partitioned probe would be
+  /// forfeited), otherwise vectorization wins once the referenced inputs
+  /// reach kAutoVectorizeInputRows.
+  bool UseVectorized(const Expr& expr);
+
   const Database* database_;
   std::optional<ExecScope> scope_;
   ExecContext* ctx_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  ExecBackend backend_ = ExecBackend::kAuto;
+  std::optional<bool> auto_vectorize_;  // kAuto decision, latched
+  std::unique_ptr<vectorized::Engine> engine_;  // lazily built
   std::optional<Catalog> catalog_;
   std::unordered_map<const Expr*, std::shared_ptr<const Relation>> cache_;
   std::unordered_map<const Expr*, EvalNodeStats>* node_stats_ = nullptr;
 };
 
-/// One-shot convenience wrapper.
+/// One-shot evaluation. The single ExecOptions entry point: backend
+/// selection, governing context, observability sinks and the probe pool all
+/// arrive through `options` (a default-constructed ExecOptions means
+/// permissive, unobserved, single-threaded, kAuto backend).
 Result<Relation> Evaluate(const ExprPtr& expr, const Database& database,
-                          ExecContext& ctx = ExecContext::Default());
+                          const ExecOptions& options = {});
 
-/// One-shot convenience wrapper over ExecOptions.
+/// Compatibility shim for borrowed-context callers; equivalent to passing
+/// ExecOptions{.ctx = &ctx}. Prefer the ExecOptions form.
 Result<Relation> Evaluate(const ExprPtr& expr, const Database& database,
-                          const ExecOptions& options);
+                          ExecContext& ctx);
 
 }  // namespace setrec
 

@@ -69,6 +69,29 @@ class Relation {
     InvalidateSortedCache();
   }
 
+  /// Bulk form of InsertValidated: consumes a whole batch of already-checked
+  /// tuples and invalidates the sorted-view memo once per batch instead of
+  /// once per tuple. The vectorized engine materializes operator outputs in
+  /// kBatchWidth-row batches (relational/vectorized/batch.h), so per-tuple
+  /// invalidation would touch the memo state rows-many times per result.
+  /// The batch is left empty (tuples are moved out).
+  void InsertValidatedBatch(std::vector<Tuple>& batch) {
+    if (batch.empty()) return;
+    tuples_.reserve(tuples_.size() + batch.size());
+    for (Tuple& t : batch) tuples_.insert(std::move(t));
+    batch.clear();
+    InvalidateSortedCache();
+  }
+
+  /// How many times the sorted-view memo has been invalidated over this
+  /// relation's lifetime — a diagnostic counter that makes the bulk-insert
+  /// contract testable (one invalidation per InsertValidatedBatch call, one
+  /// per single-tuple mutation). Copies and moved-to relations restart the
+  /// count from their own first invalidation.
+  std::uint64_t sorted_cache_invalidations() const {
+    return sorted_invalidations_;
+  }
+
   /// Removes a tuple; returns whether it was present. Like InsertValidated,
   /// no scheme check — a tuple of the wrong shape is simply absent.
   bool Erase(const Tuple& tuple) {
@@ -106,6 +129,7 @@ class Relation {
     // tuples_ itself.
     sorted_valid_ = false;
     sorted_.clear();
+    ++sorted_invalidations_;
   }
 
   RelationScheme scheme_;
@@ -113,6 +137,7 @@ class Relation {
   mutable std::mutex sorted_mu_;
   mutable std::vector<const Tuple*> sorted_;
   mutable bool sorted_valid_ = false;
+  std::uint64_t sorted_invalidations_ = 0;
 };
 
 /// A relational database instance: named relations. The object-relational

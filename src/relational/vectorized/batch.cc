@@ -1,0 +1,49 @@
+#include "relational/vectorized/batch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace setrec::vectorized {
+
+ColumnTable MakeTable(RelationScheme scheme, std::size_t reserve_rows) {
+  ColumnTable t;
+  t.scheme = std::move(scheme);
+  t.columns.resize(t.scheme.arity());
+  if (reserve_rows > 0) {
+    for (std::vector<PackedValue>& col : t.columns) col.reserve(reserve_rows);
+  }
+  return t;
+}
+
+ColumnTable FromRelation(const Relation& relation) {
+  ColumnTable t = MakeTable(relation.scheme(), relation.size());
+  const std::size_t arity = t.arity();
+  for (const Tuple& tuple : relation) {
+    for (std::size_t a = 0; a < arity; ++a) {
+      t.columns[a].push_back(Pack(tuple.at(a)));
+    }
+  }
+  t.rows = relation.size();
+  return t;
+}
+
+Relation ToRelation(const ColumnTable& table) {
+  Relation out(table.scheme);
+  out.Reserve(table.rows);
+  const std::size_t arity = table.arity();
+  std::vector<Tuple> batch;
+  batch.reserve(std::min(table.rows, kBatchWidth));
+  for (std::size_t r = 0; r < table.rows; ++r) {
+    std::vector<ObjectId> values;
+    values.reserve(arity);
+    for (std::size_t a = 0; a < arity; ++a) {
+      values.push_back(Unpack(table.columns[a][r]));
+    }
+    batch.emplace_back(std::move(values));
+    if (batch.size() == kBatchWidth) out.InsertValidatedBatch(batch);
+  }
+  out.InsertValidatedBatch(batch);
+  return out;
+}
+
+}  // namespace setrec::vectorized

@@ -1,0 +1,144 @@
+#ifndef SETREC_RELATIONAL_VECTORIZED_ENGINE_H_
+#define SETREC_RELATIONAL_VECTORIZED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/exec_context.h"
+#include "relational/evaluator.h"
+#include "relational/expression.h"
+#include "relational/relation.h"
+#include "relational/vectorized/batch.h"
+
+namespace setrec::vectorized {
+
+/// True when every operator in `expr` has a vectorized implementation. All
+/// eight algebra operators are covered today; the predicate is the seam that
+/// lets future operators land interpreter-first and graduate later (the
+/// evaluator falls back per expression when this returns false).
+bool Covers(const Expr& expr);
+
+/// Sum of the sizes of the base relations `expr` references (unknown names
+/// count zero). The kAuto backend policy compares this against a threshold:
+/// transposing inputs into columns is a per-evaluation cost that only pays
+/// off once the batched kernels have enough rows to chew through.
+std::size_t EstimatedInputRows(const Expr& expr, const Database& database);
+
+/// One flat-bytecode instruction. A node's block is
+///   kMemoCheck (hit: load result, count a cache hit, jump past the block)
+///   ...child blocks...
+///   one materializing instruction (finishes the node: stores the memo
+///   entry, records EvalNodeStats, leaves the result in `dst`)
+/// so the program replays exactly the interpreter's memoized DFS, including
+/// its cache-hit counts, while the per-operator work runs columnwise.
+struct Insn {
+  enum class Op : std::uint8_t {
+    kMemoCheck,   // if memo[origin]: dst = it, ++hits, jump `target`
+    kMemoLoad,    // dst = memo[origin] (must exist), ++hits
+    kJump,        // pc = target
+    kJumpIfEmpty, // if regs[a] has no rows: pc = target (π_∅ guards)
+    kLoad,        // dst = columnar form of base relation `name`
+    kUnion,       // dst = regs[a] ∪ regs[b]
+    kDifference,  // dst = regs[a] − regs[b]
+    kProduct,     // dst = regs[a] × regs[b] (row-budget charged)
+    kSelect,      // dst = σ_{ia θ ib}(regs[a])
+    kProject,     // dst = π_{cols}(regs[a]), deduplicated
+    kRename,      // dst = regs[a] under `scheme`
+    kHashJoin,    // dst = fused σ-chain over regs[a] × regs[b]
+    kMakeEmpty,   // dst = empty table over `scheme` (guard short-circuit)
+  };
+
+  /// One selection condition of a fused chain, resolved to side-local
+  /// column indices at compile time.
+  struct JoinCond {
+    bool equal;
+    bool a_left, b_left;
+    std::uint32_t ia, ib;
+  };
+
+  Op op;
+  const Expr* origin = nullptr;  // node this instruction belongs to
+  std::uint32_t dst = 0, a = 0, b = 0;
+  std::uint32_t target = 0;  // jump destination (instruction index)
+
+  // Compile-time payloads (empty where not applicable).
+  std::string name;                    // kLoad: relation name
+  RelationScheme scheme;               // materializers: output scheme
+  bool want_equal = false;             // kSelect
+  std::uint32_t ia = 0, ib = 0;        // kSelect: column indices
+  std::vector<std::uint32_t> cols;     // kProject: source columns
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> join_keys;  // (l, r)
+  std::vector<JoinCond> local_left, local_right, cross;            // kHashJoin
+};
+
+/// A compiled expression: flat code plus the register budget. Holds the root
+/// ExprPtr so node pointers baked into the code stay valid for the program's
+/// lifetime.
+struct Program {
+  ExprPtr root;
+  std::vector<Insn> code;
+  std::uint32_t num_regs = 0;
+};
+
+/// The compiled vectorized backend. An Engine is bound to one Database
+/// snapshot and one ExecContext, exactly like the Evaluator that owns it,
+/// and replays the interpreter's observable contract: identical results,
+/// identical error statuses for runtime failures, identical logical metrics
+/// (evaluator.rows / join_probes / join_build_rows), identical memo
+/// cache-hit counts and EvalNodeStats shape. Type errors are the one
+/// deliberate divergence: compilation surfaces them before any charging.
+///
+/// Three caches with different lifetimes:
+///  - programs_: per root node, survives ClearResultMemo (compile once),
+///  - loads_:    transposed base relations by name, survives too,
+///  - memo_:     per-node results — the analogue of the interpreter's memo;
+///               ClearResultMemo drops it, forcing pure bytecode re-execution
+///               (the "bytecode" mode of the differential tests and bench).
+class Engine {
+ public:
+  Engine(const Database* database, ExecContext* ctx)
+      : database_(database), ctx_(ctx) {}
+
+  /// Compiles `root` (cached) and runs it. `stats` may be null; when given
+  /// it receives the same per-node statistics the interpreter records.
+  Result<std::shared_ptr<const Relation>> Execute(
+      const ExprPtr& root,
+      std::unordered_map<const Expr*, EvalNodeStats>* stats);
+
+  /// Drops per-node results but keeps compiled programs and transposed base
+  /// relations, so the next Execute measures pure batch execution.
+  void ClearResultMemo() { memo_.clear(); }
+
+ private:
+  struct MemoEntry {
+    std::shared_ptr<const ColumnTable> table;
+    // Row form, materialized lazily (only the root of an Execute needs it;
+    // interior results stay columnar). Leaf entries alias the Database's
+    // shared storage, exactly like the interpreter's leaf memo.
+    std::shared_ptr<const Relation> rel;
+  };
+
+  Result<ColumnTable> RunOp(
+      const Insn& in,
+      const std::vector<std::shared_ptr<const ColumnTable>>& regs);
+  Result<ColumnTable> RunHashJoin(
+      const Insn& in,
+      const std::vector<std::shared_ptr<const ColumnTable>>& regs);
+
+  const Database* database_;
+  ExecContext* ctx_;
+  // Stats sink of the Execute in flight (kHashJoin tallies build/probe rows
+  // mid-operator, before its node finishes); null when stats are detached.
+  std::unordered_map<const Expr*, EvalNodeStats>* join_stats_ = nullptr;
+  std::unordered_map<const Expr*, Program> programs_;
+  std::unordered_map<const Expr*, MemoEntry> memo_;
+  std::unordered_map<std::string, std::shared_ptr<const ColumnTable>> loads_;
+};
+
+}  // namespace setrec::vectorized
+
+#endif  // SETREC_RELATIONAL_VECTORIZED_ENGINE_H_

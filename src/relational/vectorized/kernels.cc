@@ -1,0 +1,123 @@
+#include "relational/vectorized/kernels.h"
+
+#include <bit>
+#include <utility>
+
+namespace setrec::vectorized {
+
+void HashRows(const ColumnTable& t, std::span<const std::uint32_t> cols,
+              std::vector<std::uint64_t>& out) {
+  out.assign(t.rows, 0x9e3779b97f4a7c15ull ^ cols.size());
+  std::uint64_t* h = out.data();
+  for (std::uint32_t c : cols) {
+    const PackedValue* col = t.columns[c].data();
+    for (std::size_t i = 0; i < t.rows; ++i) {
+      h[i] = (h[i] ^ Mix64(col[i])) * 0x100000001b3ull;
+    }
+  }
+}
+
+void AndEqualityMask(const ColumnTable& t, std::uint32_t col_a,
+                     std::uint32_t col_b, bool want_equal,
+                     std::vector<std::uint8_t>& mask) {
+  const PackedValue* a = t.columns[col_a].data();
+  const PackedValue* b = t.columns[col_b].data();
+  std::uint8_t* m = mask.data();
+  const std::uint8_t want = want_equal ? 1 : 0;
+  for (std::size_t i = 0; i < t.rows; ++i) {
+    m[i] &= static_cast<std::uint8_t>((a[i] == b[i]) == want);
+  }
+}
+
+std::vector<std::uint32_t> MaskToSelection(
+    const std::vector<std::uint8_t>& mask) {
+  std::vector<std::uint32_t> sel;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) sel.push_back(static_cast<std::uint32_t>(i));
+  }
+  return sel;
+}
+
+ColumnTable Gather(const ColumnTable& t, std::span<const std::uint32_t> cols,
+                   std::span<const std::uint32_t> sel, RelationScheme scheme) {
+  ColumnTable out = MakeTable(std::move(scheme), sel.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const PackedValue* src = t.columns[cols[c]].data();
+    std::vector<PackedValue>& dst = out.columns[c];
+    for (std::uint32_t r : sel) dst.push_back(src[r]);
+  }
+  out.rows = sel.size();
+  return out;
+}
+
+RowHashTable::RowHashTable(const ColumnTable* table,
+                           std::vector<std::uint32_t> key_cols)
+    : table_(table), key_cols_(std::move(key_cols)) {}
+
+void RowHashTable::Reserve(std::size_t n) {
+  const std::size_t needed = std::bit_ceil(std::max<std::size_t>(n, 1) * 2);
+  if (needed <= slots_.size()) return;
+  std::vector<std::uint32_t> old = std::move(slots_);
+  slots_.assign(needed, 0);
+  mask_ = needed - 1;
+  for (std::uint32_t head_plus1 : old) {
+    if (head_plus1 == 0) continue;
+    const std::uint32_t head = head_plus1 - 1;
+    std::size_t slot = row_hash_[head] & mask_;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask_;
+    slots_[slot] = head_plus1;
+  }
+}
+
+bool RowHashTable::KeysEqual(std::uint32_t own_row, const ColumnTable& other,
+                             std::span<const std::uint32_t> other_cols,
+                             std::uint32_t other_row) const {
+  for (std::size_t k = 0; k < key_cols_.size(); ++k) {
+    if (table_->columns[key_cols_[k]][own_row] !=
+        other.columns[other_cols[k]][other_row]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RowHashTable::Insert(std::uint32_t r, std::uint64_t h) {
+  if (next_row_.size() <= r) next_row_.resize(r + 1, kNone);
+  if (row_hash_.size() <= r) row_hash_.resize(r + 1, 0);
+  row_hash_[r] = h;
+  std::size_t slot = h & mask_;
+  while (true) {
+    const std::uint32_t head_plus1 = slots_[slot];
+    if (head_plus1 == 0) {
+      slots_[slot] = r + 1;
+      next_row_[r] = kNone;
+      return true;
+    }
+    const std::uint32_t head = head_plus1 - 1;
+    if (row_hash_[head] == h &&
+        KeysEqual(head, *table_, key_cols_, r)) {
+      next_row_[r] = head;  // new head of the equal-key chain
+      slots_[slot] = r + 1;
+      return false;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+std::uint32_t RowHashTable::Find(const ColumnTable& probe,
+                                 std::span<const std::uint32_t> probe_cols,
+                                 std::uint32_t pr, std::uint64_t h) const {
+  if (slots_.empty()) return kNone;
+  std::size_t slot = h & mask_;
+  while (true) {
+    const std::uint32_t head_plus1 = slots_[slot];
+    if (head_plus1 == 0) return kNone;
+    const std::uint32_t head = head_plus1 - 1;
+    if (row_hash_[head] == h && KeysEqual(head, probe, probe_cols, pr)) {
+      return head;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+}  // namespace setrec::vectorized

@@ -1,0 +1,90 @@
+#ifndef SETREC_RELATIONAL_VECTORIZED_KERNELS_H_
+#define SETREC_RELATIONAL_VECTORIZED_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "relational/vectorized/batch.h"
+
+namespace setrec::vectorized {
+
+/// The splitmix64 finalizer — the same mixer TupleHash uses, applied here
+/// to packed values in tight columnwise loops the compiler can vectorize.
+inline std::uint64_t Mix64(std::uint64_t v) {
+  v ^= v >> 30;
+  v *= 0xbf58476d1ce4e5b9ull;
+  v ^= v >> 27;
+  v *= 0x94d049bb133111ebull;
+  v ^= v >> 31;
+  return v;
+}
+
+/// Batch hash kernel: out[i] = hash of row i's values in the `cols` columns
+/// of `t`, for every row. One pass per column over a contiguous array of
+/// packed values (seed ^ arity, then fold each mixed value in with a
+/// multiply-xor combine — the TupleHash recipe, column-at-a-time).
+void HashRows(const ColumnTable& t, std::span<const std::uint32_t> cols,
+              std::vector<std::uint64_t>& out);
+
+/// Batch filter kernel: mask[i] &= ((col_a[i] == col_b[i]) == want_equal).
+/// Callers start from an all-ones mask and fold one call per condition.
+void AndEqualityMask(const ColumnTable& t, std::uint32_t col_a,
+                     std::uint32_t col_b, bool want_equal,
+                     std::vector<std::uint8_t>& mask);
+
+/// Row indices with a non-zero mask byte, in row order.
+std::vector<std::uint32_t> MaskToSelection(
+    const std::vector<std::uint8_t>& mask);
+
+/// Gathers `sel` rows of the `cols` columns of `t` into a fresh table over
+/// `scheme` (which must have cols.size() attributes, domains matching).
+ColumnTable Gather(const ColumnTable& t, std::span<const std::uint32_t> cols,
+                   std::span<const std::uint32_t> sel, RelationScheme scheme);
+
+/// Open-addressing hash index (linear probing, power-of-two capacity) over
+/// the rows of one ColumnTable, keyed by a column subset. Distinct keys own
+/// one slot; rows with equal keys chain through a per-row next list. The
+/// table borrows `table` and reads its columns on every compare, so the
+/// table may keep growing (appends only) while the index is live.
+class RowHashTable {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  RowHashTable(const ColumnTable* table, std::vector<std::uint32_t> key_cols);
+
+  /// Pre-sizes for `n` insertions. Must be called (with the total row
+  /// count) before the first Insert; the capacity never shrinks.
+  void Reserve(std::size_t n);
+
+  /// Inserts row `r` with its precomputed key hash `h`. Returns true when
+  /// the key was not yet present (the dedup signal for set-semantics
+  /// outputs); an equal-keyed row chains behind the new head.
+  bool Insert(std::uint32_t r, std::uint64_t h);
+
+  /// Head row of the chain whose key equals the `probe_cols` values of row
+  /// `pr` in `probe` (hash `h`), or kNone.
+  std::uint32_t Find(const ColumnTable& probe,
+                     std::span<const std::uint32_t> probe_cols,
+                     std::uint32_t pr, std::uint64_t h) const;
+
+  /// Next row in the equal-key chain, or kNone.
+  std::uint32_t NextInChain(std::uint32_t r) const { return next_row_[r]; }
+
+ private:
+  bool KeysEqual(std::uint32_t own_row, const ColumnTable& other,
+                 std::span<const std::uint32_t> other_cols,
+                 std::uint32_t other_row) const;
+
+  const ColumnTable* table_;
+  std::vector<std::uint32_t> key_cols_;
+  std::vector<std::uint32_t> slots_;     // head row + 1; 0 = empty
+  std::vector<std::uint32_t> next_row_;  // same-key chain links
+  std::vector<std::uint64_t> row_hash_;  // insert-time hashes (fast compare)
+  std::size_t mask_ = 0;
+};
+
+}  // namespace setrec::vectorized
+
+#endif  // SETREC_RELATIONAL_VECTORIZED_KERNELS_H_

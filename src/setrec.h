@@ -35,6 +35,7 @@
 
 // Core model and execution governance.
 #include "core/combination.h"
+#include "core/exec_backend.h"
 #include "core/exec_context.h"
 #include "core/exec_options.h"
 #include "core/fault_injection.h"
@@ -58,6 +59,9 @@
 #include "relational/relation.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
+#include "relational/vectorized/batch.h"
+#include "relational/vectorized/engine.h"
+#include "relational/vectorized/kernels.h"
 
 // Object-relational encoding.
 #include "objrel/encoding.h"

@@ -47,6 +47,8 @@ def check_bench(path):
         errors += check_service(path, doc)
     if "incremental" in os.path.basename(path):
         errors += check_incremental(path, doc)
+    if "vectorized" in os.path.basename(path):
+        errors += check_vectorized(path, doc)
     return errors
 
 
@@ -91,6 +93,53 @@ def check_incremental(path, doc):
     for family, count in families.items():
         if count == 0:
             errors += fail(path, f'no "{family}" rows')
+    return errors
+
+
+def check_vectorized(path, doc):
+    """The vectorized bench must carry all three execution modes
+    (interpreter / vectorized / bytecode) for every family at every size,
+    and must prove the backend acceptance property: on the eval-heavy
+    families (SelJoin, ProjectJoin) the vectorized backend's cpu_time beats
+    the interpreter's at the two largest sizes. WideJoin is exempt — its
+    cost is output tuple materialization, which no backend choice moves."""
+    errors = 0
+    times = {}  # (family, mode, size) -> cpu_time
+    for row in doc.get("benchmarks") or []:
+        name = row.get("name", "?")
+        if "/" not in name or not name.startswith("BM_"):
+            continue
+        head, size = name.split("/", 1)
+        for mode in ("Interpreter", "Vectorized", "Bytecode"):
+            if head.endswith(mode):
+                family = head[len("BM_"):-len(mode)]
+                try:
+                    times[(family, mode, int(size))] = row["cpu_time"]
+                except (KeyError, ValueError):
+                    errors += fail(path, f'row "{name}" lacks cpu_time')
+    families = sorted({f for f, _, _ in times})
+    for expected in ("SelJoin", "ProjectJoin", "WideJoin"):
+        if expected not in families:
+            errors += fail(path, f'no "{expected}" rows')
+    for family in families:
+        sizes = {s for f, m, s in times if f == family}
+        for mode in ("Interpreter", "Vectorized", "Bytecode"):
+            missing = sizes - {s for f, m, s in times
+                               if f == family and m == mode}
+            if missing:
+                errors += fail(path, f"{family}: {mode} missing sizes "
+                               f"{sorted(missing)}")
+    for family in ("SelJoin", "ProjectJoin"):
+        sizes = sorted({s for f, _, s in times if f == family})[-2:]
+        for size in sizes:
+            interp = times.get((family, "Interpreter", size))
+            vec = times.get((family, "Vectorized", size))
+            if interp is None or vec is None:
+                continue  # already reported as missing above
+            if vec >= interp:
+                errors += fail(path, f"{family}/{size}: vectorized cpu_time "
+                               f"{vec:.0f} does not beat interpreter "
+                               f"{interp:.0f}")
     return errors
 
 
