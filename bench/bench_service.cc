@@ -33,8 +33,10 @@
 #include "bench_obs.h"
 #include "core/schema.h"
 #include "net/client.h"
+#include "net/replica.h"
 #include "net/server.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace setrec {
 namespace {
@@ -87,6 +89,50 @@ Client::Options ClientFor(ServiceBench& bench, const std::string& tenant) {
   options.retry.max_delay = std::chrono::milliseconds(2);
   options.metrics = benchobs::ObsMetrics();
   return options;
+}
+
+/// Worst per-tenant service-side quantile (microseconds) across the two
+/// tenants' delta and query latency histograms — the labeled instruments
+/// the server feeds per request (Dispatch). The process-wide registry
+/// accumulates across rows, so these are cumulative-so-far tails; the row
+/// at client count N reflects every request up to and including its run.
+double WorstTenantQuantileUs(MetricsRegistry* metrics, double q) {
+  if (metrics == nullptr) return 0.0;
+  std::uint64_t worst = 0;
+  for (const char* tenant : {"t0", "t1"}) {
+    for (const char* op : {"tenant.delta_ns", "tenant.query_ns"}) {
+      Histogram& h = metrics->HistogramLabeled(op, "tenant", tenant);
+      if (h.count() != 0) worst = std::max(worst, h.Quantile(q));
+    }
+  }
+  return static_cast<double>(worst) / 1000.0;
+}
+
+/// Spins up a follower for tenant t0, tails it to the leader's tip
+/// (bounded rounds) and returns the remaining lag in records — 0 in a
+/// healthy run: the replication feed must drain after the burst. The
+/// follower publishes its tenant.replication.* gauges into the shared
+/// registry, so they travel in the artifact's "metrics" block too.
+double FollowerLagAfterCatchUp(ServiceBench& bench) {
+  FollowerReplica::Options options;
+  options.tenant = "t0";
+  options.schema = &bench.schema;
+  options.metrics = benchobs::ObsMetrics();
+  options.dial = [server = bench.server.get()]() -> Result<ConnectionPtr> {
+    auto [client_end, server_end] = CreateInProcessPair();
+    server->Serve(std::move(server_end));
+    return std::move(client_end);
+  };
+  Result<std::unique_ptr<FollowerReplica>> replica =
+      FollowerReplica::Create(std::move(options));
+  if (!replica.ok()) return -1.0;  // schema-visible failure marker
+  std::uint64_t applied = 0, leader = 0;
+  for (int round = 0; round < 64; ++round) {
+    if (!(*replica)->TailOnce().ok()) break;
+    (void)(*replica)->Read(&applied, &leader);
+    if (applied == leader) break;
+  }
+  return static_cast<double>(leader - applied);
 }
 
 double PercentileUs(const std::vector<std::int64_t>& sorted_ns, double q) {
@@ -168,6 +214,13 @@ void BM_ServiceClosedLoop(benchmark::State& state) {
           : static_cast<double>(
                 metrics->CounterNamed("net.client.retries").value() -
                 retries_before);
+  // Server-side per-tenant tails (from the labeled latency histograms) and
+  // the follower's replication lag after draining the feed — the artifact
+  // schema (tools/check_bench_schema.py) gates on all four.
+  state.counters["tenant_p50_us"] = WorstTenantQuantileUs(metrics, 0.50);
+  state.counters["tenant_p99_us"] = WorstTenantQuantileUs(metrics, 0.99);
+  state.counters["tenant_p999_us"] = WorstTenantQuantileUs(metrics, 0.999);
+  state.counters["replication_lag"] = FollowerLagAfterCatchUp(bench);
 }
 BENCHMARK(BM_ServiceClosedLoop)
     ->Arg(1)

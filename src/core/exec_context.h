@@ -98,6 +98,7 @@ class ExecContext {
         metrics_(other.metrics_),
         recorder_(other.recorder_),
         trace_parent_(other.trace_parent_),
+        trace_id_(other.trace_id_),
         shared_(std::move(other.shared_)) {}
 
   /// Creates a child context charging the same budget as this one (see the
@@ -280,6 +281,16 @@ class ExecContext {
   std::uint64_t trace_parent() const { return trace_parent_; }
   void set_trace_parent(std::uint64_t span_id) { trace_parent_ = span_id; }
 
+  /// Distributed trace id this context's spans belong to (0 = untraced).
+  /// On the request thread the tracer's installed TraceContext already
+  /// carries the family, so this is the *fallback* for spans started on
+  /// pool threads: Fork() captures the forking thread's current trace id
+  /// here, and StartSpan passes it as the trace hint — the cross-thread
+  /// analogue of trace_parent(). Servers set it from the request frame's
+  /// trace context (see ExecOptions::trace_id).
+  std::uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(std::uint64_t trace_id) { trace_id_ = trace_id; }
+
   // -- Introspection ---------------------------------------------------------
 
   const Limits& limits() const { return limits_; }
@@ -337,6 +348,10 @@ class ExecContext {
                               parent.tracer_->CurrentSpanId() != 0
                           ? parent.tracer_->CurrentSpanId()
                           : parent.trace_parent_),
+        trace_id_(parent.tracer_ != nullptr &&
+                          parent.tracer_->CurrentTraceId() != 0
+                      ? parent.tracer_->CurrentTraceId()
+                      : parent.trace_id_),
         shared_(parent.shared_) {}
   /// The wall clock is read once per this many checkpoints: cheap enough to
   /// keep deadlines responsive, rare enough to keep checkpoints branch-only.
@@ -367,6 +382,7 @@ class ExecContext {
   MetricsRegistry* metrics_ = nullptr;
   FlightRecorder* recorder_ = &FlightRecorder::Global();
   std::uint64_t trace_parent_ = 0;
+  std::uint64_t trace_id_ = 0;
   std::shared_ptr<SharedBudget> shared_;
 };
 
@@ -380,7 +396,7 @@ inline TraceSpan StartSpan(ExecContext& ctx, const char* name) {
     ctx.recorder()->Record(FlightRecorder::EventKind::kSpan, name,
                            ctx.trace_parent());
   }
-  return TraceSpan(ctx.tracer(), name, ctx.trace_parent());
+  return TraceSpan(ctx.tracer(), name, ctx.trace_parent(), ctx.trace_id());
 }
 
 }  // namespace setrec

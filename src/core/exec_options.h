@@ -2,6 +2,7 @@
 #define SETREC_CORE_EXEC_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 
@@ -78,6 +79,13 @@ struct ExecOptions {
   std::size_t num_workers = 1;
   ThreadPool* pool = nullptr;
 
+  /// Request-family trace id (obs/trace.h TraceContext) stamped on the
+  /// governing context for the call's duration, so spans opened on pool
+  /// threads — where no ScopedTraceContext is installed — still join the
+  /// request's family via ExecContext::trace_id(). 0 = untraced; a context
+  /// that already carries a trace id wins.
+  std::uint64_t trace_id = 0;
+
   /// Execution backend for relational evaluation (core/exec_backend.h).
   /// kAuto (the default) keeps the interpreter unless the compiled
   /// vectorized backend covers the expression and the inputs are large
@@ -125,11 +133,16 @@ class ExecScope {
       ctx_->set_recorder(options.recorder);
       swapped_recorder_ = true;
     }
+    if (options.trace_id != 0 && ctx_->trace_id() == 0) {
+      ctx_->set_trace_id(options.trace_id);
+      attached_trace_id_ = true;
+    }
   }
   ~ExecScope() {
     if (attached_tracer_) ctx_->set_tracer(nullptr);
     if (attached_metrics_) ctx_->set_metrics(nullptr);
     if (swapped_recorder_) ctx_->set_recorder(previous_recorder_);
+    if (attached_trace_id_) ctx_->set_trace_id(0);
   }
   ExecScope(const ExecScope&) = delete;
   ExecScope& operator=(const ExecScope&) = delete;
@@ -143,6 +156,7 @@ class ExecScope {
   bool attached_tracer_ = false;
   bool attached_metrics_ = false;
   bool swapped_recorder_ = false;
+  bool attached_trace_id_ = false;
 };
 
 }  // namespace setrec

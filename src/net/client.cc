@@ -1,6 +1,7 @@
 #include "net/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <utility>
 
@@ -14,6 +15,26 @@ namespace {
 Status TransportError(const char* what, const Status& cause) {
   return Status::ResourceExhausted(std::string("transport: ") + what + ": " +
                                    cause.ToString());
+}
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Mints a process-unique, nonzero trace id: a splitmix64 permutation of a
+/// once-seeded steady-clock origin plus a process-wide counter. Not
+/// cryptographic — ids only need to be distinct within a merged timeline.
+std::uint64_t NextTraceId() {
+  static const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id =
+      SplitMix64(seed + counter.fetch_add(1, std::memory_order_relaxed));
+  if (id == 0) id = 1;  // 0 means untraced on the wire
+  return id;
 }
 
 }  // namespace
@@ -41,12 +62,16 @@ Status Client::EnsureConnectedLocked() {
 }
 
 Result<Response> Client::AttemptLocked(const Request& request,
-                                       std::uint64_t id) {
+                                       std::uint64_t id,
+                                       const TraceContext& trace) {
   SETREC_RETURN_IF_ERROR(EnsureConnectedLocked());
   Frame out;
   out.type = FrameType::kRequest;
   out.request_id = id;
   out.payload = EncodeRequest(request);
+  out.trace_id = trace.trace_id;
+  out.trace_parent = trace.parent_span;
+  out.sampled = trace.sampled;
   Status sent = conn_->SendFrame(out);
   if (!sent.ok()) {
     conn_.reset();
@@ -90,6 +115,14 @@ void Client::DumpTerminal(const Status& status) {
 }
 
 Result<Response> Client::Call(Request request) {
+  // Mint the request's family before the call span: the span then carries
+  // the family id, and the server continues it from the frame header.
+  // Sampling is simply "a tracer is attached" — an untraced client sends
+  // byte-identical (pre-trace-format) frames.
+  const std::uint64_t trace_id = NextTraceId();
+  const bool sampled = options_.tracer != nullptr;
+  ScopedTraceContext trace_scope(options_.tracer,
+                                 TraceContext{trace_id, 0, sampled});
   TraceSpan span(options_.tracer, "net/call");
   if (request.tenant.empty()) request.tenant = options_.tenant;
   if (request.deadline_ms == 0) {
@@ -101,11 +134,15 @@ Result<Response> Client::Call(Request request) {
   }
 
   RetrySchedule schedule(options_.retry);
+  // What travels on the wire: the family id plus OUR span id as the remote
+  // parent, so the server's request span hangs under this call.
+  const TraceContext wire_trace{sampled ? trace_id : 0, span.id(), sampled};
   std::lock_guard<std::mutex> lock(mu_);
   last_call_retries_ = 0;
+  last_trace_id_ = sampled ? trace_id : 0;
   std::uint64_t id = next_request_id_++;
   for (;;) {
-    Result<Response> attempt = AttemptLocked(request, id);
+    Result<Response> attempt = AttemptLocked(request, id, wire_trace);
     const bool served = attempt.ok();
     Status failure = Status::OK();
     if (served) {
@@ -184,6 +221,11 @@ Result<Response> Client::Explain(const std::string& expression) {
 std::uint64_t Client::last_call_retries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return last_call_retries_;
+}
+
+std::uint64_t Client::last_trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_trace_id_;
 }
 
 FailoverReadClient::FailoverReadClient(std::vector<Target> targets,

@@ -88,12 +88,19 @@ class Client {
   /// Retries consumed by the most recent Call (0 = first attempt sufficed).
   std::uint64_t last_call_retries() const;
 
+  /// Trace id minted for the most recent Call (0 when the client runs
+  /// without a tracer — untraced calls send pre-trace-format frames). Tests
+  /// use this to find the call's family in merged timelines.
+  std::uint64_t last_trace_id() const;
+
  private:
   Status EnsureConnectedLocked();
-  /// One attempt: send + await the matching response. Transport failures
-  /// come back as kResourceExhausted("transport: ...") with the connection
-  /// torn down.
-  Result<Response> AttemptLocked(const Request& request, std::uint64_t id);
+  /// One attempt: send + await the matching response, stamping the frame
+  /// with `trace` (trace_id/parent_span/sampled travel in the header).
+  /// Transport failures come back as kResourceExhausted("transport: ...")
+  /// with the connection torn down.
+  Result<Response> AttemptLocked(const Request& request, std::uint64_t id,
+                                 const TraceContext& trace);
   void DumpTerminal(const Status& status);
 
   Options options_;
@@ -101,6 +108,7 @@ class Client {
   std::unique_ptr<FramedConnection> conn_;  // guarded by mu_
   std::uint64_t next_request_id_ = 1;       // guarded by mu_
   std::uint64_t last_call_retries_ = 0;     // guarded by mu_
+  std::uint64_t last_trace_id_ = 0;         // guarded by mu_
 };
 
 /// Read failover across a replicated deployment: queries prefer follower

@@ -36,30 +36,47 @@ std::uint64_t GetU64(const char* p) {
          static_cast<std::uint64_t>(GetU32(p + 4)) << 32;
 }
 
-/// The checksummed region: type | flags | reserved | request id | payload,
-/// exactly the bytes after the CRC field on the wire.
+std::uint8_t FrameFlags(const Frame& frame) {
+  std::uint8_t flags = 0;
+  if (frame.trace_id != 0) flags |= kFrameFlagTraced;
+  if (frame.sampled) flags |= kFrameFlagSampled;
+  return flags;
+}
+
+/// The checksummed region: type | flags | reserved | request id |
+/// [trace block] | payload, exactly the bytes after the CRC field on the
+/// wire — the trace block, when present, is covered like any payload byte.
 std::uint32_t FrameCrc(const Frame& frame) {
   std::string covered;
-  covered.reserve(12 + frame.payload.size());
+  covered.reserve(12 + kTraceBlockBytes + frame.payload.size());
   covered.push_back(static_cast<char>(frame.type));
-  covered.push_back(0);  // flags
+  covered.push_back(static_cast<char>(FrameFlags(frame)));
   covered.push_back(0);  // reserved
   covered.push_back(0);
   PutU64(covered, frame.request_id);
+  if (frame.trace_id != 0) {
+    PutU64(covered, frame.trace_id);
+    PutU64(covered, frame.trace_parent);
+  }
   return Crc32(frame.payload, Crc32(covered));
 }
 
 std::string EncodeFrame(const Frame& frame) {
+  const std::uint32_t extra = frame.trace_id != 0 ? kTraceBlockBytes : 0;
   std::string out;
-  out.reserve(kHeaderBytes + frame.payload.size());
+  out.reserve(kHeaderBytes + extra + frame.payload.size());
   out.append(kMagic, sizeof kMagic);
-  PutU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  PutU32(out, static_cast<std::uint32_t>(frame.payload.size()) + extra);
   PutU32(out, FrameCrc(frame));
   out.push_back(static_cast<char>(frame.type));
-  out.push_back(0);  // flags
+  out.push_back(static_cast<char>(FrameFlags(frame)));
   out.push_back(0);  // reserved
   out.push_back(0);
   PutU64(out, frame.request_id);
+  if (frame.trace_id != 0) {
+    PutU64(out, frame.trace_id);
+    PutU64(out, frame.trace_parent);
+  }
   out.append(frame.payload);
   return out;
 }
@@ -162,7 +179,7 @@ Result<Frame> FramedConnection::RecvFrame(std::chrono::milliseconds timeout) {
       }
       if (inbox_.size() >= kHeaderBytes) {
         const std::uint32_t want = GetU32(inbox_.data() + 4);
-        if (want > kMaxFramePayloadBytes) {
+        if (want > kMaxFramePayloadBytes + kTraceBlockBytes) {
           conn_->Close();
           return Status::CorruptedLog("frame length exceeds the wire cap");
         }
@@ -196,6 +213,7 @@ Result<Frame> FramedConnection::RecvFrame(std::chrono::milliseconds timeout) {
     const std::uint32_t length = GetU32(inbox_.data() + 4);
     const std::uint32_t wire_crc = GetU32(inbox_.data() + 8);
     const std::uint8_t type = static_cast<std::uint8_t>(inbox_[12]);
+    const std::uint8_t flags = static_cast<std::uint8_t>(inbox_[13]);
     // Checksum the wire bytes themselves (everything after the CRC field),
     // not a reconstruction of the frame — a flipped flags/reserved byte
     // must be detected even though the decoder otherwise ignores those.
@@ -214,6 +232,18 @@ Result<Frame> FramedConnection::RecvFrame(std::chrono::milliseconds timeout) {
     if (computed != wire_crc) {
       conn_->Close();
       return Status::CorruptedLog("frame crc mismatch");
+    }
+    // Trace block: validated only after the CRC passed, so a flipped flag
+    // bit is always "crc mismatch", never a bogus trace context.
+    if ((flags & kFrameFlagTraced) != 0) {
+      if (frame.payload.size() < kTraceBlockBytes) {
+        conn_->Close();
+        return Status::CorruptedLog("frame trace block truncated");
+      }
+      frame.trace_id = GetU64(frame.payload.data());
+      frame.trace_parent = GetU64(frame.payload.data() + 8);
+      frame.sampled = (flags & kFrameFlagSampled) != 0;
+      frame.payload.erase(0, kTraceBlockBytes);
     }
     if (plan.kind == NetFaultKind::kDropFrame) {
       continue;  // the network ate it after all: decode the next one

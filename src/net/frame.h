@@ -26,6 +26,21 @@ namespace setrec {
 /// protocol) fail fast with kCorruptedLog instead of a huge bogus length
 /// allocation; a sanity cap on the length field backstops that.
 ///
+/// Trace context rides in the previously-zero flags byte plus an optional
+/// 16-byte trace block between header and payload:
+///
+///   flags bit 0 (kFrameFlagTraced)  — a trace block is present: the first
+///     16 payload-position bytes are `u64 trace_id | u64 trace_parent`,
+///     counted by the length field and covered by the CRC like any payload
+///     byte, then stripped before the payload reaches the caller.
+///   flags bit 1 (kFrameFlagSampled) — the family is sampled; receivers
+///     only install a TraceContext (obs/trace.h) when it is set.
+///
+/// A flag-bit-0 frame shorter than 16 bytes is kCorruptedLog. Old decoders
+/// never see the block (no old decoder exists to care — the bit was
+/// reserved-must-be-zero), and untraced frames are byte-identical to the
+/// previous wire format.
+///
 /// Like the hardened text parsers, the decoder is a funnel: every byte of
 /// the peer passes through it before any other code sees the payload, and
 /// every malformed input maps to a typed error (never a crash, never a
@@ -43,10 +58,25 @@ struct Frame {
   FrameType type = FrameType::kRequest;
   std::uint64_t request_id = 0;
   std::string payload;
+  /// Cross-process trace context (see the wire-layout comment above and
+  /// obs/trace.h). trace_id == 0 means untraced: the frame encodes without
+  /// a trace block, byte-identical to the pre-trace wire format.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;
+  bool sampled = false;
 };
+
+/// Frame flags (the u8 at header offset 13).
+constexpr std::uint8_t kFrameFlagTraced = 1u << 0;
+constexpr std::uint8_t kFrameFlagSampled = 1u << 1;
+
+/// Bytes of the optional trace block (u64 trace_id | u64 trace_parent).
+constexpr std::uint32_t kTraceBlockBytes = 16;
 
 /// Hard cap on a frame payload (64 MiB). A length field above this is
 /// corruption by definition, mirroring the WAL reader's kMaxPayloadBytes.
+/// The decoder allows kTraceBlockBytes on top for the trace block, which
+/// the length field counts.
 constexpr std::uint32_t kMaxFramePayloadBytes = 1u << 26;
 
 /// Framing over a Connection, with fault injection and metrics on both

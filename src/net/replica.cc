@@ -61,8 +61,7 @@ Status FollowerReplica::EnsureConnected() {
 
 Result<Response> FollowerReplica::RoundTrip(
     const Request& request,
-    const std::function<Status(std::uint64_t, const std::string&)>&
-        on_record) {
+    const std::function<Status(const Frame&)>& on_record) {
   SETREC_RETURN_IF_ERROR(EnsureConnected());
   const std::uint64_t id = next_request_id_++;
   Frame out;
@@ -81,7 +80,7 @@ Result<Response> FollowerReplica::RoundTrip(
       return in.status();
     }
     if (in->type == FrameType::kWalRecord) {
-      SETREC_RETURN_IF_ERROR(on_record(in->request_id, in->payload));
+      SETREC_RETURN_IF_ERROR(on_record(*in));
       continue;
     }
     if (in->type == FrameType::kResponse && in->request_id == id) {
@@ -96,8 +95,16 @@ Result<Response> FollowerReplica::RoundTrip(
   }
 }
 
-Status FollowerReplica::ApplyRecord(std::uint64_t sequence,
-                                    const std::string& payload) {
+Status FollowerReplica::ApplyRecord(const Frame& record) {
+  // Continue the family of the commit that produced this record: the
+  // installed context overrides the enclosing net/pull span's (untraced)
+  // family, so the replay span lands in the writer's timeline with the
+  // leader-side origin span as its remote parent.
+  ScopedTraceContext trace_scope(
+      options_.tracer,
+      TraceContext{record.trace_id, record.trace_parent, record.sampled});
+  TraceSpan span(options_.tracer, "net/replay");
+  const std::uint64_t sequence = record.request_id;
   std::lock_guard<std::mutex> lock(state_mu_);
   if (sequence <= applied_) return Status::OK();  // duplicate: idempotent
   if (sequence != applied_ + 1) {
@@ -105,13 +112,19 @@ Status FollowerReplica::ApplyRecord(std::uint64_t sequence,
         "replication gap: expected sequence " +
         std::to_string(applied_ + 1) + ", got " + std::to_string(sequence));
   }
-  Result<InstanceDelta> delta = ParseDelta(payload, options_.schema);
+  Result<InstanceDelta> delta = ParseDelta(record.payload, options_.schema);
   if (!delta.ok()) {
     return Status::CorruptedLog("unreplayable replicated record: " +
                                 delta.status().ToString());
   }
   SETREC_RETURN_IF_ERROR(ApplyDelta(instance_, *delta));
   applied_ = sequence;
+  last_apply_ns_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()),
+      std::memory_order_relaxed);
   if (options_.metrics != nullptr) {
     options_.metrics->CounterNamed("net.replication.records_applied").Add(1);
   }
@@ -132,12 +145,11 @@ Status FollowerReplica::TailOnce() {
   // Record-level damage (gap, unparsable payload) is remembered and turned
   // into a resync after the stream drains — never applied.
   Status apply_failure = Status::OK();
-  Result<Response> trailer = RoundTrip(
-      request, [&](std::uint64_t sequence, const std::string& payload) {
-        if (!apply_failure.ok()) return Status::OK();  // drain the stream
-        apply_failure = ApplyRecord(sequence, payload);
-        return Status::OK();
-      });
+  Result<Response> trailer = RoundTrip(request, [&](const Frame& record) {
+    if (!apply_failure.ok()) return Status::OK();  // drain the stream
+    apply_failure = ApplyRecord(record);
+    return Status::OK();
+  });
   if (!trailer.ok()) {
     healthy_.store(false, std::memory_order_relaxed);
     return trailer.status();
@@ -159,15 +171,38 @@ Status FollowerReplica::TailOnce() {
   }
   leader_.store(trailer->leader_sequence, std::memory_order_relaxed);
   healthy_.store(true, std::memory_order_relaxed);
-  if (options_.metrics != nullptr) {
-    const std::uint64_t lag =
-        trailer->leader_sequence > applied_sequence()
-            ? trailer->leader_sequence - applied_sequence()
-            : 0;
-    options_.metrics->GaugeNamed("net.replication.lag")
-        .Set(static_cast<std::int64_t>(lag));
-  }
+  PublishLag();
   return Status::OK();
+}
+
+void FollowerReplica::PublishLag() {
+  if (options_.metrics == nullptr) return;
+  const std::uint64_t applied = applied_sequence();
+  const std::uint64_t leader = leader_.load(std::memory_order_relaxed);
+  const std::uint64_t lag = leader > applied ? leader - applied : 0;
+  options_.metrics->GaugeNamed("net.replication.lag")
+      .Set(static_cast<std::int64_t>(lag));
+  options_.metrics
+      ->GaugeLabeled("tenant.replication.lag", "tenant", options_.tenant)
+      .Set(static_cast<std::int64_t>(lag));
+  // Staleness in wall time: how long since this follower last applied a
+  // record (0 until the first apply — a freshly caught-up idle follower
+  // reports its true idle age, which is the point of the gauge).
+  const std::uint64_t last = last_apply_ns_.load(std::memory_order_relaxed);
+  std::int64_t ms_since = 0;
+  if (last != 0) {
+    const auto now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    if (now_ns > last) {
+      ms_since = static_cast<std::int64_t>((now_ns - last) / 1000000u);
+    }
+  }
+  options_.metrics
+      ->GaugeLabeled("tenant.replication.ms_since_apply", "tenant",
+                     options_.tenant)
+      .Set(ms_since);
 }
 
 Status FollowerReplica::Resync() {
@@ -175,8 +210,8 @@ Status FollowerReplica::Resync() {
   Request request;
   request.op = "snapshot";
   request.tenant = options_.tenant;
-  Result<Response> response = RoundTrip(
-      request, [](std::uint64_t, const std::string&) { return Status::OK(); });
+  Result<Response> response =
+      RoundTrip(request, [](const Frame&) { return Status::OK(); });
   SETREC_RETURN_IF_ERROR(response.status());
   if (response->code != StatusCode::kOk) {
     return StatusFromCode(response->code,
@@ -193,9 +228,16 @@ Status FollowerReplica::Resync() {
   leader_.store(std::max(response->leader_sequence, split.first),
                 std::memory_order_relaxed);
   resyncs_.fetch_add(1, std::memory_order_relaxed);
+  last_apply_ns_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()),
+      std::memory_order_relaxed);
   if (options_.metrics != nullptr) {
     options_.metrics->CounterNamed("net.replication.resyncs").Add(1);
   }
+  PublishLag();
   return Status::OK();
 }
 

@@ -108,12 +108,19 @@ class FollowerReplica {
   /// Ensures connected_ holds a live framed connection (dialing if needed).
   Status EnsureConnected();
   /// Sends `request` and returns the kResponse trailer, handing every
-  /// kWalRecord frame seen on the way to `on_record`.
+  /// kWalRecord frame seen on the way to `on_record` whole — the frame
+  /// carries the record's sequence (request id), payload, and the trace
+  /// context of the commit that produced it.
   Result<Response> RoundTrip(
       const Request& request,
-      const std::function<Status(std::uint64_t, const std::string&)>&
-          on_record);
-  Status ApplyRecord(std::uint64_t sequence, const std::string& payload);
+      const std::function<Status(const Frame&)>& on_record);
+  /// Replays one shipped record. When the record carries a trace context,
+  /// the replay span joins that family ("net/replay" under the leader's
+  /// origin span) — the cross-process tail of the write's timeline.
+  Status ApplyRecord(const Frame& record);
+  /// Publishes the follower-side per-tenant replication gauges
+  /// (tenant.replication.lag / tenant.replication.ms_since_apply).
+  void PublishLag();
 
   Options options_;
   std::unique_ptr<FramedConnection> conn_;
@@ -125,6 +132,9 @@ class FollowerReplica {
   std::atomic<std::uint64_t> leader_{0};
   std::atomic<bool> healthy_{false};
   std::atomic<std::uint64_t> resyncs_{0};
+  /// Steady-clock ns of the most recent applied record (0 = none yet);
+  /// feeds the ms_since_apply staleness gauge.
+  std::atomic<std::uint64_t> last_apply_ns_{0};
 
   std::thread tailer_;
   std::atomic<bool> stop_tailing_{false};

@@ -7,6 +7,7 @@
 
 #include "incremental/view_cache.h"
 #include "obs/explain.h"
+#include "obs/json_escape.h"
 #include "objrel/encoding.h"
 #include "relational/evaluator.h"
 #include "sql/engine.h"
@@ -83,6 +84,72 @@ struct Server::Tenant {
   std::condition_variable cv;
   std::size_t active = 0;   // guarded by mu
   std::size_t waiting = 0;  // guarded by mu
+
+  /// Per-tenant instruments, resolved once at tenant creation (labeled
+  /// series of the shared registry — see MetricsRegistry::*Labeled); all
+  /// null when the server runs without metrics.
+  struct Telemetry {
+    Histogram* update_ns = nullptr;      // tenant.update_ns{tenant=...}
+    Histogram* delta_ns = nullptr;       // tenant.delta_ns{tenant=...}
+    Histogram* query_ns = nullptr;       // tenant.query_ns{tenant=...}
+    Histogram* queue_wait_ns = nullptr;  // tenant.queue_wait_ns{tenant=...}
+    Counter* shed = nullptr;             // tenant.shed{tenant=...}
+    Counter* deadline_miss = nullptr;    // tenant.deadline_miss{tenant=...}
+    Gauge* queue_depth = nullptr;        // tenant.queue_depth{tenant=...}
+    Gauge* active_gauge = nullptr;       // tenant.active{tenant=...}
+    /// Leader-side replication lag: newest local sequence minus the last
+    /// sequence the most recent pull shipped (tenant.replication.
+    /// follower_lag{tenant=...}).
+    Gauge* follower_lag = nullptr;
+  } telemetry;
+
+  /// Origin of each durable commit: sequence → the request family that
+  /// produced it, so HandlePull can stamp shipped WAL records with the
+  /// trace that wrote them and a follower's replay joins the same family.
+  /// Bounded (kCommitTraceCap, oldest evicted): replication of a
+  /// checkpointed-away or evicted sequence simply ships untraced.
+  struct CommitTrace {
+    std::uint64_t trace_id = 0;
+    std::uint64_t origin_span = 0;
+  };
+  std::mutex trace_mu;
+  std::map<std::uint64_t, CommitTrace> commit_traces;  // guarded by trace_mu
+
+  /// Bounded slow-request capture; null when the threshold is zero or the
+  /// tenant has no local directory (replica-backed).
+  std::unique_ptr<SlowRequestLog> slowlog;
+
+  void RecordCommitTrace(std::uint64_t sequence, const TraceContext& trace) {
+    static constexpr std::size_t kCommitTraceCap = 512;
+    if (!trace.active() || sequence == 0) return;
+    std::lock_guard<std::mutex> lock(trace_mu);
+    commit_traces[sequence] = CommitTrace{trace.trace_id, trace.parent_span};
+    while (commit_traces.size() > kCommitTraceCap) {
+      commit_traces.erase(commit_traces.begin());
+    }
+  }
+
+  void InitTelemetry(MetricsRegistry* metrics) {
+    if (metrics == nullptr) return;
+    const std::string& name = config.name;
+    telemetry.update_ns =
+        &metrics->HistogramLabeled("tenant.update_ns", "tenant", name);
+    telemetry.delta_ns =
+        &metrics->HistogramLabeled("tenant.delta_ns", "tenant", name);
+    telemetry.query_ns =
+        &metrics->HistogramLabeled("tenant.query_ns", "tenant", name);
+    telemetry.queue_wait_ns =
+        &metrics->HistogramLabeled("tenant.queue_wait_ns", "tenant", name);
+    telemetry.shed = &metrics->CounterLabeled("tenant.shed", "tenant", name);
+    telemetry.deadline_miss =
+        &metrics->CounterLabeled("tenant.deadline_miss", "tenant", name);
+    telemetry.queue_depth =
+        &metrics->GaugeLabeled("tenant.queue_depth", "tenant", name);
+    telemetry.active_gauge =
+        &metrics->GaugeLabeled("tenant.active", "tenant", name);
+    telemetry.follower_lag = &metrics->GaugeLabeled(
+        "tenant.replication.follower_lag", "tenant", name);
+  }
 };
 
 Server::Server(ServerOptions options, std::unique_ptr<ThreadPool> owned_pool)
@@ -113,6 +180,15 @@ Result<std::unique_ptr<Server>> Server::Create(
         (std::filesystem::path(server->options_.data_dir) / config.name)
             .string();
     tenant->config = std::move(config);
+    // The store inherits the server's sinks unless the config wired its
+    // own: store/commit and wal/fsync spans then land on the *same* tracer
+    // as the session's net/request span, joining the request's family.
+    if (tenant->config.store_options.tracer == nullptr) {
+      tenant->config.store_options.tracer = server->options_.tracer;
+    }
+    if (tenant->config.store_options.metrics == nullptr) {
+      tenant->config.store_options.metrics = server->options_.metrics;
+    }
     if (tenant->config.incremental_views) {
       if (tenant->config.store_options.view_cache != nullptr) {
         return Status::InvalidArgument(
@@ -129,6 +205,13 @@ Result<std::unique_ptr<Server>> Server::Create(
         tenant->store,
         DurableStore::Open(dir, server->options_.schema,
                            tenant->config.store_options));
+    tenant->InitTelemetry(server->options_.metrics);
+    if (tenant->config.slow_request_threshold >
+        std::chrono::nanoseconds::zero()) {
+      tenant->slowlog = std::make_unique<SlowRequestLog>(
+          (std::filesystem::path(dir) / "slowlog.jsonl").string(),
+          tenant->config.slowlog_max_bytes);
+    }
     const std::string name = tenant->config.name;
     server->tenants_.emplace(name, std::move(tenant));
   }
@@ -149,6 +232,7 @@ Status Server::ServeReplica(const std::string& tenant_name,
   }
   it->second->config.name = tenant_name;
   it->second->replica = replica;
+  it->second->InitTelemetry(options_.metrics);
   return Status::OK();
 }
 
@@ -270,7 +354,17 @@ void Server::SessionLoop(ConnectionPtr conn) {
       break;
     }
 
+    // Adopt the frame's trace context for this request: while installed,
+    // every span this thread (and its forks) opens joins the client's
+    // family, and the request span records the client-side span as its
+    // remote parent. Untraced frames install nothing.
+    const TraceContext wire_trace{in->trace_id, in->trace_parent,
+                                  in->sampled};
+    ScopedTraceContext trace_scope(options_.tracer, wire_trace);
     TraceSpan request_span(options_.tracer, "net/request");
+    // Downstream the family travels with the *local* request span as
+    // parent: commits record it as their origin, replication continues it.
+    const TraceContext trace{in->trace_id, request_span.id(), in->sampled};
     const auto started = std::chrono::steady_clock::now();
     Response response;
     Result<Request> request = DecodeRequest(in->payload);
@@ -285,7 +379,7 @@ void Server::SessionLoop(ConnectionPtr conn) {
                                   "net/request", in->request_id, 0,
                                   request->op);
       }
-      response = Dispatch(*request, framed);
+      response = Dispatch(*request, framed, trace);
     }
     if (options_.metrics != nullptr) {
       options_.metrics->CounterNamed("net.requests").Add(1);
@@ -302,6 +396,11 @@ void Server::SessionLoop(ConnectionPtr conn) {
     last_id = in->request_id;
     cached_response = reply;
     has_cached = true;
+    // End (and flush) the request span *before* the reply leaves: once the
+    // client observes the response, every server-side span of the family is
+    // visible in the tracer — readers never see a half-recorded family.
+    // The send itself is framing I/O, not request work.
+    request_span.End();
     if (!framed.SendFrame(reply).ok()) break;
   }
 
@@ -319,8 +418,9 @@ void Server::SessionLoop(ConnectionPtr conn) {
   }
 }
 
-Response Server::Dispatch(const Request& request, FramedConnection& framed) {
-  if (request.op == "stats") return HandleStats();
+Response Server::Dispatch(const Request& request, FramedConnection& framed,
+                          const TraceContext& trace) {
+  if (request.op == "stats") return HandleStats(request);
   Tenant* tenant = FindTenant(request.tenant);
   if (tenant == nullptr) {
     return ErrorResponse(
@@ -340,21 +440,45 @@ Response Server::Dispatch(const Request& request, FramedConnection& framed) {
 
   if (request.op == "update" || request.op == "delta" ||
       request.op == "query") {
+    const auto started = std::chrono::steady_clock::now();
     bool admitted = false;
     Response gate = Admit(*tenant, deadline, &admitted);
-    if (!admitted) return gate;
+    if (!admitted) {
+      if (gate.code == StatusCode::kDeadlineExceeded &&
+          tenant->telemetry.deadline_miss != nullptr) {
+        tenant->telemetry.deadline_miss->Add(1);
+      }
+      return gate;
+    }
     Response response;
     {
       TraceSpan span(options_.tracer, "net/execute");
       if (request.op == "update") {
-        response = HandleUpdate(*tenant, request, deadline);
+        response = HandleUpdate(*tenant, request, deadline, trace);
       } else if (request.op == "delta") {
-        response = HandleDelta(*tenant, request, deadline);
+        response = HandleDelta(*tenant, request, deadline, trace);
       } else {
-        response = HandleQuery(*tenant, request, deadline);
+        response = HandleQuery(*tenant, request, deadline, trace);
       }
     }
     Release(*tenant);
+    const auto latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - started);
+    Tenant::Telemetry& t = tenant->telemetry;
+    Histogram* op_ns = request.op == "update"  ? t.update_ns
+                       : request.op == "delta" ? t.delta_ns
+                                               : t.query_ns;
+    if (op_ns != nullptr) {
+      op_ns->Observe(static_cast<std::uint64_t>(latency.count()));
+    }
+    if (response.code == StatusCode::kDeadlineExceeded &&
+        t.deadline_miss != nullptr) {
+      t.deadline_miss->Add(1);
+    }
+    if (tenant->slowlog != nullptr &&
+        latency >= tenant->config.slow_request_threshold) {
+      CaptureSlowRequest(*tenant, request, trace, latency);
+    }
     return response;
   }
   return ErrorResponse(Status::Unimplemented(
@@ -365,11 +489,23 @@ Response Server::Admit(Tenant& tenant,
                        std::chrono::steady_clock::time_point deadline,
                        bool* admitted) {
   TraceSpan span(options_.tracer, "net/admission");
+  Tenant::Telemetry& t = tenant.telemetry;
+  const auto arrived = std::chrono::steady_clock::now();
+  const auto observe_wait = [&] {
+    if (t.queue_wait_ns != nullptr) {
+      t.queue_wait_ns->Observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - arrived)
+              .count()));
+    }
+  };
   *admitted = false;
   const auto shed = [&](std::size_t queue_depth) {
     if (options_.metrics != nullptr) {
       options_.metrics->CounterNamed("net.shed").Add(1);
     }
+    if (t.shed != nullptr) t.shed->Add(1);
+    observe_wait();
     Response response = ErrorResponse(Status::ResourceExhausted(
         "tenant '" + tenant.config.name + "' is saturated"));
     // The hint grows with the pile-up: the deeper the queue at shed time,
@@ -378,38 +514,55 @@ Response Server::Admit(Tenant& tenant,
         options_.suggested_backoff_ms * (1 + queue_depth);
     return response;
   };
+  const auto admit = [&] {
+    ++tenant.active;
+    if (t.active_gauge != nullptr) {
+      t.active_gauge->Set(static_cast<std::int64_t>(tenant.active));
+    }
+    observe_wait();
+    *admitted = true;
+    return OkResponse();
+  };
+  const auto set_depth = [&] {
+    if (t.queue_depth != nullptr) {
+      t.queue_depth->Set(static_cast<std::int64_t>(tenant.waiting));
+    }
+  };
 
   std::unique_lock<std::mutex> lock(tenant.mu);
   if (draining()) return shed(tenant.waiting);
-  if (tenant.active < tenant.config.max_concurrency) {
-    ++tenant.active;
-    *admitted = true;
-    return OkResponse();
-  }
+  if (tenant.active < tenant.config.max_concurrency) return admit();
   if (tenant.waiting >= tenant.config.max_queue) return shed(tenant.waiting);
   ++tenant.waiting;
+  set_depth();
   while (tenant.active >= tenant.config.max_concurrency) {
     if (tenant.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
       --tenant.waiting;
+      set_depth();
+      observe_wait();
       return ErrorResponse(Status::DeadlineExceeded(
           "deadline expired in tenant '" + tenant.config.name +
           "' admission queue"));
     }
     if (draining()) {
       --tenant.waiting;
+      set_depth();
       return shed(tenant.waiting);
     }
   }
   --tenant.waiting;
-  ++tenant.active;
-  *admitted = true;
-  return OkResponse();
+  set_depth();
+  return admit();
 }
 
 void Server::Release(Tenant& tenant) {
   {
     std::lock_guard<std::mutex> lock(tenant.mu);
     --tenant.active;
+    if (tenant.telemetry.active_gauge != nullptr) {
+      tenant.telemetry.active_gauge->Set(
+          static_cast<std::int64_t>(tenant.active));
+    }
   }
   tenant.cv.notify_one();
 }
@@ -451,7 +604,8 @@ Response Server::HandlePing(Tenant& tenant) {
 
 Response Server::HandleUpdate(
     Tenant& tenant, const Request& request,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    const TraceContext& trace) {
   if (tenant.store == nullptr) {
     return ErrorResponse(Status::FailedPrecondition(
         "tenant '" + tenant.config.name + "' is a read-only replica"));
@@ -472,6 +626,9 @@ Response Server::HandleUpdate(
   Status committed = tenant.store->Commit(
       [&](Instance& instance, ExecContext& ctx,
           const CommitHook& hook) -> Status {
+        // Fan-outs forked from this context must stay in the request's
+        // family even on pool threads where no context is installed.
+        if (trace.active()) ctx.set_trace_id(trace.trace_id);
         // The cache serves phase one (receiver set) when present; the
         // store's own hook publication keeps it in lockstep afterwards.
         return SetOrientedUpdateInPlace(instance, prop, receiver_query, ctx,
@@ -482,11 +639,13 @@ Response Server::HandleUpdate(
   Response response = OkResponse();
   response.applied_sequence = tenant.store->last_sequence();
   response.leader_sequence = response.applied_sequence;
+  tenant.RecordCommitTrace(response.applied_sequence, trace);
   return response;
 }
 
 Response Server::HandleDelta(Tenant& tenant, const Request& request,
-                             std::chrono::steady_clock::time_point deadline) {
+                             std::chrono::steady_clock::time_point deadline,
+                             const TraceContext& trace) {
   if (tenant.store == nullptr) {
     return ErrorResponse(Status::FailedPrecondition(
         "tenant '" + tenant.config.name + "' is a read-only replica"));
@@ -498,6 +657,7 @@ Response Server::HandleDelta(Tenant& tenant, const Request& request,
   Status committed = tenant.store->Commit(
       [&](Instance& instance, ExecContext& ctx,
           const CommitHook& hook) -> Status {
+        if (trace.active()) ctx.set_trace_id(trace.trace_id);
         SETREC_RETURN_IF_ERROR(ctx.CheckPoint("net/apply-delta"));
         Instance before = instance;
         Status applied = ApplyDelta(instance, parsed);
@@ -513,11 +673,13 @@ Response Server::HandleDelta(Tenant& tenant, const Request& request,
   Response response = OkResponse();
   response.applied_sequence = tenant.store->last_sequence();
   response.leader_sequence = response.applied_sequence;
+  tenant.RecordCommitTrace(response.applied_sequence, trace);
   return response;
 }
 
 Response Server::HandleQuery(Tenant& tenant, const Request& request,
-                             std::chrono::steady_clock::time_point deadline) {
+                             std::chrono::steady_clock::time_point deadline,
+                             const TraceContext& trace) {
   Result<ExprPtr> query = ParseExpression(request.body);
   if (!query.ok()) return ErrorResponse(query.status());
 
@@ -526,6 +688,7 @@ Response Server::HandleQuery(Tenant& tenant, const Request& request,
   ctx.set_tracer(options_.tracer);
   ctx.set_metrics(options_.metrics);
   ctx.set_recorder(options_.recorder);
+  if (trace.active()) ctx.set_trace_id(trace.trace_id);
 
   std::uint64_t applied = 0;
   std::uint64_t leader = 0;
@@ -638,6 +801,18 @@ Response Server::HandlePull(Tenant& tenant, const Request& request,
     frame.type = FrameType::kWalRecord;
     frame.request_id = record.sequence;
     frame.payload = record.payload;
+    // Stamp the record with the family that committed it (if still in the
+    // bounded origin map), so the follower's replay span joins the same
+    // trace as the client call that wrote this sequence.
+    {
+      std::lock_guard<std::mutex> trace_lock(tenant.trace_mu);
+      const auto origin = tenant.commit_traces.find(record.sequence);
+      if (origin != tenant.commit_traces.end()) {
+        frame.trace_id = origin->second.trace_id;
+        frame.trace_parent = origin->second.origin_span;
+        frame.sampled = true;
+      }
+    }
     Status sent = framed.SendFrame(frame);
     if (!sent.ok()) return ErrorResponse(sent);
     ++shipped;
@@ -646,6 +821,15 @@ Response Server::HandlePull(Tenant& tenant, const Request& request,
       options_.metrics->CounterNamed("net.replication.records_shipped")
           .Add(1);
     }
+  }
+  // Leader-side lag: how far the puller will still trail after this batch.
+  if (tenant.telemetry.follower_lag != nullptr) {
+    const std::uint64_t caught_up_to =
+        last_shipped != 0 ? last_shipped : (*from > 0 ? *from - 1 : 0);
+    tenant.telemetry.follower_lag->Set(
+        leader_sequence > caught_up_to
+            ? static_cast<std::int64_t>(leader_sequence - caught_up_to)
+            : 0);
   }
   Response response = OkResponse();
   response.applied_sequence = last_shipped;
@@ -670,14 +854,128 @@ Response Server::HandleSnapshot(Tenant& tenant) {
   return response;
 }
 
-Response Server::HandleStats() {
+Response Server::HandleStats(const Request& request) {
   Response response = OkResponse();
   if (options_.metrics != nullptr) {
+    const auto format = request.params.find("format");
     std::ostringstream out;
-    options_.metrics->WriteText(out);
+    if (format != request.params.end() && format->second == "prometheus") {
+      options_.metrics->WritePrometheus(out);
+    } else {
+      options_.metrics->WriteText(out);
+    }
     response.body = out.str();
   }
   return response;
+}
+
+void Server::CaptureSlowRequest(Tenant& tenant, const Request& request,
+                                const TraceContext& trace,
+                                std::chrono::nanoseconds latency) {
+  TraceSpan span(options_.tracer, "net/slowlog");
+  std::ostringstream entry;
+  entry << "{\"tenant\":" << JsonQuoted(tenant.config.name)
+        << ",\"op\":" << JsonQuoted(request.op)
+        << ",\"trace_id\":" << trace.trace_id
+        << ",\"latency_ns\":" << latency.count() << ",\"threshold_ns\":"
+        << tenant.config.slow_request_threshold.count();
+
+  // EXPLAIN ANALYZE against a fresh snapshot, bounded by the tenant's own
+  // per-attempt limits so a pathological request cannot hold the capture
+  // path hostage. The re-run is not the request's execution — it is the
+  // best reconstruction available after the fact (plans are stable for a
+  // fixed state).
+  entry << ",\"plan\":";
+  Result<ExplainPlan> plan = [&]() -> Result<ExplainPlan> {
+    if (tenant.store == nullptr) {
+      return Status::FailedPrecondition("no local store");
+    }
+    ExecContext ctx(tenant.config.store_options.limits);
+    ExecOptions exec;
+    exec.ctx = &ctx;
+    std::uint64_t sequence = 0;
+    const Instance state = tenant.store->SnapshotState(&sequence);
+    if (request.op == "query") {
+      SETREC_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(request.body));
+      SETREC_ASSIGN_OR_RETURN(Database database, EncodeInstance(state));
+      return ExplainExpressionAnalyze(expr, database, exec);
+    }
+    if (request.op == "update") {
+      const auto property_it = request.params.find("property");
+      if (property_it == request.params.end()) {
+        return Status::InvalidArgument("missing property");
+      }
+      SETREC_ASSIGN_OR_RETURN(PropertyId property,
+                              options_.schema->FindProperty(
+                                  property_it->second));
+      SETREC_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(request.body));
+      return ExplainSetOrientedUpdate(state, property, expr,
+                                      /*analyze=*/true, exec);
+    }
+    return Status::Unimplemented("no plan for op '" + request.op + "'");
+  }();
+  if (plan.ok()) {
+    entry << plan->ToJson();
+  } else {
+    entry << "null,\"plan_error\":"
+          << JsonQuoted(plan.status().message());
+  }
+
+  // The request's span subtree (events of its family recorded so far).
+  entry << ",\"spans\":[";
+  if (options_.tracer != nullptr && trace.active()) {
+    constexpr std::size_t kMaxSpans = 64;
+    std::size_t written = 0;
+    for (const SpanEvent& e : options_.tracer->Events()) {
+      if (e.trace_id != trace.trace_id) continue;
+      if (written >= kMaxSpans) break;
+      if (written != 0) entry << ",";
+      entry << "{\"name\":" << JsonQuoted(e.name) << ",\"id\":" << e.id
+            << ",\"parent\":" << e.parent
+            << ",\"remote_parent\":" << e.remote_parent
+            << ",\"dur_ns\":" << e.dur_ns << "}";
+      ++written;
+    }
+  }
+  entry << "]";
+
+  // Redacted flight-recorder slice: the recorder's own dump redacts the
+  // free-form detail payloads (hash+length), so no user bytes leak into
+  // the slow log. Keep only the most recent lines.
+  entry << ",\"flight\":[";
+  if (options_.recorder != nullptr) {
+    std::ostringstream dump;
+    FlightRecorder::DumpOptions dump_options;
+    dump_options.reason = "slow-request";
+    dump_options.redact_details = true;
+    options_.recorder->Dump(dump, dump_options);
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(dump.str());
+    while (std::getline(in, line)) lines.push_back(line);
+    constexpr std::size_t kFlightLines = 16;
+    const std::size_t first =
+        lines.size() > kFlightLines ? lines.size() - kFlightLines : 0;
+    for (std::size_t i = first; i < lines.size(); ++i) {
+      if (i != first) entry << ",";
+      // Dump lines are themselves JSON objects; embed them verbatim.
+      entry << lines[i];
+    }
+  }
+  entry << "]}";
+
+  Status appended = tenant.slowlog->Append(entry.str());
+  if (!appended.ok() && options_.recorder != nullptr) {
+    options_.recorder->Record(FlightRecorder::EventKind::kStatus,
+                              "net/slowlog-append",
+                              static_cast<std::uint64_t>(appended.code()), 0,
+                              appended.message());
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->CounterLabeled("tenant.slow_requests", "tenant",
+                                     tenant.config.name)
+        .Add(1);
+  }
 }
 
 }  // namespace setrec

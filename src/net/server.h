@@ -14,7 +14,9 @@
 #include "net/frame.h"
 #include "net/message.h"
 #include "net/replica.h"
+#include "net/slowlog.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "store/durable_store.h"
 
 namespace setrec {
@@ -48,6 +50,15 @@ struct TenantConfig {
   /// through it. Replica-backed tenants have no cache either way — they
   /// re-evaluate against the replicated state.
   bool incremental_views = true;
+  /// Slow-request capture: an update/delta/query whose total service time
+  /// (admission wait + execution) reaches this threshold is appended to the
+  /// tenant's bounded slowlog.jsonl (net/slowlog.h) with its trace id, an
+  /// EXPLAIN ANALYZE plan and a redacted flight-recorder slice. Zero (the
+  /// default) disables capture.
+  std::chrono::nanoseconds slow_request_threshold{0};
+  /// Byte budget of the tenant's slowlog.jsonl (0 = SlowRequestLog's 1 MiB
+  /// default). The log wraps; it never grows past this.
+  std::uint64_t slowlog_max_bytes = 0;
 };
 
 struct ServerOptions {
@@ -127,21 +138,38 @@ class Server {
   void SessionLoop(ConnectionPtr conn);
   /// Serves one decoded request, returning the response to send. WAL-record
   /// streaming ops (pull) write their stream through `framed` before the
-  /// returned trailer is sent.
-  Response Dispatch(const Request& request, FramedConnection& framed);
+  /// returned trailer is sent. `trace` is the request's family with
+  /// parent_span repurposed as the *local* net/request span id — the origin
+  /// recorded against commits so replication pulls can continue the family.
+  Response Dispatch(const Request& request, FramedConnection& framed,
+                    const TraceContext& trace);
 
   Response HandlePing(Tenant& tenant);
   Response HandleUpdate(Tenant& tenant, const Request& request,
-                        std::chrono::steady_clock::time_point deadline);
+                        std::chrono::steady_clock::time_point deadline,
+                        const TraceContext& trace);
   Response HandleDelta(Tenant& tenant, const Request& request,
-                       std::chrono::steady_clock::time_point deadline);
+                       std::chrono::steady_clock::time_point deadline,
+                       const TraceContext& trace);
   Response HandleQuery(Tenant& tenant, const Request& request,
-                       std::chrono::steady_clock::time_point deadline);
+                       std::chrono::steady_clock::time_point deadline,
+                       const TraceContext& trace);
   Response HandleExplain(Tenant& tenant, const Request& request);
   Response HandlePull(Tenant& tenant, const Request& request,
                       FramedConnection& framed);
   Response HandleSnapshot(Tenant& tenant);
-  Response HandleStats();
+  /// Metrics export: the registry's WriteText by default, or the Prometheus
+  /// exposition when the request carries `format=prometheus` — the same
+  /// bytes a scrape endpoint would serve.
+  Response HandleStats(const Request& request);
+
+  /// Slow-request capture (TenantConfig::slow_request_threshold): appends
+  /// one JSON line — op, trace id, latency, an EXPLAIN ANALYZE plan, the
+  /// request's span subtree and a redacted flight-recorder slice — to the
+  /// tenant's slowlog.
+  void CaptureSlowRequest(Tenant& tenant, const Request& request,
+                          const TraceContext& trace,
+                          std::chrono::nanoseconds latency);
 
   /// Blocks until the tenant admits one more request or sheds it; OK means
   /// admitted and the caller must call Release(). The deadline bounds the

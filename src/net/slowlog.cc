@@ -1,0 +1,62 @@
+#include "net/slowlog.h"
+
+#include <fstream>
+#include <utility>
+
+namespace setrec {
+
+namespace {
+constexpr std::uint64_t kDefaultMaxBytes = std::uint64_t{1} << 20;  // 1 MiB
+}  // namespace
+
+SlowRequestLog::SlowRequestLog(std::string path, std::uint64_t max_bytes)
+    : path_(std::move(path)),
+      max_bytes_(max_bytes == 0 ? kDefaultMaxBytes : max_bytes) {
+  // Resume an existing file's size so the budget survives reopen.
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  if (in) size_ = static_cast<std::uint64_t>(in.tellg());
+}
+
+Status SlowRequestLog::Append(const std::string& json_line) {
+  const std::uint64_t need = json_line.size() + 1;  // trailing newline
+  std::lock_guard<std::mutex> lock(mu_);
+  if (need > max_bytes_) {
+    ++dropped_;
+    return Status::InvalidArgument("slow-log entry exceeds the byte budget");
+  }
+  const bool wrap = size_ + need > max_bytes_;
+  std::ofstream out(path_, wrap ? std::ios::binary | std::ios::trunc
+                                : std::ios::binary | std::ios::app);
+  if (!out) {
+    return Status::Internal("slow log open failed: " + path_);
+  }
+  if (wrap) {
+    ++wraps_;
+    size_ = 0;
+  }
+  out << json_line << "\n";
+  out.flush();
+  if (!out) {
+    return Status::Internal("slow log write failed: " + path_);
+  }
+  size_ += need;
+  ++entries_;
+  return Status::OK();
+}
+
+std::uint64_t SlowRequestLog::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::uint64_t SlowRequestLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t SlowRequestLog::wraps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wraps_;
+}
+
+}  // namespace setrec

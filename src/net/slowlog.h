@@ -1,0 +1,61 @@
+#ifndef SETREC_NET_SLOWLOG_H_
+#define SETREC_NET_SLOWLOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/status.h"
+
+namespace setrec {
+
+/// Bounded per-tenant slow-request capture: one JSON object per line
+/// (slowlog.jsonl), appended when a request exceeds the tenant's
+/// slow_request_threshold. Each entry carries the request's trace id, op,
+/// latency, an EXPLAIN ANALYZE plan and a redacted flight-recorder slice —
+/// assembled by the server (net/server.cc); this class only owns the file
+/// discipline.
+///
+/// Bounding: the log wraps. When appending a line would push the file past
+/// `max_bytes`, the file is truncated first and the entry starts a fresh
+/// generation — a misbehaving tenant can never grow its slow log without
+/// bound, and the most recent capture is always present (an entry larger
+/// than the whole budget is dropped, counted, never partially written).
+///
+/// Thread safety: Append serializes on an internal mutex; entries are
+/// written whole, so concurrent sessions never interleave bytes.
+class SlowRequestLog {
+ public:
+  /// Opens (creates or resumes) the log at `path`. `max_bytes` caps the
+  /// file; 0 means a default of 1 MiB.
+  SlowRequestLog(std::string path, std::uint64_t max_bytes);
+
+  SlowRequestLog(const SlowRequestLog&) = delete;
+  SlowRequestLog& operator=(const SlowRequestLog&) = delete;
+
+  /// Appends `json_line` plus a trailing newline, wrapping the file first
+  /// if the write would exceed the byte budget. An entry that alone
+  /// exceeds the budget is dropped (counted in dropped()).
+  Status Append(const std::string& json_line);
+
+  const std::string& path() const { return path_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Entries appended / dropped-for-size / wrap truncations so far.
+  std::uint64_t entries() const;
+  std::uint64_t dropped() const;
+  std::uint64_t wraps() const;
+
+ private:
+  const std::string path_;
+  const std::uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::uint64_t size_ = 0;  // current file size in bytes
+  std::uint64_t entries_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t wraps_ = 0;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_SLOWLOG_H_

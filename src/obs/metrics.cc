@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <utility>
+
 namespace setrec {
 
 MetricsRegistry::MetricsRegistry() {
@@ -35,6 +37,45 @@ MetricsRegistry::MetricsRegistry() {
                       &engine.incremental_refresh_ns);
 }
 
+namespace {
+
+/// The series key a labeled instrument registers under: the value is
+/// escaped *here*, at creation, so every export path sees well-formed
+/// bytes and distinct raw values stay distinct series.
+std::string SeriesKey(std::string_view name, std::string_view label_key,
+                      std::string_view label_value) {
+  std::string key(name);
+  key.push_back('{');
+  key.append(label_key);
+  key.append("=\"");
+  key.append(EscapeLabelValue(label_value));
+  key.append("\"}");
+  return key;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 Counter& MetricsRegistry::CounterNamed(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -42,6 +83,24 @@ Counter& MetricsRegistry::CounterNamed(std::string_view name) {
   Counter& c = owned_counters_.emplace_back();
   counters_.emplace(std::string(name), &c);
   return c;
+}
+
+Counter& MetricsRegistry::CounterLabeled(std::string_view name,
+                                         std::string_view label_key,
+                                         std::string_view label_value) {
+  return CounterNamed(SeriesKey(name, label_key, label_value));
+}
+
+Gauge& MetricsRegistry::GaugeLabeled(std::string_view name,
+                                     std::string_view label_key,
+                                     std::string_view label_value) {
+  return GaugeNamed(SeriesKey(name, label_key, label_value));
+}
+
+Histogram& MetricsRegistry::HistogramLabeled(std::string_view name,
+                                             std::string_view label_key,
+                                             std::string_view label_value) {
+  return HistogramNamed(SeriesKey(name, label_key, label_value));
 }
 
 Gauge& MetricsRegistry::GaugeNamed(std::string_view name) {
@@ -68,17 +127,31 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   for (const auto& [name, c] : counters_) out.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
-    out.histograms[name] = HistogramSnapshot{h->count(), h->sum()};
+    out.histograms[name] =
+        HistogramSnapshot{h->count(),        h->sum(),
+                          h->Quantile(0.50), h->Quantile(0.99),
+                          h->Quantile(0.999)};
   }
   return out;
 }
 
 namespace {
 
+/// Splits a series key into its instrument name and label braces:
+/// `name{k="v"}` → {`name`, `{k="v"}`}; a plain name has empty labels.
+std::pair<std::string_view, std::string_view> SplitSeries(
+    const std::string& series) {
+  const std::size_t brace = series.find('{');
+  if (brace == std::string::npos) return {series, {}};
+  return {std::string_view(series).substr(0, brace),
+          std::string_view(series).substr(brace)};
+}
+
 /// `setrec_` + name with every byte outside [a-zA-Z0-9_] replaced by '_'
 /// (Prometheus metric-name charset; the engine's '.'-separated names map
-/// onto it deterministically).
-std::string PrometheusName(const std::string& name) {
+/// onto it deterministically). Labels are NOT sanitized through here —
+/// their values carry escaped user bytes (EscapeLabelValue).
+std::string PrometheusName(std::string_view name) {
   std::string out = "setrec_";
   for (const char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -88,37 +161,74 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+/// `{quantile="q"}` merged with any existing label braces:
+/// `{k="v"}` + q → `{k="v",quantile="q"}`.
+std::string WithQuantileLabel(std::string_view labels, const char* q) {
+  std::string out;
+  if (labels.empty()) {
+    out = "{quantile=\"";
+  } else {
+    out.assign(labels.substr(0, labels.size() - 1));
+    out.append(",quantile=\"");
+  }
+  out.append(q);
+  out.append("\"}");
+  return out;
+}
+
+/// Emits a TYPE line unless `last` already named this metric — the labeled
+/// series of one name sort adjacently, so one TYPE line covers them all.
+void TypeLine(std::ostream& out, const std::string& metric, const char* kind,
+              std::string* last) {
+  if (metric == *last) return;
+  out << "# TYPE " << metric << " " << kind << "\n";
+  *last = metric;
+}
+
 }  // namespace
 
 void MetricsRegistry::WritePrometheus(std::ostream& out) const {
   const Snapshot snap = TakeSnapshot();
-  for (const auto& [name, v] : snap.counters) {
+  std::string last_type;
+  for (const auto& [series, v] : snap.counters) {
+    const auto [name, labels] = SplitSeries(series);
     const std::string p = PrometheusName(name);
-    out << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+    TypeLine(out, p, "counter", &last_type);
+    out << p << labels << " " << v << "\n";
   }
-  for (const auto& [name, v] : snap.gauges) {
+  for (const auto& [series, v] : snap.gauges) {
+    const auto [name, labels] = SplitSeries(series);
     const std::string p = PrometheusName(name);
-    out << "# TYPE " << p << " gauge\n" << p << " " << v << "\n";
+    TypeLine(out, p, "gauge", &last_type);
+    out << p << labels << " " << v << "\n";
   }
-  for (const auto& [name, h] : snap.histograms) {
+  for (const auto& [series, h] : snap.histograms) {
+    const auto [name, labels] = SplitSeries(series);
     const std::string p = PrometheusName(name);
-    out << "# TYPE " << p << " summary\n"
-        << p << "_count " << h.count << "\n"
-        << p << "_sum " << h.sum << "\n";
+    TypeLine(out, p, "summary", &last_type);
+    out << p << WithQuantileLabel(labels, "0.5") << " " << h.p50 << "\n"
+        << p << WithQuantileLabel(labels, "0.99") << " " << h.p99 << "\n"
+        << p << WithQuantileLabel(labels, "0.999") << " " << h.p999 << "\n"
+        << p << "_count" << labels << " " << h.count << "\n"
+        << p << "_sum" << labels << " " << h.sum << "\n";
   }
 }
 
 void MetricsRegistry::WriteText(std::ostream& out) const {
   const Snapshot snap = TakeSnapshot();
-  for (const auto& [name, v] : snap.counters) {
-    out << name << " " << v << "\n";
+  for (const auto& [series, v] : snap.counters) {
+    out << series << " " << v << "\n";
   }
-  for (const auto& [name, v] : snap.gauges) {
-    out << name << " " << v << "\n";
+  for (const auto& [series, v] : snap.gauges) {
+    out << series << " " << v << "\n";
   }
-  for (const auto& [name, h] : snap.histograms) {
-    out << name << "_count " << h.count << "\n"
-        << name << "_sum " << h.sum << "\n";
+  for (const auto& [series, h] : snap.histograms) {
+    const auto [name, labels] = SplitSeries(series);
+    out << name << "_count" << labels << " " << h.count << "\n"
+        << name << "_sum" << labels << " " << h.sum << "\n"
+        << name << "_p50" << labels << " " << h.p50 << "\n"
+        << name << "_p99" << labels << " " << h.p99 << "\n"
+        << name << "_p999" << labels << " " << h.p999 << "\n";
   }
 }
 

@@ -56,6 +56,33 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Estimates the q-th quantile (0 < q <= 1) from the pow2 buckets: the
+  /// bucket holding the ceil(q*count)-th smallest sample answers with its
+  /// midpoint (bucket 0 — zeros and ones — answers 1). The estimate is off
+  /// by at most a factor of two, which is exactly the precision a
+  /// latency-tail export needs; it is deterministic for a fixed sample
+  /// multiset, so tests pin exact values. Returns 0 on an empty histogram.
+  std::uint64_t Quantile(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(n) + 0.999999999);
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += bucket(b);
+      if (seen >= rank) {
+        if (b == 0) return 1;
+        const std::uint64_t lo = std::uint64_t{1} << b;
+        const std::uint64_t hi =
+            b == kBuckets - 1 ? ~std::uint64_t{0} : (lo << 1) - 1;
+        return lo + (hi - lo) / 2;
+      }
+    }
+    return ~std::uint64_t{0};  // unreachable: seen reaches count()
+  }
+
   static std::size_t BucketOf(std::uint64_t v) {
     std::size_t b = 0;
     while (v > 1) {
@@ -125,10 +152,33 @@ class MetricsRegistry {
   Gauge& GaugeNamed(std::string_view name);
   Histogram& HistogramNamed(std::string_view name);
 
+  /// Get-or-create one labeled series of `name` — the per-tenant
+  /// instruments the network service keys by user-controlled tenant ids.
+  /// The label *value* is stored escaped (EscapeLabelValue), so arbitrary
+  /// bytes — including `\`, `"` and newline — produce distinct, well-formed
+  /// series; the label key is code-controlled and must already be a legal
+  /// identifier. Series render as `name{key="value"}` in WriteText and as
+  /// proper Prometheus labels in WritePrometheus.
+  Counter& CounterLabeled(std::string_view name, std::string_view label_key,
+                          std::string_view label_value);
+  Gauge& GaugeLabeled(std::string_view name, std::string_view label_key,
+                      std::string_view label_value);
+  Histogram& HistogramLabeled(std::string_view name,
+                              std::string_view label_key,
+                              std::string_view label_value);
+
   struct HistogramSnapshot {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
+    /// Pow2-bucket tail estimates (Histogram::Quantile): the p50/p99/p999
+    /// every histogram exports through WriteText, the stats op and
+    /// WritePrometheus.
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
   };
+  /// Keys are *series* names: a plain instrument name, or
+  /// `name{key="value"}` for labeled series (value already escaped).
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, std::int64_t> gauges;
@@ -136,15 +186,20 @@ class MetricsRegistry {
   };
   Snapshot TakeSnapshot() const;
 
-  /// `name value` lines, sorted by name (histograms as _count/_sum pairs).
+  /// `name value` lines, sorted by name. Histograms expand to _count/_sum/
+  /// _p50/_p99/_p999 lines; for labeled series the suffix lands on the name,
+  /// before the label braces (`name_p99{tenant="x"} 7`).
   void WriteText(std::ostream& out) const;
 
   /// Prometheus text exposition (version 0.0.4): every instrument name is
   /// prefixed `setrec_` and sanitized ('.' and other non-[a-zA-Z0-9_] bytes
-  /// become '_'), counters get `# TYPE ... counter`, gauges `gauge`, and
-  /// histograms are exposed as summaries (`_count`/`_sum` pairs without
-  /// quantile lines — the pow2 buckets are an internal detail). The format
-  /// is pinned by a unit test; scrape endpoints may serve it verbatim.
+  /// become '_'); label values pass through escaped (EscapeLabelValue —
+  /// tenant ids are user-controlled bytes). Counters get `# TYPE ...
+  /// counter`, gauges `gauge`, and histograms are exposed as summaries:
+  /// `{quantile="0.5|0.99|0.999"}` lines estimated from the pow2 buckets,
+  /// then `_count`/`_sum`. One TYPE line per metric name covers all its
+  /// labeled series. The format is pinned by a unit test; scrape endpoints
+  /// may serve it verbatim.
   void WritePrometheus(std::ostream& out) const;
 
  private:
@@ -157,6 +212,12 @@ class MetricsRegistry {
   std::deque<Gauge> owned_gauges_;
   std::deque<Histogram> owned_histograms_;
 };
+
+/// Prometheus label-value escaping: `\` → `\\`, `"` → `\"`, newline →
+/// `\n`. The one funnel every user-controlled label value (tenant ids)
+/// passes through before it can reach an exposition line — pinned and
+/// fuzzed by the telemetry tests.
+std::string EscapeLabelValue(std::string_view value);
 
 }  // namespace setrec
 

@@ -33,16 +33,47 @@ std::uint32_t ThisThreadId() {
 
 }  // namespace
 
+// -- ScopedTraceContext ------------------------------------------------------
+
+ScopedTraceContext::ScopedTraceContext(Tracer* tracer, const TraceContext& ctx)
+    : tracer_(ctx.active() ? tracer : nullptr) {
+  if (tracer_ == nullptr) return;
+  Tracer::ThreadLog* log = tracer_->LogForThisThread();
+  saved_ = log->ctx;
+  log->ctx = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (tracer_ == nullptr) return;
+  tracer_->LogForThisThread()->ctx = saved_;
+}
+
 // -- TraceSpan ---------------------------------------------------------------
 
 TraceSpan::TraceSpan(Tracer* tracer, const char* name,
-                     std::uint64_t parent_hint)
+                     std::uint64_t parent_hint, std::uint64_t trace_hint)
     : tracer_(tracer), name_(name) {
   if (tracer_ == nullptr) return;
   Tracer::ThreadLog* log = tracer_->LogForThisThread();
-  parent_ = log->open.empty() ? parent_hint : log->open.back();
+  if (log->open.empty()) {
+    parent_ = parent_hint;
+    trace_id_ = log->ctx.active() ? log->ctx.trace_id : trace_hint;
+  } else {
+    parent_ = log->open.back().id;
+    // An installed context wins over inheritance: the request boundary on a
+    // session thread sits *under* the long-lived session span, and its
+    // spans must join the request's remote family, not the session's.
+    trace_id_ =
+        log->ctx.active() ? log->ctx.trace_id : log->open.back().trace_id;
+  }
+  // The span that first joins a remote family (its enclosing span, if any,
+  // is not part of it) records the cross-process edge.
+  if (log->ctx.active() && trace_id_ == log->ctx.trace_id &&
+      (log->open.empty() || log->open.back().trace_id != trace_id_)) {
+    remote_parent_ = log->ctx.parent_span;
+  }
   id_ = tracer_->next_id_.fetch_add(1, std::memory_order_relaxed);
-  log->open.push_back(id_);
+  log->open.push_back(Tracer::OpenSpan{id_, trace_id_});
   start_ns_ = tracer_->NowNs();
 }
 
@@ -54,10 +85,13 @@ void TraceSpan::End() {
 
   Tracer::ThreadLog* log = tracer->LogForThisThread();
   // RAII guards unwind LIFO; tolerate out-of-order ends from moved spans.
-  if (!log->open.empty() && log->open.back() == id_) {
+  if (!log->open.empty() && log->open.back().id == id_) {
     log->open.pop_back();
   } else {
-    auto it = std::find(log->open.begin(), log->open.end(), id_);
+    auto it = std::find_if(log->open.begin(), log->open.end(),
+                           [this](const Tracer::OpenSpan& open) {
+                             return open.id == id_;
+                           });
     if (it != log->open.end()) log->open.erase(it);
   }
 
@@ -65,6 +99,8 @@ void TraceSpan::End() {
   event.name = name_;
   event.id = id_;
   event.parent = parent_;
+  event.trace_id = trace_id_;
+  event.remote_parent = remote_parent_;
   event.tid = log->tid;
   event.start_ns = start_ns_;
   event.dur_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
@@ -114,7 +150,14 @@ const Tracer::ThreadLog* Tracer::LogForThisThreadIfAny() const {
 
 std::uint64_t Tracer::CurrentSpanId() const {
   const ThreadLog* log = LogForThisThreadIfAny();
-  return log == nullptr || log->open.empty() ? 0 : log->open.back();
+  return log == nullptr || log->open.empty() ? 0 : log->open.back().id;
+}
+
+std::uint64_t Tracer::CurrentTraceId() const {
+  const ThreadLog* log = LogForThisThreadIfAny();
+  if (log == nullptr) return 0;
+  if (log->ctx.active()) return log->ctx.trace_id;
+  return log->open.empty() ? 0 : log->open.back().trace_id;
 }
 
 std::vector<SpanEvent> Tracer::Events() const {
@@ -145,8 +188,12 @@ std::map<std::string, StageStats> Tracer::StageTotals() const {
   return out;
 }
 
-std::string Tracer::TreeSignature() const {
-  const std::vector<SpanEvent> events = Events();
+namespace {
+
+/// Shared core of TreeSignature / TreeSignatureForTrace: canonical string
+/// for the span forest in `events`, timestamps erased, identical sibling
+/// (and root) subtrees deduplicated.
+std::string SignatureOf(const std::vector<SpanEvent>& events) {
   std::unordered_map<std::uint64_t, std::vector<const SpanEvent*>> children;
   std::unordered_map<std::uint64_t, const SpanEvent*> by_id;
   for (const SpanEvent& e : events) by_id.emplace(e.id, &e);
@@ -187,6 +234,18 @@ std::string Tracer::TreeSignature() const {
   return out;
 }
 
+}  // namespace
+
+std::string Tracer::TreeSignature() const { return SignatureOf(Events()); }
+
+std::string Tracer::TreeSignatureForTrace(std::uint64_t trace_id) const {
+  std::vector<SpanEvent> family;
+  for (const SpanEvent& e : Events()) {
+    if (e.trace_id == trace_id) family.push_back(e);
+  }
+  return SignatureOf(family);
+}
+
 void Tracer::WriteChromeTrace(std::ostream& out) const {
   const std::vector<SpanEvent> events = Events();
   out << "{\"traceEvents\":[";
@@ -200,10 +259,19 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
     out << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":"
         << static_cast<double>(e.start_ns) / 1000.0
         << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0
-        << ",\"args\":{\"id\":" << e.id << ",\"parent\":" << e.parent << "}}";
+        << ",\"args\":{\"id\":" << e.id << ",\"parent\":" << e.parent
+        << ",\"trace_id\":" << e.trace_id
+        << ",\"remote_parent\":" << e.remote_parent << "}}";
   }
+  // The epoch (steady-clock ns at tracer construction) lets trace_merge.py
+  // align traces from tracers born at different times on one machine: an
+  // event's absolute time is epoch_steady_ns/1000 + ts.
   out << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":"
-      << dropped_events() << "}}\n";
+      << dropped_events() << ",\"epoch_steady_ns\":"
+      << std::chrono::duration_cast<std::chrono::nanoseconds>(
+             epoch_.time_since_epoch())
+             .count()
+      << "}}\n";
 }
 
 void Tracer::WriteSummary(std::ostream& out) const {

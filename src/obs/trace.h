@@ -15,6 +15,41 @@ namespace setrec {
 
 class Tracer;
 
+/// Cross-process trace identity. A request family is named by a `trace_id`
+/// minted once at the client; it travels in the frame header (net/frame.h)
+/// and is adopted by every process the request touches, so spans recorded
+/// by *different* Tracers (client, leader, follower) can be merged into one
+/// timeline by tools/trace_merge.py. `parent_span` is the sender-side span
+/// id the receiver's first span should hang under (recorded as
+/// SpanEvent::remote_parent — span ids are only unique per process, so the
+/// remote edge is annotation, not local parentage). `sampled` gates
+/// propagation: an unsampled request travels with an empty context.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = untraced
+  std::uint64_t parent_span = 0;
+  bool sampled = false;
+
+  bool active() const { return trace_id != 0 && sampled; }
+};
+
+/// Installs `ctx` as the calling thread's current trace context on `tracer`
+/// for the guard's lifetime (restoring the previous context on exit).
+/// While installed, every span started on this thread carries
+/// ctx.trace_id, and the outermost such span records ctx.parent_span as
+/// its remote parent. Null-tracer or inactive-context guards are inert.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext() = default;
+  ScopedTraceContext(Tracer* tracer, const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceContext saved_;
+};
+
 /// RAII span guard. A default-constructed or null-tracer span is inert: the
 /// constructor is a single branch and the destructor a branch on a null
 /// pointer, so instrumentation sites cost nothing measurable when no Tracer
@@ -31,7 +66,13 @@ class TraceSpan {
   /// open span — the first span of a forked worker — `parent_hint` is used,
   /// which is how a fan-out's shard spans attach under the span that forked
   /// them (see ExecContext::Fork and StartSpan in core/exec_context.h).
-  TraceSpan(Tracer* tracer, const char* name, std::uint64_t parent_hint = 0);
+  ///
+  /// Trace identity: the thread's installed TraceContext wins (the request
+  /// boundary — see ScopedTraceContext), else the innermost open span's
+  /// trace id is inherited, else `trace_hint` (a forked worker carrying its
+  /// family's id through ExecContext::trace_id()).
+  TraceSpan(Tracer* tracer, const char* name, std::uint64_t parent_hint = 0,
+            std::uint64_t trace_hint = 0);
 
   ~TraceSpan() { End(); }
 
@@ -42,6 +83,8 @@ class TraceSpan {
         name_(other.name_),
         id_(other.id_),
         parent_(other.parent_),
+        trace_id_(other.trace_id_),
+        remote_parent_(other.remote_parent_),
         start_ns_(other.start_ns_) {
     other.tracer_ = nullptr;
   }
@@ -52,6 +95,8 @@ class TraceSpan {
       name_ = other.name_;
       id_ = other.id_;
       parent_ = other.parent_;
+      trace_id_ = other.trace_id_;
+      remote_parent_ = other.remote_parent_;
       start_ns_ = other.start_ns_;
       other.tracer_ = nullptr;
     }
@@ -63,12 +108,15 @@ class TraceSpan {
 
   bool active() const { return tracer_ != nullptr; }
   std::uint64_t id() const { return id_; }
+  std::uint64_t trace_id() const { return trace_id_; }
 
  private:
   Tracer* tracer_ = nullptr;
   const char* name_ = nullptr;
   std::uint64_t id_ = 0;
   std::uint64_t parent_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t remote_parent_ = 0;
   std::uint64_t start_ns_ = 0;
 };
 
@@ -81,6 +129,16 @@ struct SpanEvent {
   /// from timestamps — is what keeps the span *tree* well defined when a
   /// fan-out runs children on pool threads.
   std::uint64_t parent = 0;
+  /// The request family this span belongs to (0 = untraced). Adopted from
+  /// the thread's installed TraceContext at the request boundary and
+  /// inherited by every nested and forked span — the key trace_merge.py
+  /// groups on.
+  std::uint64_t trace_id = 0;
+  /// The *sender-side* span id this span continues (0 = none): recorded
+  /// only on the span that joins a remote trace (client span id on the
+  /// server's request span, leader span id on a follower's replay span).
+  /// Annotation, not parentage — span ids are per-process.
+  std::uint64_t remote_parent = 0;
   std::uint32_t tid = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
@@ -121,6 +179,12 @@ class Tracer {
   /// ExecContext::Fork captures this as the parent hint for worker threads.
   std::uint64_t CurrentSpanId() const;
 
+  /// Trace id in effect on the *calling* thread: the installed
+  /// TraceContext's id when one is active, else the innermost open span's
+  /// (0 = untraced). ExecContext::Fork captures this so pool-thread spans
+  /// stay in their request's family.
+  std::uint64_t CurrentTraceId() const;
+
   /// All completed events, merged across threads, ordered by start time.
   std::vector<SpanEvent> Events() const;
 
@@ -135,6 +199,15 @@ class Tracer {
   /// the same signature, so determinism tests can pin the tree across
   /// worker counts.
   std::string TreeSignature() const;
+
+  /// TreeSignature restricted to the spans of one request family
+  /// (SpanEvent::trace_id == trace_id). Spans whose parent lies outside the
+  /// family (e.g. a request span under the long-lived session span) become
+  /// roots, and — like the unrestricted signature — identical sibling and
+  /// root subtrees dedup, so a retried-but-idempotent request family pins
+  /// to the same signature whether the server executed it once or twice.
+  /// The fault-sweep tests pin this across every frame-fault mode.
+  std::string TreeSignatureForTrace(std::uint64_t trace_id) const;
 
   /// chrome://tracing "Complete" events JSON. Span nesting renders per
   /// thread track; the explicit parent id is carried in args.
@@ -151,6 +224,14 @@ class Tracer {
 
  private:
   friend class TraceSpan;
+  friend class ScopedTraceContext;
+
+  /// One open-span stack entry: the span id plus the trace id it carries,
+  /// so nested spans inherit their family without a log lookup.
+  struct OpenSpan {
+    std::uint64_t id = 0;
+    std::uint64_t trace_id = 0;
+  };
 
   struct ThreadLog {
     /// Guards events/aggregates/dropped against a concurrent flush; the
@@ -160,7 +241,10 @@ class Tracer {
     std::map<const char*, StageStats> aggregates;
     std::uint64_t dropped = 0;
     /// Open-span stack; touched only by the owning thread, no lock needed.
-    std::vector<std::uint64_t> open;
+    std::vector<OpenSpan> open;
+    /// Trace context installed on the owning thread (ScopedTraceContext);
+    /// owning-thread only, like `open`.
+    TraceContext ctx;
     std::uint32_t tid = 0;
   };
 

@@ -222,7 +222,12 @@ Status DurableStore::CommitLocked(const Statement& statement,
     if (delta.empty()) return Status::OK();  // no-op statement, no record
     SETREC_RETURN_IF_ERROR(
         wal_.Append(DeltaToText(delta, *schema_)).status());
-    SETREC_RETURN_IF_ERROR(wal_.Sync());
+    {
+      // The durability point itself: traced so a slow disk is visible as a
+      // wal/fsync span inside the request's timeline.
+      TraceSpan fsync_span(options_.tracer, "wal/fsync");
+      SETREC_RETURN_IF_ERROR(wal_.Sync());
+    }
     // Durable as of the fsync above; only now may a view see it. Advisory:
     // a cache that cannot absorb the delta fails closed on its own.
     if (options_.view_cache != nullptr) {
@@ -330,6 +335,7 @@ Status DurableStore::CommitBatch(std::span<const Statement> statements,
   if (!wal_.broken() && committed != 0) {
     // One fsync covers every record appended above; only now is any
     // statement of the batch acknowledged.
+    TraceSpan fsync_span(options_.tracer, "wal/fsync");
     Status synced = wal_.Sync();
     (void)synced;  // a failure shows as wal_.broken() below
   }

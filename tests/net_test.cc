@@ -14,8 +14,13 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -32,6 +37,7 @@
 #include "net/tcp.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/durable_store.h"
 #include "text/printer.h"
 
@@ -152,6 +158,60 @@ TEST(FrameTest, EverySingleByteFlipIsDetected) {
     Result<Frame> got = receiver.RecvFrame(milliseconds(200));
     // A flip in the length field may manifest as a short read (mid-frame
     // close) instead of a CRC mismatch, but it must never decode cleanly.
+    EXPECT_FALSE(got.ok()) << "flip at byte " << i;
+    EXPECT_EQ(got.status().code(), StatusCode::kCorruptedLog)
+        << "flip at byte " << i;
+  }
+}
+
+TEST(FrameTest, TraceContextRoundTripsInTheFrameHeader) {
+  auto [a, b] = CreateInProcessPair();
+  FramedConnection left(std::move(a));
+  FramedConnection right(std::move(b));
+  Frame f = PingFrame();
+  f.trace_id = 0x0123456789abcdefull;
+  f.trace_parent = 0xfedcba9876543210ull;
+  f.sampled = true;
+  ASSERT_TRUE(left.SendFrame(f).ok());
+  Result<Frame> got = right.RecvFrame(milliseconds(200));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->trace_id, f.trace_id);
+  EXPECT_EQ(got->trace_parent, f.trace_parent);
+  EXPECT_TRUE(got->sampled);
+  // The trace block is stripped before the payload is handed up.
+  EXPECT_EQ(got->payload, f.payload);
+}
+
+TEST(FrameTest, UntracedFramesAreByteIdenticalToThePreTraceFormat) {
+  // An untraced frame must carry zero extra bytes — the trace block is
+  // flag-gated, so a fleet mixing traced and untraced clients interops.
+  const std::string plain = WireBytes(PingFrame());
+  EXPECT_EQ(plain.size(), 24u + PingFrame().payload.size());
+
+  Frame traced = PingFrame();
+  traced.trace_id = 7;
+  traced.trace_parent = 9;
+  traced.sampled = true;
+  EXPECT_EQ(WireBytes(traced).size(), plain.size() + kTraceBlockBytes);
+}
+
+TEST(FrameTest, EverySingleByteFlipOfATracedFrameIsDetected) {
+  // The CRC covers the trace block and the flags bit that announces it: no
+  // flip may silently re-parent a span (satellite of the fault sweep).
+  Frame traced = PingFrame();
+  traced.trace_id = 0x1122334455667788ull;
+  traced.trace_parent = 0x99aabbccddeeff00ull;
+  traced.sampled = true;
+  const std::string bytes = WireBytes(traced);
+  ASSERT_EQ(bytes.size(), 24u + kTraceBlockBytes + traced.payload.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] ^= 0x01;
+    auto [a, b] = CreateInProcessPair();
+    ASSERT_TRUE(a->Send(flipped).ok());
+    a->Close();
+    FramedConnection receiver(std::move(b));
+    Result<Frame> got = receiver.RecvFrame(milliseconds(200));
     EXPECT_FALSE(got.ok()) << "flip at byte " << i;
     EXPECT_EQ(got.status().code(), StatusCode::kCorruptedLog)
         << "flip at byte " << i;
@@ -916,6 +976,378 @@ TEST_F(NetServiceTest, ServiceEmitsNetMetricsAndStatsOp) {
   EXPECT_GE(metrics.CounterNamed("net.bytes_recv").value(), 1u);
   EXPECT_GE(metrics.HistogramNamed("net.request_ns").count(), 3u);
   EXPECT_NE(stats.body.find("net.requests"), std::string::npos);
+}
+
+// -- Distributed tracing and per-tenant telemetry ----------------------------
+
+TEST_F(ReplicationTest, OneWriteYieldsOneTraceFamilyAcrossClientLeaderAndFollower) {
+  // The tentpole acceptance check: a single traced write produces ONE
+  // family — client call, server request handling, admission, execution,
+  // durable commit and fsync, and the follower's asynchronous replay — all
+  // under the client-minted trace id, with remote-parent edges stitching
+  // the process boundaries.
+  Tracer tracer;
+  MetricsRegistry metrics;
+  ServerOptions options;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+  auto leader = MakeServer(MakeTempDir("leader"), {Tenant("acme")},
+                           std::move(options));
+
+  Client::Options client_options = ClientOptions(leader.get(), "acme");
+  client_options.tracer = &tracer;
+  Client client(std::move(client_options));
+  MustOk(client.ApplyDelta("delta { add object A(1); add object B(5); }"));
+  const std::uint64_t delta_trace = client.last_trace_id();
+  MustOk(client.Update("f", "product(A, B)"));
+  const std::uint64_t trace_id = client.last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+  EXPECT_NE(trace_id, delta_trace);  // one family per call
+
+  FollowerReplica::Options replica_options =
+      ReplicaOptions(leader.get(), "acme");
+  replica_options.tracer = &tracer;
+  replica_options.metrics = &metrics;
+  auto replica =
+      std::move(FollowerReplica::Create(std::move(replica_options))).value();
+  CatchUp(*replica);
+
+  std::set<std::string> names;
+  std::uint64_t call_span = 0;
+  std::uint64_t request_span = 0, request_remote = 0;
+  std::uint64_t replay_remote = 0;
+  for (const SpanEvent& e : tracer.Events()) {
+    if (e.trace_id != trace_id) continue;
+    names.insert(e.name);
+    const std::string_view name(e.name);
+    if (name == "net/call") call_span = e.id;
+    if (name == "net/request") {
+      request_span = e.id;
+      request_remote = e.remote_parent;
+    }
+    if (name == "net/replay") replay_remote = e.remote_parent;
+  }
+  for (const char* expected :
+       {"net/call", "net/request", "net/admission", "net/execute",
+        "store/commit", "wal/fsync", "net/replay"}) {
+    EXPECT_EQ(names.count(expected), 1u) << expected;
+  }
+  // The remote edges stitch the hops together: the server's request span
+  // continues the client's call span, and the follower's replay span
+  // continues the leader-side request span the commit recorded.
+  EXPECT_NE(call_span, 0u);
+  EXPECT_EQ(request_remote, call_span);
+  EXPECT_EQ(replay_remote, request_span);
+
+  // The chrome export carries the family id tools/trace_merge.py groups on.
+  std::ostringstream chrome;
+  tracer.WriteChromeTrace(chrome);
+  EXPECT_NE(chrome.str().find("net/replay"), std::string::npos);
+  EXPECT_NE(chrome.str().find("\"trace_id\""), std::string::npos);
+
+  // Both ends published per-tenant replication gauges, and the follower is
+  // caught up — zero lag on each side.
+  std::ostringstream text;
+  metrics.WriteText(text);
+  const std::string exported = text.str();
+  EXPECT_NE(exported.find("tenant.replication.lag{tenant=\"acme\"} 0"),
+            std::string::npos);
+  EXPECT_NE(
+      exported.find("tenant.replication.follower_lag{tenant=\"acme\"} 0"),
+      std::string::npos);
+  EXPECT_NE(exported.find("tenant.replication.ms_since_apply{tenant=\"acme\"}"),
+            std::string::npos);
+}
+
+TEST_F(NetServiceTest, StatsOpExportsPerTenantTailsQueueAndActiveGauges) {
+  MetricsRegistry metrics;
+  ServerOptions options;
+  options.metrics = &metrics;
+  auto server =
+      MakeServer(MakeTempDir("srv"), {Tenant("acme")}, std::move(options));
+  Client client(ClientOptions(server.get(), "acme"));
+  MustOk(client.ApplyDelta("delta { add object A(1); add object B(2); }"));
+  MustOk(client.Update("f", "product(A, B)"));
+  MustOk(client.Query("Af"));
+
+  Response stats = MustOk(client.Call([] {
+    Request r;
+    r.op = "stats";
+    return r;
+  }()));
+  for (const char* needle : {
+           "tenant.update_ns_p50{tenant=\"acme\"}",
+           "tenant.update_ns_p99{tenant=\"acme\"}",
+           "tenant.update_ns_p999{tenant=\"acme\"}",
+           "tenant.delta_ns_count{tenant=\"acme\"}",
+           "tenant.query_ns_p999{tenant=\"acme\"}",
+           "tenant.queue_wait_ns_count{tenant=\"acme\"}",
+           "tenant.queue_depth{tenant=\"acme\"}",
+           "tenant.active{tenant=\"acme\"}",
+       }) {
+    EXPECT_NE(stats.body.find(needle), std::string::npos) << needle;
+  }
+  // Each op fed its own histogram exactly once; every admission fed the
+  // queue-wait histogram; nothing is in flight once the calls returned.
+  EXPECT_EQ(
+      metrics.HistogramLabeled("tenant.update_ns", "tenant", "acme").count(),
+      1u);
+  EXPECT_EQ(
+      metrics.HistogramLabeled("tenant.delta_ns", "tenant", "acme").count(),
+      1u);
+  EXPECT_EQ(
+      metrics.HistogramLabeled("tenant.query_ns", "tenant", "acme").count(),
+      1u);
+  EXPECT_EQ(
+      metrics.HistogramLabeled("tenant.queue_wait_ns", "tenant", "acme")
+          .count(),
+      3u);
+  EXPECT_EQ(metrics.GaugeLabeled("tenant.active", "tenant", "acme").value(),
+            0);
+  EXPECT_EQ(
+      metrics.GaugeLabeled("tenant.queue_depth", "tenant", "acme").value(),
+      0);
+
+  // format=prometheus serves the scrape exposition through the same op.
+  Response prom = MustOk(client.Call([] {
+    Request r;
+    r.op = "stats";
+    r.params["format"] = "prometheus";
+    return r;
+  }()));
+  for (const char* needle : {
+           "# TYPE setrec_tenant_update_ns summary",
+           "setrec_tenant_update_ns{tenant=\"acme\",quantile=\"0.5\"}",
+           "setrec_tenant_update_ns{tenant=\"acme\",quantile=\"0.999\"}",
+           "setrec_tenant_update_ns_count{tenant=\"acme\"}",
+           "# TYPE setrec_tenant_queue_depth gauge",
+       }) {
+    EXPECT_NE(prom.body.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(NetServiceTest, ShedsAndDeadlineMissesCountPerTenant) {
+  TenantConfig tiny = Tenant("tiny");
+  tiny.max_concurrency = 0;
+  tiny.max_queue = 0;  // every arrival is shed
+  MetricsRegistry metrics;
+  ServerOptions options;
+  options.metrics = &metrics;
+  auto server = MakeServer(MakeTempDir("srv"), {tiny}, std::move(options));
+  Client client(ClientOptions(server.get(), "tiny", /*max_attempts=*/3));
+  Result<Response> shed = client.Update("f", "Af");
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(metrics.CounterLabeled("tenant.shed", "tenant", "tiny").value(),
+            3u);
+
+  // A queue-capable but never-admitting tenant turns waits into per-tenant
+  // deadline misses.
+  TenantConfig never = Tenant("never");
+  never.max_concurrency = 0;
+  never.max_queue = 8;
+  MetricsRegistry never_metrics;
+  ServerOptions never_options;
+  never_options.metrics = &never_metrics;
+  auto never_server =
+      MakeServer(MakeTempDir("srv2"), {never}, std::move(never_options));
+  Client never_client(
+      ClientOptions(never_server.get(), "never", /*max_attempts=*/1));
+  Request request;
+  request.op = "query";
+  request.deadline_ms = 20;
+  request.body = "A";
+  Result<Response> missed = never_client.Call(std::move(request));
+  ASSERT_TRUE(missed.ok());
+  EXPECT_EQ(missed->code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(
+      never_metrics.CounterLabeled("tenant.deadline_miss", "tenant", "never")
+          .value(),
+      1u);
+  EXPECT_GE(
+      never_metrics.HistogramLabeled("tenant.queue_wait_ns", "tenant", "never")
+          .count(),
+      1u);
+}
+
+TEST_F(NetServiceTest, SlowRequestsAreCapturedWithPlanSpansAndFlightSlice) {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  TenantConfig slow = Tenant("acme");
+  slow.slow_request_threshold = std::chrono::nanoseconds(1);  // all are slow
+  const std::string dir = MakeTempDir("srv");
+  ServerOptions options;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+  auto server = MakeServer(dir, {slow}, std::move(options));
+  Client::Options client_options = ClientOptions(server.get(), "acme");
+  client_options.tracer = &tracer;
+  Client client(std::move(client_options));
+  MustOk(client.ApplyDelta("delta { add object A(1); add object B(2); }"));
+  MustOk(client.Update("f", "product(A, B)"));
+  const std::uint64_t update_trace = client.last_trace_id();
+  MustOk(client.Query("Af"));
+
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / "acme" / "slowlog.jsonl";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // delta, update, query all exceeded 1 ns
+  for (const std::string& entry : lines) {
+    ASSERT_FALSE(entry.empty());
+    EXPECT_EQ(entry.front(), '{');
+    EXPECT_EQ(entry.back(), '}');
+  }
+  EXPECT_NE(lines[1].find("\"op\":\"update\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"op\":\"query\""), std::string::npos);
+  EXPECT_NE(
+      lines[1].find("\"trace_id\":" + std::to_string(update_trace)),
+      std::string::npos);
+  // The update and query entries re-ran EXPLAIN ANALYZE; the capture is
+  // the paper trail a latency investigation starts from.
+  EXPECT_NE(lines[1].find("\"plan\":{"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"analyzed\":true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"plan\":{"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"analyzed\":true"), std::string::npos);
+  // The span slice names the server-side stages of this request's family
+  // (the request span itself is still open at capture time).
+  EXPECT_NE(lines[1].find("\"spans\":[{"), std::string::npos);
+  EXPECT_NE(lines[1].find("net/execute"), std::string::npos);
+  EXPECT_NE(lines[1].find("wal/fsync"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"flight\":["), std::string::npos);
+  EXPECT_EQ(
+      metrics.CounterLabeled("tenant.slow_requests", "tenant", "acme").value(),
+      3u);
+}
+
+TEST_F(NetServiceTest, SpanParentageIsBitStableAcrossEveryFrameFaultMode) {
+  // A traced update's family tree — with identical sibling subtrees
+  // deduplicated (Tracer::TreeSignatureForTrace) — must be byte-identical
+  // whether the conversation ran clean or a frame was dropped, duplicated,
+  // truncated, delayed, or the connection cut: a governed retry may
+  // re-execute the idempotent statement, but it may never cross-wire,
+  // orphan, or re-parent a span.
+  TenantConfig tenant = Tenant("acme");
+  tenant.incremental_views = false;  // cache hits would reshape re-runs
+  Tracer tracer;
+  ServerOptions options;
+  options.tracer = &tracer;
+  auto server = MakeServer(MakeTempDir("srv"), {tenant}, std::move(options));
+  {
+    Client seed(ClientOptions(server.get(), "acme"));
+    MustOk(seed.ApplyDelta("delta { add object A(1); add object B(5); }"));
+    // Warm the statement untraced: the first run of the update commits a
+    // real delta (with a wal/fsync child); every run after it is a no-op
+    // re-application with no WAL record. The baseline must be the steady
+    // re-run shape — exactly what a faulted retry re-executes.
+    MustOk(seed.Update("f", "product(A, B)"));
+  }
+
+  std::string baseline;
+  {
+    Client::Options clean = ClientOptions(server.get(), "acme");
+    clean.tracer = &tracer;
+    Client client(std::move(clean));
+    MustOk(client.Update("f", "product(A, B)"));
+    baseline = tracer.TreeSignatureForTrace(client.last_trace_id());
+  }
+  ASSERT_NE(baseline.find("net/request"), std::string::npos);
+  ASSERT_NE(baseline.find("net/execute"), std::string::npos);
+
+  struct Mode {
+    const char* name;
+    FaultInjector (*make)(std::uint64_t nth);
+  };
+  const Mode kModes[] = {
+      {"drop", [](std::uint64_t n) { return FaultInjector::DropFrameAt(n); }},
+      {"duplicate",
+       [](std::uint64_t n) { return FaultInjector::DuplicateFrameAt(n); }},
+      {"truncate",
+       [](std::uint64_t n) { return FaultInjector::TruncateFrameAt(n, 9); }},
+      {"delay",
+       [](std::uint64_t n) { return FaultInjector::DelayFrameAt(n, 5); }},
+      {"disconnect",
+       [](std::uint64_t n) { return FaultInjector::DisconnectAt(n); }},
+  };
+  for (const Mode& mode : kModes) {
+    for (std::uint64_t nth = 1; nth <= 4; ++nth) {
+      FaultInjector injector = mode.make(nth);
+      Client::Options faulty =
+          ClientOptions(server.get(), "acme", /*max_attempts=*/6);
+      faulty.injector = &injector;
+      faulty.tracer = &tracer;
+      Client client(std::move(faulty));
+      for (int call = 0; call < 2; ++call) {
+        MustOk(client.Update("f", "product(A, B)"));
+        EXPECT_EQ(tracer.TreeSignatureForTrace(client.last_trace_id()),
+                  baseline)
+            << mode.name << " at op " << nth << " call " << call;
+      }
+    }
+  }
+}
+
+TEST_F(NetServiceTest, ConcurrentTracedClientsKeepDistinctUncrossedFamilies) {
+  TenantConfig tenant = Tenant("acme");
+  tenant.incremental_views = false;
+  tenant.max_concurrency = 2;  // real interleaving plus queueing
+  Tracer tracer;
+  ServerOptions options;
+  options.tracer = &tracer;
+  options.own_pool_workers = 8;
+  auto server = MakeServer(MakeTempDir("srv"), {tenant}, std::move(options));
+  {
+    Client seed(ClientOptions(server.get(), "acme"));
+    MustOk(seed.ApplyDelta("delta { add object A(1); add object B(5); }"));
+    // Warm the statement so every traced call below is a no-op
+    // re-application — all twelve families must then pin one shape.
+    MustOk(seed.Update("f", "product(A, B)"));
+  }
+
+  constexpr int kThreads = 4, kCalls = 3;
+  std::vector<std::uint64_t> ids(
+      static_cast<std::size_t>(kThreads * kCalls), 0);
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Client::Options traced =
+          ClientOptions(server.get(), "acme", /*max_attempts=*/8);
+      traced.tracer = &tracer;
+      Client client(std::move(traced));
+      for (int i = 0; i < kCalls; ++i) {
+        Result<Response> r = client.Update("f", "product(A, B)");
+        if (!r.ok() || r->code != StatusCode::kOk) failures.fetch_add(1);
+        ids[static_cast<std::size_t>(t * kCalls + i)] = client.last_trace_id();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every call minted a distinct, nonzero family id...
+  const std::set<std::uint64_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), ids.size());
+  EXPECT_EQ(distinct.count(0), 0u);
+
+  // ...and no family absorbed another's spans: each holds exactly one
+  // client call span and pins the same tree as every other — concurrency
+  // cannot reshape or cross-wire parentage.
+  std::map<std::uint64_t, int> calls_per_family;
+  for (const SpanEvent& e : tracer.Events()) {
+    if (std::string_view(e.name) == "net/call") {
+      calls_per_family[e.trace_id] += 1;
+    }
+  }
+  const std::string pinned = tracer.TreeSignatureForTrace(ids[0]);
+  ASSERT_FALSE(pinned.empty());
+  for (std::uint64_t id : ids) {
+    EXPECT_EQ(calls_per_family[id], 1) << "trace " << id;
+    EXPECT_EQ(tracer.TreeSignatureForTrace(id), pinned) << "trace " << id;
+  }
 }
 
 }  // namespace

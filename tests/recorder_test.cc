@@ -294,14 +294,21 @@ TEST(WritePrometheusTest, FormatIsPinned) {
   EXPECT_NE(text.find("# TYPE setrec_pool_size gauge\n"
                       "setrec_pool_size -3\n"),
             std::string::npos);
-  // Histograms export as summaries: _count and _sum.
-  EXPECT_NE(text.find("# TYPE setrec_store_commit_ns summary\n"
-                      "setrec_store_commit_ns_count 2\n"
-                      "setrec_store_commit_ns_sum 8\n"),
-            std::string::npos);
+  // Histograms export as summaries: quantile lines estimated from the pow2
+  // buckets (see Histogram::Quantile — {3,5} pins p50=2, p99=p999=5),
+  // then _count and _sum.
+  EXPECT_NE(
+      text.find("# TYPE setrec_store_commit_ns summary\n"
+                "setrec_store_commit_ns{quantile=\"0.5\"} 2\n"
+                "setrec_store_commit_ns{quantile=\"0.99\"} 5\n"
+                "setrec_store_commit_ns{quantile=\"0.999\"} 5\n"
+                "setrec_store_commit_ns_count 2\n"
+                "setrec_store_commit_ns_sum 8\n"),
+      std::string::npos)
+      << text;
 
-  // Every line is either a comment or `name value` with a legal
-  // Prometheus metric name.
+  // Every line is either a comment or `name[{labels}] value` with a legal
+  // Prometheus metric name (labels, when present, carry the quantile).
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
@@ -309,7 +316,12 @@ TEST(WritePrometheusTest, FormatIsPinned) {
     if (line[0] == '#') continue;
     const std::size_t space = line.find(' ');
     ASSERT_NE(space, std::string::npos) << line;
-    const std::string name = line.substr(0, space);
+    std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
     EXPECT_EQ(name.rfind("setrec_", 0), 0u) << line;
     for (const char c : name) {
       EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -317,6 +329,45 @@ TEST(WritePrometheusTest, FormatIsPinned) {
           << "illegal metric-name byte in: " << line;
     }
   }
+}
+
+// Labeled series: user-controlled label values are escaped at series
+// creation, one TYPE line covers all series of a name, and the quantile
+// label merges into existing braces.
+TEST(WritePrometheusTest, LabeledSeriesRenderEscapedAndGrouped) {
+  MetricsRegistry metrics;
+  metrics.CounterLabeled("tenant.shed", "tenant", "acme").Add(1);
+  metrics.CounterLabeled("tenant.shed", "tenant", "zeta").Add(2);
+  metrics.HistogramLabeled("tenant.query_ns", "tenant", "a\\b\"c\nd")
+      .Observe(3);
+
+  std::ostringstream out;
+  metrics.WritePrometheus(out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE setrec_tenant_shed counter\n"
+                      "setrec_tenant_shed{tenant=\"acme\"} 1\n"
+                      "setrec_tenant_shed{tenant=\"zeta\"} 2\n"),
+            std::string::npos)
+      << text;
+  // One TYPE line for the pair above — not one per series.
+  std::size_t type_lines = 0;
+  for (std::size_t at = text.find("# TYPE setrec_tenant_shed ");
+       at != std::string::npos;
+       at = text.find("# TYPE setrec_tenant_shed ", at + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  // The dangerous tenant id renders with `\`, `"`, newline escaped, and the
+  // quantile label lands inside the same braces.
+  EXPECT_NE(text.find("setrec_tenant_query_ns"
+                      "{tenant=\"a\\\\b\\\"c\\nd\",quantile=\"0.5\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("setrec_tenant_query_ns_count"
+                      "{tenant=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos)
+      << text;
 }
 
 }  // namespace

@@ -54,10 +54,15 @@ def check_bench(path):
 
 def check_service(path, doc):
     """The service bench must report tail latency and backpressure: every
-    benchmark row carries p50/p99/p999 plus shed/retry counters, and the
-    net.* instruments the server emits must appear in "metrics"."""
+    benchmark row carries client-side p50/p99/p999 plus shed/retry
+    counters, the *server-side* per-tenant tails (tenant_p50_us/p99/p999,
+    from the tenant's labeled latency histograms) and the follower
+    replication lag observed after the run, and the net.* instruments the
+    server emits must appear in "metrics"."""
     errors = 0
-    required = ("p50_us", "p99_us", "p999_us", "shed", "retries", "failures")
+    required = ("p50_us", "p99_us", "p999_us", "shed", "retries", "failures",
+                "tenant_p50_us", "tenant_p99_us", "tenant_p999_us",
+                "replication_lag")
     for row in doc.get("benchmarks") or []:
         name = row.get("name", "?")
         for key in required:

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Merge chrome://tracing exports from several Tracers into one timeline.
+
+Each process in a traced request (client, leader, follower) owns its own
+Tracer and exports its own chrome-trace JSON (Tracer::WriteChromeTrace).
+Span ids are only unique per process, but every span carries the request
+family's `trace_id` in args — minted once at the client and propagated in
+the frame header — so the cross-process timeline is reassembled by:
+
+  1. assigning each input file a distinct pid (with a process_name
+     metadata event naming it after the file), keeping per-process span
+     nesting intact on its own track;
+  2. aligning clocks via otherData.epoch_steady_ns: every Tracer stamps
+     its steady-clock origin at construction, so an event's absolute time
+     is epoch_steady_ns/1000 + ts (microseconds).  The merged timeline is
+     re-based to the earliest event;
+  3. optionally filtering to one or more families (--trace-id), which is
+     how "show me this one request across all three processes" works.
+
+Clock alignment assumes the inputs come from one machine (one steady
+clock), which is exactly the in-process/bench topology this repo runs.
+
+Usage:
+  trace_merge.py [--trace-id ID]... [-o OUT.json] client.json leader.json ...
+  trace_merge.py --self-test
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        raise ValueError(f'{path}: no "traceEvents" list')
+    return doc
+
+
+def merge(docs, labels, trace_ids=None):
+    """Merge parsed chrome-trace docs into one. `docs` and `labels` are
+    parallel lists; `trace_ids` (a set of ints) filters events to those
+    families when given. Returns the merged document."""
+    merged = []
+    dropped = 0
+    epochs = []
+    for doc in docs:
+        other = doc.get("otherData") or {}
+        epochs.append(int(other.get("epoch_steady_ns", 0)))
+        dropped += int(other.get("dropped_events", 0))
+
+    def keep(e):
+        if e.get("ph") != "X":
+            return False
+        if trace_ids is None:
+            return True
+        return (e.get("args") or {}).get("trace_id") in trace_ids
+
+    # Pass one: the earliest absolute timestamp among the *kept* events, so
+    # the merged timeline starts at zero regardless of which tracer was
+    # born first and of what the family filter discarded.
+    base_us = None
+    for doc, epoch in zip(docs, epochs):
+        for e in doc["traceEvents"]:
+            if not keep(e):
+                continue
+            ts = epoch / 1000.0 + float(e.get("ts", 0))
+            if base_us is None or ts < base_us:
+                base_us = ts
+    if base_us is None:
+        base_us = 0.0
+
+    for pid, (doc, label, epoch) in enumerate(zip(docs, labels, epochs),
+                                              start=1):
+        kept = 0
+        for e in doc["traceEvents"]:
+            if not keep(e):
+                continue
+            out = dict(e)
+            out["pid"] = pid
+            out["ts"] = round(epoch / 1000.0 + float(e.get("ts", 0))
+                              - base_us, 3)
+            merged.append(out)
+            kept += 1
+        if kept:
+            merged.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": label}})
+
+    # Metadata first, then events by time: a stable, diffable order.
+    merged.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0),
+                               e.get("pid", 0),
+                               (e.get("args") or {}).get("id", 0)))
+    return {"traceEvents": merged, "displayTimeUnit": "ns",
+            "otherData": {"dropped_events": dropped,
+                          "merged_files": len(docs)}}
+
+
+def self_test():
+    """Golden test: two synthetic single-process traces share family 42;
+    the merge must align clocks, renumber pids, name processes, and (with
+    --trace-id 42 semantics) keep exactly that family."""
+    client = {
+        "traceEvents": [
+            {"name": "net/call", "ph": "X", "pid": 1, "tid": 1, "ts": 5.0,
+             "dur": 90.0,
+             "args": {"id": 3, "parent": 0, "trace_id": 42,
+                      "remote_parent": 0}},
+            {"name": "idle", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0,
+             "dur": 2.0,
+             "args": {"id": 4, "parent": 0, "trace_id": 0,
+                      "remote_parent": 0}},
+        ],
+        "otherData": {"dropped_events": 0, "epoch_steady_ns": 1_000_000},
+    }
+    server = {
+        "traceEvents": [
+            {"name": "net/request", "ph": "X", "pid": 1, "tid": 2,
+             "ts": 10.0, "dur": 60.0,
+             "args": {"id": 7, "parent": 6, "trace_id": 42,
+                      "remote_parent": 3}},
+        ],
+        "otherData": {"dropped_events": 1, "epoch_steady_ns": 1_020_000},
+    }
+    golden = {
+        "traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "client"}},
+            {"name": "process_name", "ph": "M", "pid": 2, "tid": 0,
+             "args": {"name": "server"}},
+            {"name": "net/call", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0,
+             "dur": 90.0,
+             "args": {"id": 3, "parent": 0, "trace_id": 42,
+                      "remote_parent": 0}},
+            {"name": "net/request", "ph": "X", "pid": 2, "tid": 2,
+             "ts": 25.0, "dur": 60.0,
+             "args": {"id": 7, "parent": 6, "trace_id": 42,
+                      "remote_parent": 3}},
+        ],
+        "displayTimeUnit": "ns",
+        "otherData": {"dropped_events": 1, "merged_files": 2},
+    }
+    # The family filter keeps net/call and net/request and drops the
+    # untraced idle span.  Clock math: client epoch 1.0 ms, server epoch
+    # 1.02 ms; earliest family event is net/call at 1000 + 5 = 1005 us, so
+    # net/request lands at 1020 + 10 - 1005 = 25 us.
+    got = merge([client, server], ["client", "server"], trace_ids={42})
+    if got != golden:
+        print("trace_merge self-test FAILED", file=sys.stderr)
+        print("got:    " + json.dumps(got, sort_keys=True), file=sys.stderr)
+        print("golden: " + json.dumps(golden, sort_keys=True),
+              file=sys.stderr)
+        return 1
+    # Unfiltered, the untraced span survives and becomes the new t=0.
+    unfiltered = merge([client, server], ["client", "server"])
+    names = [e["name"] for e in unfiltered["traceEvents"]
+             if e.get("ph") == "X"]
+    if names != ["idle", "net/call", "net/request"]:
+        print(f"trace_merge self-test FAILED: unfiltered order {names}",
+              file=sys.stderr)
+        return 1
+    # After the metadata rows: idle re-bases to 0, net/call lands at +5 us.
+    if unfiltered["traceEvents"][3]["ts"] != 5.0:
+        print("trace_merge self-test FAILED: unfiltered re-base",
+              file=sys.stderr)
+        return 1
+    print("trace_merge self-test OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*", help="chrome-trace JSON inputs")
+    parser.add_argument("--trace-id", action="append", type=int, default=None,
+                        metavar="ID",
+                        help="keep only this request family (repeatable)")
+    parser.add_argument("-o", "--out", default=None,
+                        help="write merged JSON here (default stdout)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded golden test and exit")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("no input files (or --self-test)")
+
+    try:
+        docs = [load(path) for path in args.files]
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"trace_merge: {e}", file=sys.stderr)
+        return 1
+    labels = [os.path.splitext(os.path.basename(p))[0] for p in args.files]
+    trace_ids = set(args.trace_id) if args.trace_id else None
+    merged = merge(docs, labels, trace_ids)
+    text = json.dumps(merged, indent=1)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
